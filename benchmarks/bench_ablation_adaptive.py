@@ -1,0 +1,85 @@
+"""Ablation: fixed vs energy-adaptive per-block thresholds (extension).
+
+The paper identifies block effects in the secret part as a consequence
+of using "a single threshold across entire image blocks" (Section
+5.2.2).  The adaptive extension (repro.core.adaptive) scales the
+threshold with block energy.  This bench compares the two at the same
+base threshold: secret-part quality (PSNR/SSIM), public-part privacy,
+and storage.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.core.adaptive import split_image_adaptive
+from repro.core.splitting import split_image
+from repro.jpeg.codec import (
+    decode_coefficients,
+    encode_coefficients,
+    encode_rgb,
+)
+from repro.jpeg.decoder import coefficients_to_pixels
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr, ssim
+
+BASE_THRESHOLD = 15
+
+
+def test_ablation_adaptive_threshold(benchmark, usc_corpus):
+    corpus = usc_corpus[:4]
+
+    def experiment():
+        rows = {"fixed": [], "adaptive": []}
+        for image in corpus:
+            coefficients = decode_coefficients(encode_rgb(image, quality=85))
+            reference = to_luma(coefficients_to_pixels(coefficients))
+            fixed = split_image(coefficients, BASE_THRESHOLD)
+            adaptive = split_image_adaptive(coefficients, BASE_THRESHOLD)
+            for name, split in (("fixed", fixed), ("adaptive", adaptive)):
+                secret_pixels = to_luma(
+                    coefficients_to_pixels(split.secret)
+                )
+                public_pixels = to_luma(
+                    coefficients_to_pixels(split.public)
+                )
+                rows[name].append(
+                    (
+                        psnr(reference, secret_pixels),
+                        ssim(reference, secret_pixels),
+                        psnr(reference, public_pixels),
+                        len(encode_coefficients(split.secret)),
+                    )
+                )
+        return {
+            name: tuple(np.mean(values, axis=0))
+            for name, values in rows.items()
+        }
+
+    results = run_once(benchmark, experiment)
+    table = Table(title="Ablation: fixed vs adaptive thresholds", x_label="row")
+    table.add(
+        "secret_psnr_dB",
+        [1, 2],
+        [results["fixed"][0], results["adaptive"][0]],
+    )
+    table.add(
+        "secret_ssim", [1, 2], [results["fixed"][1], results["adaptive"][1]]
+    )
+    table.add(
+        "public_psnr_dB",
+        [1, 2],
+        [results["fixed"][2], results["adaptive"][2]],
+    )
+    table.add(
+        "secret_bytes", [1, 2], [results["fixed"][3], results["adaptive"][3]]
+    )
+    print()
+    print(format_table(table))
+    print("rows: 1=fixed threshold, 2=energy-adaptive thresholds")
+
+    # The public part stays just as degraded...
+    assert results["adaptive"][2] < 25.0
+    # ...while the adaptive secret renders at least as faithfully
+    # (higher structural similarity = fewer block effects).
+    assert results["adaptive"][1] >= results["fixed"][1] - 0.02

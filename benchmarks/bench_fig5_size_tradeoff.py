@@ -1,0 +1,52 @@
+"""Figure 5: threshold vs normalized file size (USC-SIPI and INRIA).
+
+Paper result: at T≈1 the combined parts exceed the original by ~20%
+with public and secret each ~50% of the total; at the knee (T=15-20)
+the secret part is ~20% of the original and total overhead is ~5-10%.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.analysis.sweep import DEFAULT_THRESHOLDS, size_sweep
+
+
+def _report(name: str, result) -> None:
+    table = Table(title=f"Figure 5 ({name}): threshold vs size", x_label="T")
+    table.add("public", result.thresholds, result.public_fraction_mean)
+    table.add("secret", result.thresholds, result.secret_fraction_mean)
+    table.add("total", result.thresholds, result.total_fraction_mean)
+    table.add("secret_std", result.thresholds, result.secret_fraction_std)
+    print()
+    print(format_table(table))
+
+
+def _check_shape(result) -> None:
+    # Secret fraction decreases monotonically in T.
+    assert result.secret_fraction_mean == sorted(
+        result.secret_fraction_mean, reverse=True
+    )
+    # Total overhead shrinks from T=1 to the knee.
+    assert result.total_fraction_mean[-1] < result.total_fraction_mean[0]
+    # Public part carries most of the bytes at moderate thresholds.
+    knee_index = result.thresholds.index(20)
+    assert (
+        result.public_fraction_mean[knee_index]
+        > result.secret_fraction_mean[knee_index]
+    )
+
+
+def test_fig5a_usc_sipi(benchmark, usc_corpus):
+    result = run_once(
+        benchmark, lambda: size_sweep(usc_corpus, DEFAULT_THRESHOLDS)
+    )
+    _report("USC-SIPI-like", result)
+    _check_shape(result)
+
+
+def test_fig5b_inria(benchmark, inria_corpus):
+    result = run_once(
+        benchmark, lambda: size_sweep(inria_corpus, DEFAULT_THRESHOLDS)
+    )
+    _report("INRIA-like", result)
+    _check_shape(result)

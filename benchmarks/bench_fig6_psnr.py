@@ -1,0 +1,48 @@
+"""Figure 6: PSNR of public and secret parts vs threshold.
+
+Paper result: public parts sit around 10-15 dB (rising only slightly
+with T, thanks to DC extraction); secret parts reach 35-45 dB.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.analysis.sweep import DEFAULT_THRESHOLDS, psnr_sweep
+
+
+def _report(name: str, result) -> None:
+    table = Table(title=f"Figure 6 ({name}): PSNR vs threshold", x_label="T")
+    table.add("avg_public_dB", result.thresholds, result.public_psnr_mean)
+    table.add("avg_secret_dB", result.thresholds, result.secret_psnr_mean)
+    table.add("std_public", result.thresholds, result.public_psnr_std)
+    table.add("std_secret", result.thresholds, result.secret_psnr_std)
+    print()
+    print(format_table(table))
+
+
+def _check_shape(result) -> None:
+    # Public part heavily degraded at all thresholds.
+    assert max(result.public_psnr_mean) < 25.0
+    # Secret part always better than public at the same threshold.
+    for public, secret in zip(
+        result.public_psnr_mean, result.secret_psnr_mean
+    ):
+        assert secret > public
+    # Secret PSNR decreases with T (less content extracted).
+    assert result.secret_psnr_mean[0] >= result.secret_psnr_mean[-1]
+
+
+def test_fig6a_usc_sipi(benchmark, usc_corpus):
+    result = run_once(
+        benchmark, lambda: psnr_sweep(usc_corpus, DEFAULT_THRESHOLDS)
+    )
+    _report("USC-SIPI-like", result)
+    _check_shape(result)
+
+
+def test_fig6b_inria(benchmark, inria_corpus):
+    result = run_once(
+        benchmark, lambda: psnr_sweep(inria_corpus, DEFAULT_THRESHOLDS)
+    )
+    _report("INRIA-like", result)
+    _check_shape(result)

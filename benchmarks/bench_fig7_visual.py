@@ -1,0 +1,74 @@
+"""Figure 7: the visual encryption result at T in {1, 5, 10, 15, 20}.
+
+The paper shows a canonical image's public and secret parts side by
+side: the public part is visually void, the secret part resembles a
+block-averaged thumbnail.  This bench writes the actual JPEG files to
+``benchmarks/output/`` for visual inspection and prints their PSNR and
+byte sizes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.core.splitting import split_image
+from repro.jpeg.codec import (
+    decode_coefficients,
+    encode_coefficients,
+    encode_rgb,
+)
+from repro.jpeg.decoder import coefficients_to_pixels
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr
+
+THRESHOLDS = (1, 5, 10, 15, 20)
+
+
+def test_fig7_visual_parts(benchmark, usc_corpus, output_dir):
+    image = usc_corpus[0]
+
+    def experiment():
+        jpeg = encode_rgb(image, quality=85)
+        coefficients = decode_coefficients(jpeg)
+        reference = to_luma(coefficients_to_pixels(coefficients))
+        rows = []
+        for threshold in THRESHOLDS:
+            split = split_image(coefficients, threshold)
+            public_jpeg = encode_coefficients(split.public)
+            secret_jpeg = encode_coefficients(split.secret)
+            (output_dir / f"fig7_public_T{threshold}.jpg").write_bytes(
+                public_jpeg
+            )
+            (output_dir / f"fig7_secret_T{threshold}.jpg").write_bytes(
+                secret_jpeg
+            )
+            public_pixels = to_luma(coefficients_to_pixels(split.public))
+            secret_pixels = to_luma(coefficients_to_pixels(split.secret))
+            rows.append(
+                (
+                    threshold,
+                    psnr(reference, public_pixels),
+                    psnr(reference, secret_pixels),
+                    len(public_jpeg),
+                    len(secret_jpeg),
+                )
+            )
+        (output_dir / "fig7_original.jpg").write_bytes(jpeg)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = Table(title="Figure 7: visual parts (canonical image)", x_label="T")
+    table.add("public_dB", [r[0] for r in rows], [r[1] for r in rows])
+    table.add("secret_dB", [r[0] for r in rows], [r[2] for r in rows])
+    table.add("public_bytes", [r[0] for r in rows], [r[3] for r in rows])
+    table.add("secret_bytes", [r[0] for r in rows], [r[4] for r in rows])
+    print()
+    print(format_table(table))
+    print(f"(JPEG files written to {output_dir})")
+
+    # The public part must stay visually void across the range.
+    assert max(r[1] for r in rows) < 25.0
+    # All outputs decode as valid JPEG files.
+    for threshold in THRESHOLDS:
+        data = (output_dir / f"fig7_public_T{threshold}.jpg").read_bytes()
+        assert decode_coefficients(data).width == image.shape[1]

@@ -1,0 +1,57 @@
+"""Figure 8b: face-detection attack — faces found on the public part.
+
+Paper result: the Haar detector finds ~1.2 faces per original image;
+on public parts it finds zero below T≈20 and only starts firing again
+past T≈35.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.core.splitting import split_image
+from repro.datasets import caltech_faces_like
+from repro.jpeg.codec import decode_coefficients, encode_rgb
+from repro.jpeg.decoder import coefficients_to_pixels
+
+THRESHOLDS = (1, 5, 10, 15, 20, 35, 50, 100)
+
+
+def test_fig8b_face_detection(benchmark, detector):
+    samples = caltech_faces_like(count=8, subjects=4, size=128)
+
+    def experiment():
+        prepared = [
+            decode_coefficients(encode_rgb(s.image, quality=85))
+            for s in samples
+        ]
+        original_counts = [
+            detector.count_faces(coefficients_to_pixels(c))
+            for c in prepared
+        ]
+        per_threshold = []
+        for threshold in THRESHOLDS:
+            counts = []
+            for coefficients in prepared:
+                split = split_image(coefficients, threshold)
+                public_pixels = coefficients_to_pixels(split.public)
+                counts.append(detector.count_faces(public_pixels))
+            per_threshold.append(float(np.mean(counts)))
+        return float(np.mean(original_counts)), per_threshold
+
+    original_mean, public_means = run_once(benchmark, experiment)
+    table = Table(title="Figure 8b: faces detected", x_label="T")
+    table.add("on_public_part", list(THRESHOLDS), public_means)
+    table.add(
+        "original_image",
+        list(THRESHOLDS),
+        [original_mean] * len(THRESHOLDS),
+    )
+    print()
+    print(format_table(table))
+
+    by_threshold = dict(zip(THRESHOLDS, public_means))
+    # Detection collapses in the recommended range...
+    assert by_threshold[10] <= 0.25 * max(original_mean, 0.5)
+    # ...while the detector does work on the originals.
+    assert original_mean >= 0.8

@@ -1,0 +1,101 @@
+"""Figure 8d: face-recognition attack — CMC curves.
+
+Paper result (Mahalanobis cosine, FERET FAFB): Normal-Normal rank-1
+accuracy is >80%; with P3 public parts (T=1..20, both Normal-Public and
+Public-Public settings) rank-1 falls below 20%, and even rank-50 stays
+under ~45% at T=20.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import Table, format_table
+from repro.core.splitting import split_image
+from repro.datasets import feret_like
+from repro.jpeg.codec import decode_coefficients, encode_rgb
+from repro.jpeg.decoder import coefficients_to_pixels
+from repro.vision.eigenfaces import EigenfaceModel, cumulative_match_curve
+
+THRESHOLDS = (1, 10, 20, 100)
+RANKS = (1, 3, 5)
+
+
+def _aligned(sample, pixels=None):
+    """Crop to the face box — the CSU pipeline's geometric normalization.
+
+    The paper feeds 'aligned and normalized face image[s]' to the
+    recognizer; the attacker normalizes public parts the same way.
+    """
+    top, left, height, width = sample.bbox
+    image = sample.image if pixels is None else pixels
+    return image[top : top + height, left : left + width]
+
+
+def _public_part(sample, threshold):
+    coefficients = decode_coefficients(
+        encode_rgb(sample.image, quality=85)
+    )
+    split = split_image(coefficients, threshold)
+    return _aligned(sample, coefficients_to_pixels(split.public))
+
+
+def test_fig8d_face_recognition(benchmark):
+    corpus = feret_like(subjects=12, probes_per_subject=2, size=96)
+    gallery_images = [_aligned(s) for s in corpus.gallery]
+    gallery_subjects = [s.subject for s in corpus.gallery]
+    probe_images = [_aligned(s) for s in corpus.probes]
+    probe_subjects = [s.subject for s in corpus.probes]
+
+    def experiment():
+        results = {}
+        normal_model = EigenfaceModel.train(
+            gallery_images, gallery_images, gallery_subjects
+        )
+        results["Normal-Normal"] = cumulative_match_curve(
+            normal_model, probe_images, probe_subjects
+        )
+        for threshold in THRESHOLDS:
+            public_probes = [
+                _public_part(sample, threshold) for sample in corpus.probes
+            ]
+            # Normal-Public: gallery normal, probes are public parts.
+            results[f"T{threshold}-Normal-Public"] = cumulative_match_curve(
+                normal_model, public_probes, probe_subjects
+            )
+            # Public-Public: the stronger attack — the adversary trains
+            # and enrolls on public parts too.
+            public_gallery = [
+                _public_part(sample, threshold) for sample in corpus.gallery
+            ]
+            public_model = EigenfaceModel.train(
+                public_gallery, public_gallery, gallery_subjects
+            )
+            results[f"T{threshold}-Public-Public"] = cumulative_match_curve(
+                public_model, public_probes, probe_subjects
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    table = Table(title="Figure 8d: cumulative recognition rate", x_label="rank")
+    for name, curve in results.items():
+        table.add(name, list(RANKS), [float(curve[r - 1]) for r in RANKS])
+    print()
+    print(format_table(table))
+
+    baseline_rank1 = results["Normal-Normal"][0]
+    chance = 1.0 / corpus.num_subjects
+    # The baseline attack works...
+    assert baseline_rank1 >= 0.5
+    # ...Normal-Public (the deployed-database attack) collapses hard...
+    for threshold in (1, 10, 20):
+        rank1 = results[f"T{threshold}-Normal-Public"][0]
+        assert rank1 <= baseline_rank1 - 0.25 or rank1 <= 3 * chance
+    # ...and even the stronger Public-Public attack is substantially
+    # degraded on average (the synthetic faces leave it somewhat above
+    # the paper's <20%; see EXPERIMENTS.md).
+    public_public = [
+        results[f"T{threshold}-Public-Public"][0]
+        for threshold in (1, 10, 20)
+    ]
+    assert float(np.mean(public_public)) <= baseline_rank1 - 0.15
+    assert max(public_public) < baseline_rank1

@@ -1,0 +1,82 @@
+"""Section 5.3: processing costs of the three P3 stages.
+
+Paper (Galaxy S3, 720x720): 152 ms to split, ~55 ms to encrypt/decrypt
+the secret part, 191 ms to reconstruct.  Absolute numbers differ in
+pure python; the reproducible claim is the *shape* — split and
+reconstruct are the same order of magnitude, crypto is cheaper than
+either, and nothing is so slow it would break interactive use at
+native speed.
+
+These use pytest-benchmark properly (multiple rounds) since they are
+microbenchmarks, unlike the one-shot figure regenerations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import P3Config
+from repro.core.reconstruction import recombine
+from repro.core.splitting import split_image
+from repro.core.serialization import serialize_secret
+from repro.crypto.envelope import open_envelope, seal_envelope
+from repro.datasets.scenes import render_scene
+from repro.jpeg.codec import decode_coefficients, encode_rgb
+from repro.jpeg.decoder import coefficients_to_pixels
+
+SIZE = 720  # the largest resolution Facebook serves
+KEY = b"p3-benchmark-key"
+
+
+@pytest.fixture(scope="module")
+def coefficients_720():
+    image = render_scene(99, height=SIZE, width=SIZE)
+    return decode_coefficients(encode_rgb(image, quality=85))
+
+
+@pytest.fixture(scope="module")
+def split_720(coefficients_720):
+    return split_image(coefficients_720, P3Config().threshold)
+
+
+@pytest.fixture(scope="module")
+def secret_container(split_720):
+    return serialize_secret(split_720.secret, 15)
+
+
+def test_split_720(benchmark, coefficients_720):
+    """Sender-side extraction of public and secret parts (paper: 152 ms)."""
+    result = benchmark(lambda: split_image(coefficients_720, 15))
+    assert result.public.luma.coefficients[..., 0, 0].max() == 0
+
+
+def test_encrypt_secret_720(benchmark, secret_container):
+    """AES sealing of the secret part (paper: ~55 ms)."""
+    envelope = benchmark(
+        lambda: seal_envelope(KEY, secret_container, nonce=b"bench-nonce!")
+    )
+    assert envelope[:4] == b"P3E1"
+
+
+def test_decrypt_secret_720(benchmark, secret_container):
+    envelope = seal_envelope(KEY, secret_container)
+    plaintext = benchmark(lambda: open_envelope(KEY, envelope))
+    assert plaintext == secret_container
+
+
+def test_reconstruct_720(benchmark, split_720):
+    """Recipient-side recombination + render (paper: 191 ms)."""
+
+    def reconstruct():
+        combined = recombine(split_720.public, split_720.secret, 15)
+        return coefficients_to_pixels(combined)
+
+    pixels = benchmark(reconstruct)
+    assert pixels.shape == (SIZE, SIZE, 3)
+
+
+def test_entropy_encode_public_720(benchmark, split_720):
+    """The transcoding cost of emitting the public JPEG."""
+    from repro.jpeg.codec import encode_coefficients
+
+    data = benchmark(lambda: encode_coefficients(split_720.public))
+    assert data[:2] == b"\xff\xd8"

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures and output plumbing.
+
+Each benchmark regenerates one figure/table of the paper's evaluation
+(see DESIGN.md's per-experiment index) and prints the same series the
+paper plots.  ``pytest benchmarks/ --benchmark-only -s`` shows the
+tables; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def run_once(benchmark, function):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def usc_corpus():
+    from repro.datasets import usc_sipi_like
+
+    return usc_sipi_like(count=6, size=160)
+
+
+@pytest.fixture(scope="session")
+def inria_corpus():
+    from repro.datasets import inria_like
+
+    return inria_like(count=6)
+
+
+@pytest.fixture(scope="session")
+def detector():
+    from repro.vision.facedetect import train_default_detector
+
+    return train_default_detector()

@@ -1,0 +1,77 @@
+"""Scenario: privacy-preserving video sharing (paper Section 4.2).
+
+The paper sketches the video extension: apply P3 to the I-frames only;
+because predicted frames build on the I-frame, the degradation
+propagates through each group of pictures.  This example encodes a
+short panning clip, splits it, and shows per-frame quality for a
+key-less viewer versus an authorized recipient.
+
+    python examples/video_sharing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table, format_table
+from repro.crypto.keyring import generate_key
+from repro.datasets.scenes import render_scene
+from repro.video import (
+    P3VideoDecryptor,
+    P3VideoEncryptor,
+    decode_video,
+    encode_video,
+)
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr
+
+
+def main() -> None:
+    # A short clip: the camera pans across a scene.
+    scene = to_luma(render_scene(77, height=160, width=288))
+    frames = [
+        scene[16:144, step * 10 : step * 10 + 128].copy()
+        for step in range(8)
+    ]
+    video = encode_video(frames, gop_size=4, quality=88)
+    print(
+        f"clip: {len(frames)} frames of 128x128, GOP size 4, "
+        f"{len(video)} bytes encoded"
+    )
+
+    key = generate_key()
+    encrypted = P3VideoEncryptor(key, threshold=15).encrypt(video)
+    print(
+        f"public video {len(encrypted.public_video)} B + secret envelope "
+        f"{len(encrypted.secret_envelope)} B "
+        f"({(encrypted.total_size / len(video) - 1) * 100:+.1f}% total)"
+    )
+
+    plain = decode_video(video)
+    decryptor = P3VideoDecryptor(key)
+    public_view = decryptor.decrypt_public_only(encrypted)
+    keyed_view = decryptor.decrypt(encrypted)
+
+    table = Table(title="per-frame PSNR vs the plain decode", x_label="frame")
+    frame_ids = list(range(len(frames)))
+    table.add(
+        "keyless_viewer_dB",
+        frame_ids,
+        [psnr(a, b) for a, b in zip(plain, public_view)],
+    )
+    table.add(
+        "keyed_recipient_dB",
+        frame_ids,
+        [min(psnr(a, b), 99.0) for a, b in zip(plain, keyed_view)],
+    )
+    print()
+    print(format_table(table))
+    print(
+        "\nframes 0 and 4 are the I-frames; note the degradation "
+        "propagating through every P-frame of each GOP, exactly as the "
+        "paper predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""P3: Toward Privacy-Preserving Photo Sharing — full reproduction.
+
+This package reproduces the system described in
+
+    Moo-Ryong Ra, Ramesh Govindan, Antonio Ortega,
+    "P3: Toward Privacy-Preserving Photo Sharing", NSDI 2013.
+
+The public API re-exports the most commonly used entry points:
+
+* :class:`repro.core.P3Config`, :class:`repro.core.P3Encryptor`,
+  :class:`repro.core.P3Decryptor` — the P3 algorithm (paper Section 3).
+* :mod:`repro.jpeg` — a from-scratch baseline/progressive JPEG codec with
+  quantized-coefficient access (the substrate P3 is inserted into).
+* :mod:`repro.system` — PSP simulators, proxies and storage (Section 4).
+* :mod:`repro.vision` — the attack suite used in the evaluation
+  (Canny, Viola-Jones, SIFT, Eigenfaces) plus quality metrics.
+* :mod:`repro.datasets` — deterministic synthetic corpora standing in for
+  USC-SIPI, INRIA, Caltech Faces and Color FERET.
+"""
+
+from repro.core import P3Config, P3Decryptor, P3Encryptor, SplitResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "P3Config",
+    "P3Encryptor",
+    "P3Decryptor",
+    "SplitResult",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Experiment harness: threshold sweeps and table/series reporting.
+
+Shared by the benchmark scripts that regenerate each figure/table of
+the paper's evaluation (Section 5).
+"""
+
+from repro.analysis.report import Series, Table, format_table
+from repro.analysis.sweep import (
+    DEFAULT_THRESHOLDS,
+    SizeSweepResult,
+    size_sweep,
+    psnr_sweep,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "size_sweep",
+    "psnr_sweep",
+    "SizeSweepResult",
+    "Series",
+    "Table",
+    "format_table",
+]

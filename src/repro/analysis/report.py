@@ -1,0 +1,78 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark scripts print the same rows/series the paper's figures
+plot; these helpers keep that output uniform and diffable (the
+EXPERIMENTS.md records are pasted from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One named series of (x, y) points."""
+
+    name: str
+    xs: list[float]
+    ys: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+
+
+@dataclass
+class Table:
+    """A figure/table reproduction: an x-column plus named series."""
+
+    title: str
+    x_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, name: str, xs: list[float], ys: list[float]) -> None:
+        self.series.append(Series(name=name, xs=list(xs), ys=list(ys)))
+
+
+def format_table(table: Table, precision: int = 3) -> str:
+    """Render a Table as aligned plain text."""
+    if not table.series:
+        return f"== {table.title} ==\n(empty)"
+    xs = table.series[0].xs
+    for series in table.series:
+        if series.xs != xs:
+            raise ValueError(
+                f"series {series.name!r} has a different x-axis"
+            )
+    headers = [table.x_label] + [s.name for s in table.series]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [_format_number(x, precision)]
+        for series in table.series:
+            row.append(_format_number(series.ys[index], precision))
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rows))
+        for col in range(len(headers))
+    ]
+    lines = [f"== {table.title} =="]
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_number(value: float, precision: int) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if float(value).is_integer() and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.{precision}f}"

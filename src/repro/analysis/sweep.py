@@ -1,0 +1,127 @@
+"""Threshold sweeps over image corpora (the x-axis of Figures 5-8).
+
+Every P3 evaluation figure sweeps the threshold T; these helpers run
+the split once per (image, threshold) and collect the byte-level and
+PSNR-level measurements the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.splitting import split_image
+from repro.jpeg.codec import (
+    decode_coefficients,
+    encode_coefficients,
+    encode_rgb,
+)
+from repro.jpeg.decoder import coefficients_to_pixels
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr
+
+#: The paper sweeps thresholds 1..100 (Figures 5, 6, 8).
+DEFAULT_THRESHOLDS: tuple[int, ...] = (1, 5, 10, 15, 20, 35, 50, 70, 100)
+
+
+@dataclass
+class SizeSweepResult:
+    """Normalized file sizes per threshold (Figure 5's quantities)."""
+
+    thresholds: list[int] = field(default_factory=list)
+    public_fraction_mean: list[float] = field(default_factory=list)
+    public_fraction_std: list[float] = field(default_factory=list)
+    secret_fraction_mean: list[float] = field(default_factory=list)
+    secret_fraction_std: list[float] = field(default_factory=list)
+    total_fraction_mean: list[float] = field(default_factory=list)
+    total_fraction_std: list[float] = field(default_factory=list)
+
+
+def _corpus_coefficients(corpus, quality: int):
+    """Encode each corpus image once; reuse across thresholds."""
+    prepared = []
+    for image in corpus:
+        jpeg = encode_rgb(image, quality=quality)
+        prepared.append((len(jpeg), decode_coefficients(jpeg)))
+    return prepared
+
+
+def size_sweep(
+    corpus: list[np.ndarray],
+    thresholds: tuple[int, ...] = DEFAULT_THRESHOLDS,
+    quality: int = 85,
+) -> SizeSweepResult:
+    """Measure public/secret/total sizes as fractions of the original.
+
+    Reproduces Figure 5: each part is entropy-coded to real bytes and
+    normalized by the original JPEG's size.
+    """
+    prepared = _corpus_coefficients(corpus, quality)
+    result = SizeSweepResult()
+    for threshold in thresholds:
+        public_fractions = []
+        secret_fractions = []
+        for original_size, coefficients in prepared:
+            split = split_image(coefficients, threshold)
+            public_bytes = len(encode_coefficients(split.public))
+            secret_bytes = len(encode_coefficients(split.secret))
+            public_fractions.append(public_bytes / original_size)
+            secret_fractions.append(secret_bytes / original_size)
+        public_fractions = np.array(public_fractions)
+        secret_fractions = np.array(secret_fractions)
+        totals = public_fractions + secret_fractions
+        result.thresholds.append(threshold)
+        result.public_fraction_mean.append(float(public_fractions.mean()))
+        result.public_fraction_std.append(float(public_fractions.std()))
+        result.secret_fraction_mean.append(float(secret_fractions.mean()))
+        result.secret_fraction_std.append(float(secret_fractions.std()))
+        result.total_fraction_mean.append(float(totals.mean()))
+        result.total_fraction_std.append(float(totals.std()))
+    return result
+
+
+@dataclass
+class PsnrSweepResult:
+    """PSNR of the two parts vs the original (Figure 6's quantities)."""
+
+    thresholds: list[int] = field(default_factory=list)
+    public_psnr_mean: list[float] = field(default_factory=list)
+    public_psnr_std: list[float] = field(default_factory=list)
+    secret_psnr_mean: list[float] = field(default_factory=list)
+    secret_psnr_std: list[float] = field(default_factory=list)
+
+
+def psnr_sweep(
+    corpus: list[np.ndarray],
+    thresholds: tuple[int, ...] = DEFAULT_THRESHOLDS,
+    quality: int = 85,
+) -> PsnrSweepResult:
+    """Measure PSNR of rendered public and secret parts vs the original.
+
+    Reproduces Figure 6.  The reference is the JPEG-decoded original
+    (quantization loss excluded, exactly as the paper compares encoded
+    parts against the encoded original).
+    """
+    prepared = _corpus_coefficients(corpus, quality)
+    references = [
+        to_luma(coefficients_to_pixels(c)) for _, c in prepared
+    ]
+    result = PsnrSweepResult()
+    for threshold in thresholds:
+        public_values = []
+        secret_values = []
+        for (original_size, coefficients), reference in zip(
+            prepared, references
+        ):
+            split = split_image(coefficients, threshold)
+            public_pixels = to_luma(coefficients_to_pixels(split.public))
+            secret_pixels = to_luma(coefficients_to_pixels(split.secret))
+            public_values.append(psnr(reference, public_pixels))
+            secret_values.append(psnr(reference, secret_pixels))
+        result.thresholds.append(threshold)
+        result.public_psnr_mean.append(float(np.mean(public_values)))
+        result.public_psnr_std.append(float(np.std(public_values)))
+        result.secret_psnr_mean.append(float(np.mean(secret_values)))
+        result.secret_psnr_std.append(float(np.std(secret_values)))
+    return result

@@ -1,0 +1,147 @@
+"""Command-line interface: P3 photo protection from the shell.
+
+    python -m repro genkey  --output album.key
+    python -m repro encrypt --key album.key photo.jpg \\
+                            --public pub.jpg --secret photo.p3s
+    python -m repro decrypt --key album.key pub.jpg photo.p3s \\
+                            --output recon.ppm
+    python -m repro inspect pub.jpg
+
+Inputs may be JPEG (decoded by the built-in codec) or netpbm (P5/P6).
+Reconstructed outputs are written as netpbm, which anything can read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core import P3Config, P3Decryptor, P3Encryptor
+from repro.crypto.keyring import generate_key
+from repro.imageio import NetpbmError, read_image, write_image
+from repro.jpeg.codec import encode_gray, encode_rgb, image_info
+
+
+def _load_pixels(path: pathlib.Path):
+    """Read a JPEG or netpbm file into a pixel array."""
+    data = path.read_bytes()
+    if data[:2] == b"\xff\xd8":
+        from repro.jpeg.codec import decode
+
+        return decode(data)
+    try:
+        return read_image(data)
+    except NetpbmError as error:
+        raise SystemExit(
+            f"{path}: not a JPEG and not netpbm ({error})"
+        )
+
+
+def _load_jpeg(path: pathlib.Path, quality: int) -> bytes:
+    """Read a file as JPEG bytes, transcoding netpbm inputs."""
+    data = path.read_bytes()
+    if data[:2] == b"\xff\xd8":
+        return data
+    pixels = _load_pixels(path)
+    if pixels.ndim == 2:
+        return encode_gray(pixels.astype(float), quality=quality)
+    return encode_rgb(pixels, quality=quality)
+
+
+def _cmd_genkey(args) -> int:
+    key = generate_key(args.size)
+    pathlib.Path(args.output).write_bytes(key)
+    print(f"wrote {args.size}-byte key to {args.output}")
+    return 0
+
+
+def _cmd_encrypt(args) -> int:
+    key = pathlib.Path(args.key).read_bytes()
+    config = P3Config(threshold=args.threshold, quality=args.quality)
+    jpeg = _load_jpeg(pathlib.Path(args.input), args.quality)
+    photo = P3Encryptor(key, config).encrypt_jpeg(jpeg)
+    pathlib.Path(args.public).write_bytes(photo.public_jpeg)
+    pathlib.Path(args.secret).write_bytes(photo.secret_envelope)
+    original = len(jpeg)
+    print(
+        f"public {photo.public_size} B -> {args.public}\n"
+        f"secret {photo.secret_size} B -> {args.secret}\n"
+        f"overhead {(photo.total_size / original - 1) * 100:+.1f}% over "
+        f"the {original} B input"
+    )
+    return 0
+
+
+def _cmd_decrypt(args) -> int:
+    key = pathlib.Path(args.key).read_bytes()
+    public = pathlib.Path(args.public).read_bytes()
+    secret = pathlib.Path(args.secret).read_bytes()
+    pixels = P3Decryptor(key).decrypt(public, secret)
+    pathlib.Path(args.output).write_bytes(write_image(pixels))
+    shape = "x".join(str(v) for v in pixels.shape[:2][::-1])
+    print(f"reconstructed {shape} image -> {args.output}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    data = pathlib.Path(args.input).read_bytes()
+    info = image_info(data)
+    print(f"{args.input}:")
+    print(f"  dimensions   {info.width}x{info.height}")
+    print(f"  components   {info.num_components}")
+    print(f"  progressive  {info.progressive} ({info.num_scans} scans)")
+    print(f"  app markers  {', '.join(info.app_markers) or '(none)'}")
+    print(f"  comment      {info.has_comment}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P3 privacy-preserving photo sharing (NSDI 2013)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    genkey = commands.add_parser("genkey", help="generate an album key")
+    genkey.add_argument("--output", required=True)
+    genkey.add_argument(
+        "--size", type=int, default=16, choices=(16, 24, 32)
+    )
+    genkey.set_defaults(handler=_cmd_genkey)
+
+    encrypt = commands.add_parser(
+        "encrypt", help="split + encrypt a photo"
+    )
+    encrypt.add_argument("input", help="JPEG or netpbm photo")
+    encrypt.add_argument("--key", required=True)
+    encrypt.add_argument("--public", required=True, help="public JPEG out")
+    encrypt.add_argument("--secret", required=True, help="secret envelope out")
+    encrypt.add_argument("--threshold", type=int, default=15)
+    encrypt.add_argument("--quality", type=int, default=88)
+    encrypt.set_defaults(handler=_cmd_encrypt)
+
+    decrypt = commands.add_parser(
+        "decrypt", help="decrypt + reconstruct a photo"
+    )
+    decrypt.add_argument("public", help="public JPEG (possibly resized)")
+    decrypt.add_argument("secret", help="secret envelope")
+    decrypt.add_argument("--key", required=True)
+    decrypt.add_argument("--output", required=True, help="netpbm out")
+    decrypt.set_defaults(handler=_cmd_decrypt)
+
+    inspect = commands.add_parser(
+        "inspect", help="show JPEG header facts"
+    )
+    inspect.add_argument("input")
+    inspect.set_defaults(handler=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Configuration for the P3 algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's recommended operating range for the threshold (Section 5.2.1:
+#: "a threshold between 10-20 might provide a good balance between privacy
+#: and storage").
+RECOMMENDED_THRESHOLD_RANGE: tuple[int, int] = (10, 20)
+
+#: Default threshold: the knee of the secret-size curve (Figure 5).
+DEFAULT_THRESHOLD: int = 15
+
+
+@dataclass(frozen=True)
+class P3Config:
+    """Tunable parameters of the P3 sender-side encryption.
+
+    ``threshold`` is the paper's ``T``, in quantized-coefficient units: AC
+    coefficients with ``|y| <= T`` stay public; larger ones are clipped to
+    ``T`` publicly with the signed excess moved to the secret part.  A
+    smaller T gives more privacy but a larger secret part (Figure 5).
+
+    ``quality`` / ``subsampling`` configure the JPEG pipeline the splitter
+    is embedded in (used when the input is raw pixels rather than an
+    existing JPEG file).  ``optimize_huffman`` enables the two-pass
+    entropy-coding optimization, which the paper implicitly uses (it
+    reports that splitting *decreases* entropy in both parts, "resulting
+    in better compressibility").
+    """
+
+    threshold: int = DEFAULT_THRESHOLD
+    quality: int = 85
+    subsampling: str = "4:4:4"
+    optimize_huffman: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(
+                f"threshold must be >= 1, got {self.threshold}"
+            )
+        if self.threshold > 2047:
+            raise ValueError(
+                f"threshold {self.threshold} exceeds the JPEG coefficient "
+                "range"
+            )
+        if not 1 <= self.quality <= 100:
+            raise ValueError(f"quality must be in [1, 100], got {self.quality}")
+        if self.subsampling not in ("4:4:4", "4:2:2", "4:2:0"):
+            raise ValueError(
+                f"unknown subsampling mode {self.subsampling!r}"
+            )
+
+    @property
+    def in_recommended_range(self) -> bool:
+        low, high = RECOMMENDED_THRESHOLD_RANGE
+        return low <= self.threshold <= high

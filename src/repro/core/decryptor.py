@@ -1,0 +1,87 @@
+"""Recipient-side P3 operation: decrypt, recombine, render.
+
+Handles both cases of paper Section 3.3:
+
+* the PSP stored the public part unchanged -> exact coefficient-domain
+  recombination (Eq. 1);
+* the PSP transformed the public part -> pixel-domain reconstruction
+  (Eq. 2) using a supplied or inferred linear operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.linear import (
+    planes_to_image,
+    reconstruct_transformed_planes,
+)
+from repro.core.reconstruction import recombine
+from repro.core.serialization import SecretPart, deserialize_secret
+from repro.crypto.envelope import open_envelope
+from repro.jpeg.codec import decode_coefficients
+from repro.jpeg.decoder import coefficients_to_pixels, coefficients_to_planes
+from repro.jpeg.structures import CoefficientImage
+from repro.transforms.operators import LinearOperator
+from repro.transforms.resize import Resize
+
+
+class P3Decryptor:
+    """Applies P3 recipient-side decryption with a shared album key."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    def open_secret(self, secret_envelope: bytes) -> SecretPart:
+        """Authenticate, decrypt and parse the secret container."""
+        container = open_envelope(self._key, secret_envelope)
+        return deserialize_secret(container)
+
+    def decrypt(
+        self,
+        public_jpeg: bytes,
+        secret_envelope: bytes,
+        operator: LinearOperator | None = None,
+    ) -> np.ndarray:
+        """Reconstruct the original image (or its transformed version).
+
+        If the served public part matches the secret part's geometry the
+        exact Eq. 1 path is used.  Otherwise the Eq. 2 pixel-domain path
+        runs with ``operator``; when ``operator`` is None a bilinear
+        resize from the original to the served size is assumed (the
+        recipient's default guess, refined by
+        :mod:`repro.system.reverse` in the full system).
+        """
+        secret_part = self.open_secret(secret_envelope)
+        public = decode_coefficients(public_jpeg)
+        if public.same_geometry(secret_part.image) and public.same_quantization(
+            secret_part.image
+        ):
+            combined = recombine(
+                public, secret_part.image, secret_part.threshold
+            )
+            return coefficients_to_pixels(combined)
+        return self._decrypt_transformed(public, secret_part, operator)
+
+    def _decrypt_transformed(
+        self,
+        public: CoefficientImage,
+        secret_part: SecretPart,
+        operator: LinearOperator | None,
+    ) -> np.ndarray:
+        if public.num_components != secret_part.image.num_components:
+            raise ValueError(
+                "served public part and secret part disagree on color "
+                f"layout ({public.num_components} vs "
+                f"{secret_part.image.num_components} components)"
+            )
+        if operator is None:
+            operator = Resize(public.height, public.width, kernel="bilinear")
+        public_planes = coefficients_to_planes(public, level_shift=True)
+        reconstructed = reconstruct_transformed_planes(
+            public_planes,
+            secret_part.image,
+            secret_part.threshold,
+            operator,
+        )
+        return planes_to_image(reconstructed)

@@ -1,0 +1,121 @@
+"""Recipient-side recombination in the coefficient domain (paper Eq. 1).
+
+The split relation per coefficient is:
+
+    y = Sp*ap + Ss*as + (Ss - Ss^2) * w          (Eq. 1)
+
+which reduces to three cases (Section 3.3):
+
+* ``xs == 0`` or ``xs > 0`` : ``y = xp + xs``  (no correction),
+* ``xs < 0``                : ``y = xp + xs - 2T = xs - T``.
+
+The correction applies only at above-threshold AC positions; the DC
+coefficient is handled by plain addition (public DC is zero).  Because
+both halves carry the same quantization tables, recombination of an
+unprocessed public part is exact integer arithmetic — lossless by
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg.structures import CoefficientImage, ComponentInfo
+
+
+def recombine_block_arrays(
+    public: np.ndarray, secret: np.ndarray, threshold: int
+) -> np.ndarray:
+    """Invert :func:`repro.core.splitting.split_block_array` exactly."""
+    if public.shape != secret.shape:
+        raise ValueError(
+            f"shape mismatch: public {public.shape}, secret {secret.shape}"
+        )
+    public = public.astype(np.int64)
+    secret = secret.astype(np.int64)
+    combined = public + secret
+    # Sign correction (Eq. 1's third term): only AC positions can carry a
+    # negative secret residual from clipping; DC rides along in `secret`
+    # and is excluded from the correction mask.
+    negative_residual = secret < 0
+    negative_residual[..., 0, 0] = False
+    combined[negative_residual] -= 2 * threshold
+    return combined.astype(np.int32)
+
+
+def recombine_components(
+    public: ComponentInfo, secret: ComponentInfo, threshold: int
+) -> ComponentInfo:
+    """Recombine one color component."""
+    if not np.array_equal(public.quant_table, secret.quant_table):
+        raise ValueError("public/secret quantization tables differ")
+    coefficients = recombine_block_arrays(
+        public.coefficients, secret.coefficients, threshold
+    )
+    return ComponentInfo(
+        identifier=public.identifier,
+        h_sampling=public.h_sampling,
+        v_sampling=public.v_sampling,
+        quant_table=public.quant_table.copy(),
+        coefficients=coefficients,
+    )
+
+
+def recombine(
+    public: CoefficientImage, secret: CoefficientImage, threshold: int
+) -> CoefficientImage:
+    """Recombine public and secret halves into the original image.
+
+    Requires identical geometry (the "PSP stored the public part
+    unchanged" case); use :mod:`repro.core.linear` when the public part
+    was transformed server-side.
+    """
+    if not public.same_geometry(secret):
+        raise ValueError(
+            "public and secret parts have different geometry; use the "
+            "pixel-domain reconstruction for transformed public parts"
+        )
+    components = [
+        recombine_components(p, s, threshold)
+        for p, s in zip(public.components, secret.components)
+    ]
+    return CoefficientImage(
+        width=public.width,
+        height=public.height,
+        components=components,
+        progressive=False,
+    )
+
+
+def correction_image(
+    secret: CoefficientImage, threshold: int
+) -> CoefficientImage:
+    """Build the Eq. 1 correction term as a coefficient image.
+
+    The correction ``(Ss - Ss^2) * w`` is ``-2T`` at every AC position
+    whose secret residual is negative and zero elsewhere.  The paper
+    stresses it "does not depend on the public image and can be
+    completely derived from the secret image" — that property is what
+    makes the Eq. 2 pixel-domain path possible.
+    """
+    components = []
+    for component in secret.components:
+        coefficients = np.zeros_like(component.coefficients)
+        negative_residual = component.coefficients < 0
+        negative_residual[..., 0, 0] = False
+        coefficients[negative_residual] = -2 * threshold
+        components.append(
+            ComponentInfo(
+                identifier=component.identifier,
+                h_sampling=component.h_sampling,
+                v_sampling=component.v_sampling,
+                quant_table=component.quant_table.copy(),
+                coefficients=coefficients,
+            )
+        )
+    return CoefficientImage(
+        width=secret.width,
+        height=secret.height,
+        components=components,
+        progressive=False,
+    )

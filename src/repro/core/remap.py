@@ -1,0 +1,71 @@
+"""Reconstruction under nonlinear one-to-one remappings (Section 3.3).
+
+The paper: "It may be possible to support certain types of non-linear
+operations, such as pixel-wise color remapping, as found in popular
+apps (e.g., Instagram). If such operation can be represented as
+one-to-one mappings for all legitimate values ... we can reverse the
+mapping on the public part, combine this with the unprocessed secret
+part, and re-apply the color mapping on the resulting image. However,
+this approach can result in some loss."
+
+This module implements exactly that recipe and lets the benchmarks
+quantify the loss the paper deferred to future work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.linear import reconstruct_transformed_planes
+from repro.jpeg.structures import CoefficientImage
+from repro.transforms.operators import LinearOperator
+
+#: A pixel-wise map on [0, 255] planes.
+PixelMap = Callable[[np.ndarray], np.ndarray]
+
+
+def invert_map_numerically(
+    forward: PixelMap, resolution: int = 4096
+) -> PixelMap:
+    """Build the inverse of a monotone pixel map by table inversion.
+
+    Works for any strictly monotone ``forward`` on [0, 255] (gamma,
+    contrast curves, tone maps) — the "one-to-one mappings for all
+    legitimate values" case of the paper.
+    """
+    grid = np.linspace(0.0, 255.0, resolution)
+    mapped = forward(grid)
+    if not np.all(np.diff(mapped) > -1e-9):
+        raise ValueError("pixel map is not monotone non-decreasing")
+
+    def inverse(plane: np.ndarray) -> np.ndarray:
+        clipped = np.clip(plane, mapped[0], mapped[-1])
+        return np.interp(clipped, mapped, grid)
+
+    return inverse
+
+
+def reconstruct_under_remap(
+    served_planes: list[np.ndarray],
+    secret: CoefficientImage,
+    threshold: int,
+    operator: LinearOperator,
+    forward: PixelMap,
+    inverse: PixelMap | None = None,
+) -> list[np.ndarray]:
+    """Reconstruct when the PSP applied ``A`` then a pixel remap ``g``.
+
+    The served public part is ``g(A(public_pixels))``.  Following the
+    paper's recipe: undo ``g``, run the linear Eq. 2 reconstruction,
+    and re-apply ``g``; the result approximates ``g(A(y))`` up to the
+    loss introduced by remapping a *partial* signal.
+    """
+    if inverse is None:
+        inverse = invert_map_numerically(forward)
+    linearized = [inverse(plane) for plane in served_planes]
+    reconstructed = reconstruct_transformed_planes(
+        linearized, secret, threshold, operator
+    )
+    return [forward(np.clip(plane, 0.0, 255.0)) for plane in reconstructed]

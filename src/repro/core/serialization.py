@@ -1,0 +1,88 @@
+"""Serialization of the P3 secret part.
+
+The secret part travels as a small binary container:
+
+    magic "P3S1" | version | flags | threshold u16 | width u16 |
+    height u16 | jpeg_length u32 | secret-part JPEG bytes
+
+The payload is itself a JPEG-compliant image (paper Section 3.2: "both
+the public and secret parts are JPEG-compliant images"), so it benefits
+from entropy coding; the header carries the split parameters the
+recipient needs to apply Eq. 1/Eq. 2.  The whole container is sealed in
+an AES envelope before leaving the sender (see
+:mod:`repro.crypto.envelope`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.jpeg.codec import decode_coefficients, encode_coefficients
+from repro.jpeg.structures import CoefficientImage
+
+MAGIC = b"P3S1"
+VERSION = 1
+
+_HEADER = struct.Struct(">4sBBHHHI")
+
+
+class SecretFormatError(ValueError):
+    """Raised when a secret-part container is malformed."""
+
+
+@dataclass
+class SecretPart:
+    """A decoded secret part: the split parameters plus coefficients."""
+
+    threshold: int
+    width: int
+    height: int
+    image: CoefficientImage
+
+
+def serialize_secret(
+    secret: CoefficientImage, threshold: int
+) -> bytes:
+    """Pack the secret coefficient image into the container format."""
+    if not 1 <= threshold <= 0xFFFF:
+        raise SecretFormatError(f"threshold out of range: {threshold}")
+    jpeg_bytes = encode_coefficients(
+        secret, progressive=False, optimize_huffman=True
+    )
+    flags = 0 if secret.is_grayscale else 1
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        flags,
+        threshold,
+        secret.width,
+        secret.height,
+        len(jpeg_bytes),
+    )
+    return header + jpeg_bytes
+
+
+def deserialize_secret(data: bytes) -> SecretPart:
+    """Unpack a container produced by :func:`serialize_secret`."""
+    if len(data) < _HEADER.size:
+        raise SecretFormatError("secret container too short")
+    magic, version, flags, threshold, width, height, jpeg_length = (
+        _HEADER.unpack(data[: _HEADER.size])
+    )
+    if magic != MAGIC:
+        raise SecretFormatError("bad secret container magic")
+    if version != VERSION:
+        raise SecretFormatError(f"unsupported container version {version}")
+    jpeg_bytes = data[_HEADER.size : _HEADER.size + jpeg_length]
+    if len(jpeg_bytes) != jpeg_length:
+        raise SecretFormatError("truncated secret payload")
+    image = decode_coefficients(jpeg_bytes)
+    expected_components = 1 if flags == 0 else 3
+    if image.num_components != expected_components:
+        raise SecretFormatError(
+            f"component count {image.num_components} does not match flags"
+        )
+    return SecretPart(
+        threshold=threshold, width=width, height=height, image=image
+    )

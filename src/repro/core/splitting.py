@@ -1,0 +1,161 @@
+"""Sender-side threshold splitting (paper Section 3.2, Figure 1).
+
+Operates on quantized DCT coefficients, "conceptually inserted into the
+JPEG compression pipeline after the quantization step":
+
+* every DC coefficient moves to the secret part (replaced by zero in the
+  public part) — DC carries enough information for a recognizable
+  thumbnail;
+* each AC coefficient ``y`` with ``|y| <= T`` stays in the public part
+  (secret gets zero);
+* each AC coefficient with ``|y| > T`` is replaced by ``T`` in the public
+  part, and the secret part stores ``sign(y) * (|y| - T)``.
+
+Note the public value for clipped coefficients is ``+T`` regardless of
+the true sign: sign information of significant coefficients lives only
+in the secret part, which the paper identifies as crucial for privacy
+(Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg.structures import CoefficientImage, ComponentInfo
+
+
+@dataclass
+class SplitResult:
+    """The outcome of splitting one image: two JPEG-compatible halves.
+
+    Both halves carry the same quantization tables and geometry as the
+    original, so ``public``/``secret`` can each be entropy-coded into a
+    compliant JPEG file, and recombination is exact integer arithmetic.
+    """
+
+    public: CoefficientImage
+    secret: CoefficientImage
+    threshold: int
+
+    def storage_fractions(self) -> tuple[float, float]:
+        """(public, secret) nonzero-coefficient fractions of the original.
+
+        A fast structural proxy for the byte-level measurements of
+        Figure 5 (tests use it to check monotonicity in T).
+        """
+        total = self.public.total_nonzero() + self.secret.total_nonzero()
+        if total == 0:
+            return 0.0, 0.0
+        return (
+            self.public.total_nonzero() / total,
+            self.secret.total_nonzero() / total,
+        )
+
+
+def split_block_array(
+    coefficients: np.ndarray, threshold: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``(by, bx, 8, 8)`` quantized coefficient array.
+
+    Returns ``(public, secret)`` int32 arrays of the same shape.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    coefficients = coefficients.astype(np.int32)
+    magnitude = np.abs(coefficients)
+    above = magnitude > threshold
+
+    public = np.where(
+        above,
+        np.int32(threshold),  # clipped, sign deliberately lost
+        coefficients,
+    ).astype(np.int32)
+    secret = np.where(
+        above,
+        np.sign(coefficients) * (magnitude - threshold),
+        np.int32(0),
+    ).astype(np.int32)
+
+    # DC extraction: secret takes the whole DC, public gets zero.
+    public[..., 0, 0] = 0
+    secret[..., 0, 0] = coefficients[..., 0, 0]
+    return public, secret
+
+
+def split_component(
+    component: ComponentInfo, threshold: int
+) -> tuple[ComponentInfo, ComponentInfo]:
+    """Split one color component; both halves share its quant table."""
+    public_coefficients, secret_coefficients = split_block_array(
+        component.coefficients, threshold
+    )
+    public = ComponentInfo(
+        identifier=component.identifier,
+        h_sampling=component.h_sampling,
+        v_sampling=component.v_sampling,
+        quant_table=component.quant_table.copy(),
+        coefficients=public_coefficients,
+    )
+    secret = ComponentInfo(
+        identifier=component.identifier,
+        h_sampling=component.h_sampling,
+        v_sampling=component.v_sampling,
+        quant_table=component.quant_table.copy(),
+        coefficients=secret_coefficients,
+    )
+    return public, secret
+
+
+def split_image(
+    image: CoefficientImage, threshold: int
+) -> SplitResult:
+    """Split a full coefficient image into public and secret halves."""
+    public_components = []
+    secret_components = []
+    for component in image.components:
+        public_component, secret_component = split_component(
+            component, threshold
+        )
+        public_components.append(public_component)
+        secret_components.append(secret_component)
+    public = CoefficientImage(
+        width=image.width,
+        height=image.height,
+        components=public_components,
+        progressive=image.progressive,
+    )
+    secret = CoefficientImage(
+        width=image.width,
+        height=image.height,
+        components=secret_components,
+        progressive=False,  # the secret part is never served scaled
+    )
+    return SplitResult(public=public, secret=secret, threshold=threshold)
+
+
+# Alias matching the paper's terminology for the whole sender-side step.
+split_coefficients = split_image
+
+
+def guess_threshold(public: CoefficientImage) -> int:
+    """An attacker's estimate of T from the public part alone.
+
+    Section 3.4: "Given only the public part, the attacker can guess the
+    threshold T by assuming it to be the most frequent non-zero value."
+    Implemented here because the evaluation's guessing-attack analysis
+    needs it.  Returns 0 when the public part has no nonzero AC values.
+    """
+    votes: dict[int, int] = {}
+    for component in public.components:
+        ac = component.coefficients.reshape(-1, 64)[:, :]
+        flat = ac.copy()
+        flat = flat.reshape(-1, 8, 8)
+        flat[..., 0, 0] = 0
+        values, counts = np.unique(flat[flat != 0], return_counts=True)
+        for value, count in zip(values, counts):
+            votes[int(value)] = votes.get(int(value), 0) + int(count)
+    if not votes:
+        return 0
+    return max(votes, key=votes.get)

@@ -1,0 +1,38 @@
+"""Cryptographic substrate for P3.
+
+The paper assumes "AES-based symmetric keys, distributed out of band"
+(Section 4.2).  Because no crypto packages are available offline, this
+subpackage implements AES from the FIPS-197 specification, the CTR and
+CBC modes of operation, and an authenticated envelope format
+(encrypt-then-MAC with HMAC-SHA256 from the standard library) used to
+protect the secret part at the untrusted storage provider.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.envelope import (
+    EnvelopeError,
+    open_envelope,
+    seal_envelope,
+)
+from repro.crypto.keyring import Keyring, generate_key
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+__all__ = [
+    "AES",
+    "ctr_transform",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "seal_envelope",
+    "open_envelope",
+    "EnvelopeError",
+    "Keyring",
+    "generate_key",
+]

@@ -1,0 +1,205 @@
+"""AES block cipher (FIPS-197), pure python.
+
+Implements AES-128/192/256 encryption and decryption of single 16-byte
+blocks.  The table-driven round function operates on a flat 16-byte state
+in column-major (FIPS) order.  Modes of operation live in
+:mod:`repro.crypto.modes`.
+
+This is a faithful, test-vector-verified implementation; it makes no
+attempt at constant-time operation (irrelevant for the offline
+reproduction, noted here for honesty).
+"""
+
+from __future__ import annotations
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the AES S-box and its inverse from GF(2^8) arithmetic."""
+    # Multiplicative inverse table via exp/log tables over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for exponent in range(255):
+        exp[exponent] = value
+        log[value] = exponent
+        # multiply by generator 0x03 = x + 1
+        value ^= (value << 1) ^ (0x11B if value & 0x80 else 0)
+        value &= 0xFF
+    for exponent in range(255, 512):
+        exp[exponent] = exp[exponent - 255]
+
+    sbox = [0] * 256
+    inverse_sbox = [0] * 256
+    for byte in range(256):
+        if byte == 0:
+            inv = 0
+        else:
+            inv = exp[255 - log[byte]]
+        # Affine transformation.
+        result = 0
+        for shift in (0, 1, 2, 3, 4):
+            result ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        result ^= 0x63
+        sbox[byte] = result
+        inverse_sbox[result] = byte
+    return sbox, inverse_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) with the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+#: Round constants for the key schedule.
+RCON = [0x01]
+while len(RCON) < 14:
+    RCON.append(_xtime(RCON[-1]))
+
+
+class AES:
+    """AES block cipher for 16/24/32-byte keys."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 key expansion; returns (rounds+1) 16-byte round keys."""
+        nk = len(key) // 4
+        words = [list(key[i * 4 : i * 4 + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            word = list(words[i - 1])
+            if i % nk == 0:
+                word = word[1:] + word[:1]  # RotWord
+                word = [SBOX[b] for b in word]  # SubWord
+                word[0] ^= RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                word = [SBOX[b] for b in word]
+            word = [a ^ b for a, b in zip(word, words[i - nk])]
+            words.append(word)
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            key_bytes: list[int] = []
+            for word in words[round_index * 4 : round_index * 4 + 4]:
+                key_bytes.extend(word)
+            round_keys.append(key_bytes)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # state[c*4 + r] is row r of column c (column-major layout).
+        for row in range(1, 4):
+            values = [state[column * 4 + row] for column in range(4)]
+            values = values[row:] + values[:row]
+            for column in range(4):
+                state[column * 4 + row] = values[column]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            values = [state[column * 4 + row] for column in range(4)]
+            values = values[-row:] + values[:-row]
+            for column in range(4):
+                state[column * 4 + row] = values[column]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for column in range(4):
+            base = column * 4
+            a = state[base : base + 4]
+            state[base + 0] = _xtime(a[0]) ^ _xtime(a[1]) ^ a[1] ^ a[2] ^ a[3]
+            state[base + 1] = a[0] ^ _xtime(a[1]) ^ _xtime(a[2]) ^ a[2] ^ a[3]
+            state[base + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ _xtime(a[3]) ^ a[3]
+            state[base + 3] = _xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ _xtime(a[3])
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for column in range(4):
+            base = column * 4
+            a = state[base : base + 4]
+            state[base + 0] = (
+                _gf_multiply(a[0], 14) ^ _gf_multiply(a[1], 11)
+                ^ _gf_multiply(a[2], 13) ^ _gf_multiply(a[3], 9)
+            )
+            state[base + 1] = (
+                _gf_multiply(a[0], 9) ^ _gf_multiply(a[1], 14)
+                ^ _gf_multiply(a[2], 11) ^ _gf_multiply(a[3], 13)
+            )
+            state[base + 2] = (
+                _gf_multiply(a[0], 13) ^ _gf_multiply(a[1], 9)
+                ^ _gf_multiply(a[2], 14) ^ _gf_multiply(a[3], 11)
+            )
+            state[base + 3] = (
+                _gf_multiply(a[0], 11) ^ _gf_multiply(a[1], 13)
+                ^ _gf_multiply(a[2], 9) ^ _gf_multiply(a[3], 14)
+            )
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

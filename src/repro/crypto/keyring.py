@@ -1,0 +1,68 @@
+"""Out-of-band key distribution simulation.
+
+The paper assumes "the existence of a symmetric shared key between a
+sender and one or more recipients... distributed out of band"
+(Section 4.1).  :class:`Keyring` models each participant's local key
+store; sharing a key with a friend is the out-of-band act.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+def generate_key(size: int = 16) -> bytes:
+    """Generate a random AES key (16 bytes = AES-128 by default)."""
+    if size not in (16, 24, 32):
+        raise ValueError(f"key size must be 16, 24 or 32, got {size}")
+    return os.urandom(size)
+
+
+def derive_key(passphrase: str, salt: bytes = b"p3-repro", size: int = 16) -> bytes:
+    """Derive a key from a passphrase (PBKDF2-HMAC-SHA256).
+
+    Deterministic derivation is convenient for reproducible tests and
+    examples; interactive use should prefer :func:`generate_key`.
+    """
+    if size not in (16, 24, 32):
+        raise ValueError(f"key size must be 16, 24 or 32, got {size}")
+    return hashlib.pbkdf2_hmac(
+        "sha256", passphrase.encode("utf-8"), salt, 10_000, dklen=size
+    )
+
+
+class Keyring:
+    """A participant's local store of shared album keys."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._keys: dict[str, bytes] = {}
+
+    def add_key(self, album: str, key: bytes) -> None:
+        """Install a key for an album (the out-of-band share)."""
+        if len(key) not in (16, 24, 32):
+            raise ValueError("invalid AES key length")
+        self._keys[album] = key
+
+    def create_album(self, album: str) -> bytes:
+        """Create a fresh key for a new album and install it."""
+        if album in self._keys:
+            raise ValueError(f"album {album!r} already has a key")
+        key = generate_key()
+        self._keys[album] = key
+        return key
+
+    def key_for(self, album: str) -> bytes:
+        """Look up the key for an album; raises KeyError when missing."""
+        return self._keys[album]
+
+    def share_with(self, other: "Keyring", album: str) -> None:
+        """Give another participant the album key (out-of-band)."""
+        other.add_key(album, self.key_for(album))
+
+    def albums(self) -> list[str]:
+        return sorted(self._keys)
+
+    def __contains__(self, album: str) -> bool:
+        return album in self._keys

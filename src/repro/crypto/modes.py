@@ -1,0 +1,94 @@
+"""Modes of operation (CTR, CBC) and PKCS#7 padding for AES.
+
+CTR is the mode P3 uses for the secret part (stream-shaped payloads,
+no padding); CBC+PKCS#7 is provided for completeness and testing.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+
+BLOCK = AES.BLOCK_SIZE
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK) -> bytes:
+    """Append PKCS#7 padding up to a whole number of blocks."""
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"invalid block size {block_size}")
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length]) * pad_length
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK) -> bytes:
+    """Validate and strip PKCS#7 padding."""
+    if not data or len(data) % block_size != 0:
+        raise ValueError("data is not block-aligned")
+    pad_length = data[-1]
+    if not 1 <= pad_length <= block_size:
+        raise ValueError("invalid padding length")
+    if data[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise ValueError("invalid padding bytes")
+    return data[:-pad_length]
+
+
+def _increment_counter(counter: bytearray) -> None:
+    """Increment a big-endian 16-byte counter block in place."""
+    for index in range(15, -1, -1):
+        counter[index] = (counter[index] + 1) & 0xFF
+        if counter[index] != 0:
+            return
+
+
+def ctr_transform(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt with AES-CTR (the operation is its own inverse).
+
+    ``nonce`` is up to 16 bytes and is right-padded with zeros to form
+    the initial counter block.
+    """
+    if len(nonce) > 16:
+        raise ValueError(f"nonce must be at most 16 bytes, got {len(nonce)}")
+    cipher = AES(key)
+    counter = bytearray(nonce.ljust(16, b"\x00"))
+    out = bytearray()
+    for offset in range(0, len(data), BLOCK):
+        keystream = cipher.encrypt_block(bytes(counter))
+        chunk = data[offset : offset + BLOCK]
+        out.extend(a ^ b for a, b in zip(chunk, keystream))
+        _increment_counter(counter)
+    return bytes(out)
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-CBC encryption with PKCS#7 padding."""
+    if len(iv) != BLOCK:
+        raise ValueError(f"IV must be {BLOCK} bytes, got {len(iv)}")
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(padded), BLOCK):
+        block = bytes(
+            a ^ b
+            for a, b in zip(padded[offset : offset + BLOCK], previous)
+        )
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-CBC decryption, validating and stripping PKCS#7 padding."""
+    if len(iv) != BLOCK:
+        raise ValueError(f"IV must be {BLOCK} bytes, got {len(iv)}")
+    if len(ciphertext) % BLOCK != 0:
+        raise ValueError("ciphertext is not block-aligned")
+    cipher = AES(key)
+    previous = iv
+    out = bytearray()
+    for offset in range(0, len(ciphertext), BLOCK):
+        block = ciphertext[offset : offset + BLOCK]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))

@@ -1,0 +1,35 @@
+"""Deterministic synthetic corpora standing in for the paper's datasets.
+
+The paper evaluates on four corpora that cannot be shipped or downloaded
+here (USC-SIPI, INRIA Holidays, Caltech Faces, Color FERET).  These
+generators produce statistically comparable substitutes:
+
+* :func:`usc_sipi_like` — 44 canonical-style scenes, <= 512 px,
+* :func:`inria_like` — a larger, more diverse vacation-scene corpus with
+  varied resolutions,
+* :func:`caltech_faces_like` — frontal faces with one dominant face on a
+  cluttered background,
+* :func:`feret_like` — labelled per-subject face sets with gallery and
+  probe partitions for recognition experiments.
+
+All take explicit seeds; identical calls return identical images.
+"""
+
+from repro.datasets.corpus import (
+    caltech_faces_like,
+    feret_like,
+    inria_like,
+    usc_sipi_like,
+)
+from repro.datasets.faces import FaceSample, render_face
+from repro.datasets.scenes import render_scene
+
+__all__ = [
+    "usc_sipi_like",
+    "inria_like",
+    "caltech_faces_like",
+    "feret_like",
+    "render_scene",
+    "render_face",
+    "FaceSample",
+]

@@ -1,0 +1,250 @@
+"""Parametric synthetic face generator (Caltech Faces / FERET analogue).
+
+Each *subject* is an identity vector drawn from a seeded RNG: facial
+geometry (head aspect, eye spacing and size, brow, nose, mouth), skin
+tone and hair.  Each *sample* of a subject adds nuisance variation —
+illumination, small pose jitter, expression, background — the same
+axes of variation the Caltech and FERET sets exercise.
+
+The faces are cartoon-like but carry the structure detectors rely on:
+dark eye/brow regions over lighter cheeks (the classic Haar signature),
+bilateral symmetry, and stable within-subject geometry for Eigenfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.scenes import _draw_ellipse, _fractal_noise
+
+
+@dataclass(frozen=True)
+class FaceIdentity:
+    """The per-subject parameters (sampled once per subject).
+
+    Identity is deliberately carried mostly by *low-frequency intensity
+    structure* (skin tone, hair tone, and a per-subject smooth shading
+    field) with only modest geometric variation.  Real face identity has
+    the same character — it is what Eigenfaces exploits — and it is
+    exactly the content P3's DC extraction removes, which is why the
+    Figure 8d recognition attack collapses on public parts.
+    """
+
+    head_aspect: float  # head height / width
+    eye_spacing: float  # fraction of head width
+    eye_size: float
+    brow_height: float
+    brow_thickness: float
+    nose_length: float
+    nose_width: float
+    mouth_width: float
+    mouth_height_position: float
+    skin_tone: tuple[float, float, float]
+    hair_tone: tuple[float, float, float]
+    eye_tone: float
+    shading_seed: int  # per-subject smooth facial shading field
+
+
+@dataclass
+class FaceSample:
+    """One rendered face image with its ground truth."""
+
+    image: np.ndarray  # (h, w, 3) uint8
+    subject: int
+    bbox: tuple[int, int, int, int]  # top, left, height, width of the face
+
+
+def sample_identity(rng: np.random.Generator) -> FaceIdentity:
+    """Draw a new subject's identity parameters."""
+    skin_base = rng.uniform(0.35, 0.85)
+    return FaceIdentity(
+        head_aspect=rng.uniform(1.25, 1.40),
+        eye_spacing=rng.uniform(0.42, 0.50),
+        eye_size=rng.uniform(0.08, 0.11),
+        brow_height=rng.uniform(0.16, 0.20),
+        brow_thickness=rng.uniform(0.02, 0.04),
+        nose_length=rng.uniform(0.21, 0.27),
+        nose_width=rng.uniform(0.12, 0.16),
+        mouth_width=rng.uniform(0.36, 0.44),
+        mouth_height_position=rng.uniform(0.64, 0.70),
+        skin_tone=(
+            skin_base * rng.uniform(0.95, 1.1),
+            skin_base * rng.uniform(0.72, 0.85),
+            skin_base * rng.uniform(0.55, 0.72),
+        ),
+        hair_tone=tuple(rng.uniform(0.05, 0.45, size=3)),
+        eye_tone=rng.uniform(0.05, 0.3),
+        shading_seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+
+def render_face(
+    identity: FaceIdentity,
+    rng: np.random.Generator,
+    height: int = 128,
+    width: int = 128,
+    face_scale: float = 0.62,
+    cluttered_background: bool = True,
+    pose_jitter: float = 1.0,
+    illumination_jitter: float = 1.0,
+    expression_jitter: float = 1.0,
+) -> FaceSample:
+    """Render one sample of a subject with nuisance variation.
+
+    ``pose_jitter`` and ``illumination_jitter`` scale the corresponding
+    nuisance amplitudes; recognition corpora use small values to emulate
+    the geometric/photometric normalization the CSU FERET pipeline
+    performs before Eigenfaces.
+    """
+    # Background.
+    if cluttered_background:
+        texture = _fractal_noise(rng, height, width, beta=2.0)
+        tint = rng.uniform(0.2, 0.8, size=3)
+        canvas = texture[..., None] * tint[None, None, :]
+    else:
+        # Studio-style backdrop (FERET shots): constant mid-grey, so the
+        # recognition experiments measure face identity, not backdrop.
+        canvas = np.full((height, width, 3), 0.68)
+
+    # Pose jitter: the face center moves a little; scale varies slightly.
+    wobble = 0.08 * pose_jitter
+    scale = face_scale * rng.uniform(1.0 - wobble, 1.0 + wobble)
+    shift = 0.04 * pose_jitter
+    center_y = height * (0.5 + rng.uniform(-shift, shift))
+    center_x = width * (0.5 + rng.uniform(-shift, shift))
+    half_width = scale * width / 2.0
+    half_height = half_width * identity.head_aspect
+    tilt = rng.uniform(-0.06, 0.06) * pose_jitter
+
+    skin = np.array(identity.skin_tone)
+    hair = np.array(identity.hair_tone)
+
+    # Hair geometry varies *per shot* (haircuts, styling, head cover):
+    # the head/hair silhouette is the strongest contour in the image, and
+    # making it nuisance rather than identity matches real photo sessions
+    # — and prevents the silhouette edge map from acting as a fingerprint
+    # that would survive P3's coefficient clipping.
+    hair_scale = rng.uniform(0.88, 1.12)
+    hairline = rng.uniform(0.72, 0.92)
+
+    # Hair: a larger ellipse behind the head, upper half.
+    _draw_ellipse(
+        canvas,
+        center_y - half_height * 0.25,
+        center_x,
+        half_height * 0.95 * hair_scale,
+        half_width * 1.15 * hair_scale,
+        hair,
+        angle=tilt,
+    )
+    # Head.
+    _draw_ellipse(
+        canvas, center_y, center_x, half_height, half_width, skin, angle=tilt
+    )
+    # Forehead hairline (hair overlaps the top of the head).
+    _draw_ellipse(
+        canvas,
+        center_y - half_height * hairline,
+        center_x,
+        half_height * 0.30 * hair_scale,
+        half_width * 0.95,
+        hair,
+        angle=tilt,
+    )
+
+    # Per-shot expression/articulation jitter: real facial features move
+    # between shots (brows raise, mouths widen, heads rotate slightly in
+    # 3D).  Geometry is therefore *not* a stable per-subject fingerprint
+    # — identity lives in tones and shading instead.
+    def wiggle(amount: float) -> float:
+        return 1.0 + rng.uniform(-amount, amount) * expression_jitter
+
+    eye_offset_x = identity.eye_spacing * half_width * wiggle(0.06)
+    eye_y = center_y - half_height * 0.15 * wiggle(0.20)
+    eye_radius = identity.eye_size * half_width * 2.0 * wiggle(0.08)
+    sclera = np.array([0.93, 0.93, 0.9])
+    iris = np.array([identity.eye_tone] * 3)
+    openness = rng.uniform(0.7, 1.0)  # expression: blink amount
+    for side in (-1.0, 1.0):
+        eye_x = center_x + side * eye_offset_x
+        _draw_ellipse(
+            canvas, eye_y, eye_x,
+            eye_radius * 0.55 * openness, eye_radius, sclera,
+        )
+        _draw_ellipse(
+            canvas, eye_y, eye_x,
+            eye_radius * 0.45 * openness, eye_radius * 0.45, iris,
+        )
+        # Brow (raises and furrows with expression).
+        _draw_ellipse(
+            canvas,
+            eye_y - identity.brow_height * half_height * wiggle(0.15),
+            eye_x,
+            identity.brow_thickness * half_height * 2.5,
+            eye_radius * 1.2,
+            hair * 0.8,
+            angle=tilt + side * rng.uniform(-0.05, 0.12),
+        )
+
+    # Nose: a slightly darker vertical wedge.
+    nose_tip_y = center_y + identity.nose_length * half_height * 0.55
+    _draw_ellipse(
+        canvas,
+        nose_tip_y,
+        center_x,
+        identity.nose_length * half_height * 0.4 * wiggle(0.08),
+        identity.nose_width * half_width * 0.5 * wiggle(0.08),
+        skin * 0.82,
+    )
+
+    # Mouth: darker ellipse; expression varies thickness, width, height.
+    mouth_y = center_y + (identity.mouth_height_position - 0.5) * 2 * (
+        half_height * 0.52
+    ) * wiggle(0.06)
+    smile = rng.uniform(0.5, 1.6)  # expression: lip thickness
+    _draw_ellipse(
+        canvas,
+        mouth_y,
+        center_x,
+        0.035 * half_height * smile,
+        identity.mouth_width * half_width * wiggle(0.10),
+        np.array([0.55, 0.2, 0.22]),
+    )
+
+    # Per-subject facial shading: a smooth (low-frequency) intensity
+    # field that is the dominant identity cue, applied inside the head
+    # ellipse only.  Being low-frequency, it lives in the DC and low AC
+    # coefficients — exactly the content P3 moves to the secret part.
+    shading_rng = np.random.default_rng(identity.shading_seed)
+    shading = _fractal_noise(shading_rng, height, width, beta=3.0) - 0.5
+    ys = (np.arange(height).reshape(-1, 1) - center_y) / max(half_height, 1)
+    xs = (np.arange(width).reshape(1, -1) - center_x) / max(half_width, 1)
+    head_mask = (ys * ys + xs * xs) <= 1.0
+    shade_field = np.where(head_mask, 0.35 * shading, 0.0)
+    canvas = canvas * (1.0 + shade_field[..., None])
+
+    # Illumination: directional gradient plus exposure jitter.
+    direction = rng.uniform(-1.0, 1.0)
+    ramp = np.linspace(-1.0, 1.0, width).reshape(1, -1, 1) * direction
+    illumination = (
+        1.0
+        + 0.18 * illumination_jitter * ramp
+        + rng.uniform(-0.12, 0.12) * illumination_jitter
+    )
+    canvas = canvas * illumination
+
+    pixels = np.clip(canvas * 255.0, 0, 255)
+    pixels += rng.normal(0.0, 2.0, size=pixels.shape)
+    image = np.clip(np.round(pixels), 0, 255).astype(np.uint8)
+
+    top = int(max(0, center_y - half_height))
+    left = int(max(0, center_x - half_width))
+    box_height = int(min(height - top, 2 * half_height))
+    box_width = int(min(width - left, 2 * half_width))
+    return FaceSample(
+        image=image,
+        subject=-1,
+        bbox=(top, left, box_height, box_width),
+    )

@@ -1,0 +1,83 @@
+"""Minimal portable image file I/O (PGM/PPM), used by the CLI.
+
+No binary imaging libraries exist in the offline environment, so the
+command-line tools read and write the netpbm formats: binary ``P5``
+(grayscale) and ``P6`` (RGB), 8 bits per sample.  Every serious image
+toolchain can convert to/from these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NetpbmError(ValueError):
+    """Raised for malformed PGM/PPM data."""
+
+
+def _read_tokens(data: bytes, count: int) -> tuple[list[int], int]:
+    """Read whitespace/comment-separated integer header tokens."""
+    tokens: list[int] = []
+    position = 0
+    while len(tokens) < count:
+        if position >= len(data):
+            raise NetpbmError("truncated netpbm header")
+        byte = data[position]
+        if byte in b"#":
+            while position < len(data) and data[position] not in b"\n":
+                position += 1
+        elif byte in b" \t\r\n":
+            position += 1
+        else:
+            start = position
+            while position < len(data) and data[position] not in b" \t\r\n#":
+                position += 1
+            try:
+                tokens.append(int(data[start:position]))
+            except ValueError:
+                raise NetpbmError(
+                    f"bad header token {data[start:position]!r}"
+                )
+    # Exactly one whitespace byte separates the header from the raster.
+    if position >= len(data):
+        raise NetpbmError("missing raster data")
+    return tokens, position + 1
+
+
+def read_image(data: bytes) -> np.ndarray:
+    """Parse P5/P6 bytes into ``(h, w)`` or ``(h, w, 3)`` uint8."""
+    if data[:2] == b"P5":
+        channels = 1
+    elif data[:2] == b"P6":
+        channels = 3
+    else:
+        raise NetpbmError(
+            f"unsupported netpbm magic {data[:2]!r} (want P5 or P6)"
+        )
+    (width, height, max_value), offset = _read_tokens(data[2:], 3)
+    offset += 2
+    if max_value != 255:
+        raise NetpbmError(f"only 8-bit images supported, maxval={max_value}")
+    expected = width * height * channels
+    raster = np.frombuffer(data[offset : offset + expected], dtype=np.uint8)
+    if raster.size != expected:
+        raise NetpbmError("truncated raster data")
+    if channels == 1:
+        return raster.reshape(height, width).copy()
+    return raster.reshape(height, width, 3).copy()
+
+
+def write_image(pixels: np.ndarray) -> bytes:
+    """Serialize ``(h, w)`` or ``(h, w, 3)`` pixels as P5/P6 bytes."""
+    array = np.asarray(pixels)
+    array = np.clip(np.round(array), 0, 255).astype(np.uint8)
+    if array.ndim == 2:
+        magic = b"P5"
+        height, width = array.shape
+    elif array.ndim == 3 and array.shape[2] == 3:
+        magic = b"P6"
+        height, width = array.shape[:2]
+    else:
+        raise NetpbmError(f"cannot serialize shape {array.shape}")
+    header = magic + f"\n{width} {height}\n255\n".encode("ascii")
+    return header + array.tobytes()

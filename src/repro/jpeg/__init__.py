@@ -1,0 +1,39 @@
+"""A from-scratch JPEG codec with quantized-coefficient access.
+
+This subpackage is the substrate the P3 algorithm is inserted into
+(paper Section 3.2: "conceptually, inserted into the JPEG compression
+pipeline after the quantization step").  It implements:
+
+* baseline sequential DCT encoding and decoding (ITU-T T.81),
+* progressive encoding/decoding with spectral selection and successive
+  approximation (the mode Facebook transcodes uploads into),
+* direct access to quantized DCT coefficients without pixel decoding
+  (the equivalent of ``jpegio``), which is what the P3 splitter uses.
+
+The main entry points are :func:`encode_rgb`, :func:`encode_gray`,
+:func:`decode`, :func:`decode_coefficients` and
+:func:`encode_coefficients` in :mod:`repro.jpeg.codec`.
+"""
+
+from repro.jpeg.codec import (
+    decode,
+    decode_coefficients,
+    decode_gray,
+    encode_coefficients,
+    encode_gray,
+    encode_rgb,
+    image_info,
+)
+from repro.jpeg.structures import ComponentInfo, CoefficientImage
+
+__all__ = [
+    "encode_rgb",
+    "encode_gray",
+    "encode_coefficients",
+    "decode",
+    "decode_gray",
+    "decode_coefficients",
+    "image_info",
+    "CoefficientImage",
+    "ComponentInfo",
+]

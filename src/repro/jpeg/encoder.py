@@ -1,0 +1,680 @@
+"""Baseline and progressive JPEG entropy encoding (ITU-T T.81 Annex F/G).
+
+Turns a :class:`~repro.jpeg.structures.CoefficientImage` into a compliant
+JPEG byte stream.  Supports:
+
+* baseline sequential (SOF0) with interleaved MCUs and arbitrary
+  sampling factors (4:4:4, 4:2:2, 4:2:0),
+* progressive (SOF2) with a DC scan followed by per-component spectral-
+  selection AC scans (the layout Facebook transcodes uploads into),
+* optional two-pass Huffman optimization (libjpeg's ``optimize_coding``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg import markers
+from repro.jpeg.bitstream import BitWriter
+from repro.jpeg.huffman import (
+    HuffmanEncoder,
+    HuffmanTable,
+    STANDARD_AC_CHROMINANCE,
+    STANDARD_AC_LUMINANCE,
+    STANDARD_DC_CHROMINANCE,
+    STANDARD_DC_LUMINANCE,
+    build_optimized_table,
+    encode_magnitude_bits,
+    magnitude_category,
+)
+from repro.jpeg.markers import Segment
+from repro.jpeg.structures import CoefficientImage
+from repro.jpeg.zigzag import ZIGZAG_ORDER
+
+#: Default spectral bands for progressive AC scans (after the DC scan).
+DEFAULT_PROGRESSIVE_BANDS: tuple[tuple[int, int], ...] = ((1, 5), (6, 63))
+
+
+class _CountingSink:
+    """Records symbol frequencies; used by the Huffman-optimizing pass."""
+
+    def __init__(self, frequencies: dict[int, int]) -> None:
+        self._frequencies = frequencies
+
+    def symbol(self, value: int) -> None:
+        self._frequencies[value] = self._frequencies.get(value, 0) + 1
+
+    def bits(self, value: int, num_bits: int) -> None:
+        pass  # bit payloads do not affect table optimization
+
+
+class _WritingSink:
+    """Writes Huffman codes and raw bits to a :class:`BitWriter`."""
+
+    def __init__(self, writer: BitWriter, encoder: HuffmanEncoder) -> None:
+        self._writer = writer
+        self._encoder = encoder
+
+    def symbol(self, value: int) -> None:
+        self._encoder.encode(self._writer, value)
+
+    def bits(self, value: int, num_bits: int) -> None:
+        self._writer.write(value, num_bits)
+
+
+@dataclass
+class _ScanComponent:
+    """Per-component state used while encoding one scan."""
+
+    zigzag_blocks: np.ndarray  # (by, bx, 64) int32, zigzag order
+    h_sampling: int
+    v_sampling: int
+    dc_sink: object
+    ac_sink: object
+    prev_dc: int = 0
+
+
+def _zigzag_blocks(coefficients: np.ndarray) -> np.ndarray:
+    """Flatten (by, bx, 8, 8) raster blocks into (by, bx, 64) zigzag."""
+    by, bx = coefficients.shape[:2]
+    flat = coefficients.reshape(by, bx, 64)
+    return flat[..., ZIGZAG_ORDER]
+
+
+def _pad_blocks_to_mcu(
+    blocks: np.ndarray, mcus_y: int, mcus_x: int, v: int, h: int
+) -> np.ndarray:
+    """Edge-pad a (by, bx, 64) block array to the interleaved-MCU grid."""
+    need_y = mcus_y * v
+    need_x = mcus_x * h
+    by, bx = blocks.shape[:2]
+    pad_y = need_y - by
+    pad_x = need_x - bx
+    if pad_y < 0 or pad_x < 0:
+        raise ValueError("block array larger than MCU grid")
+    if pad_y == 0 and pad_x == 0:
+        return blocks
+    return np.pad(blocks, ((0, pad_y), (0, pad_x), (0, 0)), mode="edge")
+
+
+def _encode_block_sequential(
+    zigzag: np.ndarray, component: _ScanComponent
+) -> None:
+    """Encode one full 64-coefficient block (baseline scan)."""
+    dc = int(zigzag[0])
+    diff = dc - component.prev_dc
+    component.prev_dc = dc
+    category = magnitude_category(diff)
+    component.dc_sink.symbol(category)
+    component.dc_sink.bits(encode_magnitude_bits(diff, category), category)
+
+    nonzero = np.nonzero(zigzag[1:])[0]
+    if len(nonzero) == 0:
+        component.ac_sink.symbol(0x00)  # EOB
+        return
+    last = int(nonzero[-1]) + 1  # index into zigzag[1..63] space
+    run = 0
+    for k in range(1, last + 1):
+        value = int(zigzag[k])
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            component.ac_sink.symbol(0xF0)  # ZRL: run of 16 zeros
+            run -= 16
+        category = magnitude_category(value)
+        component.ac_sink.symbol((run << 4) | category)
+        component.ac_sink.bits(
+            encode_magnitude_bits(value, category), category
+        )
+        run = 0
+    if last < 63:
+        component.ac_sink.symbol(0x00)  # EOB
+
+
+def _encode_interleaved_scan(
+    components: list[_ScanComponent],
+    mcus_y: int,
+    mcus_x: int,
+    restart_interval: int = 0,
+    writer: BitWriter | None = None,
+) -> None:
+    """Encode a baseline interleaved scan over the full MCU grid.
+
+    With ``restart_interval`` > 0, an RSTn marker is emitted (and DC
+    predictors reset) after every interval of MCUs; during the
+    Huffman-counting pass ``writer`` is None and only the predictor
+    resets apply, which is what makes the two passes agree.
+    """
+    mcu_index = 0
+    restart_index = 0
+    for mcu_y in range(mcus_y):
+        for mcu_x in range(mcus_x):
+            if (
+                restart_interval
+                and mcu_index
+                and mcu_index % restart_interval == 0
+            ):
+                if writer is not None:
+                    writer.write_restart_marker(restart_index)
+                restart_index = (restart_index + 1) % 8
+                for component in components:
+                    component.prev_dc = 0
+            mcu_index += 1
+            for component in components:
+                v = component.v_sampling
+                h = component.h_sampling
+                for dy in range(v):
+                    for dx in range(h):
+                        block = component.zigzag_blocks[
+                            mcu_y * v + dy, mcu_x * h + dx
+                        ]
+                        _encode_block_sequential(block, component)
+
+
+def _encode_dc_scan_progressive(
+    components: list[_ScanComponent], mcus_y: int, mcus_x: int
+) -> None:
+    """Progressive first DC scan (Ss=Se=0, Ah=Al=0): DC diffs only."""
+    for mcu_y in range(mcus_y):
+        for mcu_x in range(mcus_x):
+            for component in components:
+                v = component.v_sampling
+                h = component.h_sampling
+                for dy in range(v):
+                    for dx in range(h):
+                        block = component.zigzag_blocks[
+                            mcu_y * v + dy, mcu_x * h + dx
+                        ]
+                        dc = int(block[0])
+                        diff = dc - component.prev_dc
+                        component.prev_dc = dc
+                        category = magnitude_category(diff)
+                        component.dc_sink.symbol(category)
+                        component.dc_sink.bits(
+                            encode_magnitude_bits(diff, category), category
+                        )
+
+
+class _EobRun:
+    """Tracks and flushes the progressive AC end-of-band run."""
+
+    def __init__(self, sink: object) -> None:
+        self._sink = sink
+        self.count = 0
+
+    def increment(self) -> None:
+        self.count += 1
+        if self.count == 0x7FFF:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.count == 0:
+            return
+        category = self.count.bit_length() - 1
+        self._sink.symbol(category << 4)
+        self._sink.bits(self.count - (1 << category), category)
+        self.count = 0
+
+
+def _encode_ac_scan_progressive(
+    component: _ScanComponent, spectral_start: int, spectral_end: int
+) -> None:
+    """Progressive AC scan (first pass, Ah=0) with EOB-run coding."""
+    blocks = component.zigzag_blocks
+    by, bx = blocks.shape[:2]
+    eob_run = _EobRun(component.ac_sink)
+    for y in range(by):
+        for x in range(bx):
+            band = blocks[y, x, spectral_start : spectral_end + 1]
+            nonzero = np.nonzero(band)[0]
+            if len(nonzero) == 0:
+                eob_run.increment()
+                continue
+            eob_run.flush()
+            last = int(nonzero[-1])
+            run = 0
+            for k in range(last + 1):
+                value = int(band[k])
+                if value == 0:
+                    run += 1
+                    continue
+                while run > 15:
+                    component.ac_sink.symbol(0xF0)
+                    run -= 16
+                category = magnitude_category(value)
+                component.ac_sink.symbol((run << 4) | category)
+                component.ac_sink.bits(
+                    encode_magnitude_bits(value, category), category
+                )
+                run = 0
+            if last < len(band) - 1:
+                eob_run.increment()
+    eob_run.flush()
+
+
+def _dqt_segments(
+    tables: list[np.ndarray],
+) -> list[Segment]:
+    """Build DQT segments, one 8-bit table per id, in zigzag order."""
+    segments = []
+    for table_id, table in enumerate(tables):
+        flat = table.reshape(64)[ZIGZAG_ORDER]
+        payload = bytes([table_id]) + bytes(int(v) for v in flat)
+        segments.append(Segment(marker=markers.DQT, payload=payload))
+    return segments
+
+
+def _dht_segment(table_class: int, table_id: int, table: HuffmanTable) -> Segment:
+    payload = bytes([(table_class << 4) | table_id])
+    payload += bytes(table.bits)
+    payload += bytes(table.values)
+    return Segment(marker=markers.DHT, payload=payload)
+
+
+def _sof_segment(
+    image: CoefficientImage,
+    quant_table_ids: list[int],
+    progressive: bool,
+) -> Segment:
+    marker = markers.SOF2 if progressive else markers.SOF0
+    payload = struct.pack(
+        ">BHHB", 8, image.height, image.width, len(image.components)
+    )
+    for component, table_id in zip(image.components, quant_table_ids):
+        payload += bytes(
+            [
+                component.identifier,
+                (component.h_sampling << 4) | component.v_sampling,
+                table_id,
+            ]
+        )
+    return Segment(marker=marker, payload=payload)
+
+
+def _sos_segment(
+    component_specs: list[tuple[int, int, int]],
+    spectral_start: int,
+    spectral_end: int,
+    entropy_data: bytes,
+    approx_high: int = 0,
+    approx_low: int = 0,
+) -> Segment:
+    """Build an SOS segment.
+
+    ``component_specs`` holds (component_id, dc_table_id, ac_table_id).
+    """
+    payload = bytes([len(component_specs)])
+    for identifier, dc_id, ac_id in component_specs:
+        payload += bytes([identifier, (dc_id << 4) | ac_id])
+    payload += bytes(
+        [spectral_start, spectral_end, (approx_high << 4) | approx_low]
+    )
+    return Segment(marker=markers.SOS, payload=payload, entropy_data=entropy_data)
+
+
+def _assign_quant_tables(image: CoefficientImage) -> tuple[list[np.ndarray], list[int]]:
+    """Deduplicate per-component quantization tables into table ids."""
+    tables: list[np.ndarray] = []
+    ids: list[int] = []
+    for component in image.components:
+        for table_id, existing in enumerate(tables):
+            if np.array_equal(existing, component.quant_table):
+                ids.append(table_id)
+                break
+        else:
+            if len(tables) >= 4:
+                raise ValueError("more than 4 distinct quantization tables")
+            tables.append(component.quant_table)
+            ids.append(len(tables) - 1)
+    return tables, ids
+
+
+def _huffman_table_ids(num_components: int) -> list[int]:
+    """Component -> Huffman table id (0 luma, 1 chroma), per convention."""
+    return [0 if index == 0 else 1 for index in range(num_components)]
+
+
+def _mcu_grid(image: CoefficientImage) -> tuple[int, int]:
+    max_h = image.max_h_sampling
+    max_v = image.max_v_sampling
+    mcus_x = -(-image.width // (8 * max_h))
+    mcus_y = -(-image.height // (8 * max_v))
+    return mcus_y, mcus_x
+
+
+def _build_scan_components(
+    image: CoefficientImage,
+    dc_sinks: list[object],
+    ac_sinks: list[object],
+    pad_to_mcu: bool,
+) -> list[_ScanComponent]:
+    mcus_y, mcus_x = _mcu_grid(image)
+    scan_components = []
+    for index, component in enumerate(image.components):
+        zigzag = _zigzag_blocks(component.coefficients)
+        if pad_to_mcu:
+            zigzag = _pad_blocks_to_mcu(
+                zigzag,
+                mcus_y,
+                mcus_x,
+                component.v_sampling,
+                component.h_sampling,
+            )
+        scan_components.append(
+            _ScanComponent(
+                zigzag_blocks=zigzag,
+                h_sampling=component.h_sampling,
+                v_sampling=component.v_sampling,
+                dc_sink=dc_sinks[index],
+                ac_sink=ac_sinks[index],
+            )
+        )
+    return scan_components
+
+
+def _run_baseline_scan(
+    image: CoefficientImage,
+    dc_sinks: list[object],
+    ac_sinks: list[object],
+    restart_interval: int = 0,
+    writer: BitWriter | None = None,
+) -> None:
+    mcus_y, mcus_x = _mcu_grid(image)
+    if len(image.components) == 1:
+        # Single-component scans are never interleaved: iterate the
+        # component's own block grid directly (one block per MCU).
+        component = _build_scan_components(image, dc_sinks, ac_sinks, False)[0]
+        by, bx = component.zigzag_blocks.shape[:2]
+        mcu_index = 0
+        restart_index = 0
+        for y in range(by):
+            for x in range(bx):
+                if (
+                    restart_interval
+                    and mcu_index
+                    and mcu_index % restart_interval == 0
+                ):
+                    if writer is not None:
+                        writer.write_restart_marker(restart_index)
+                    restart_index = (restart_index + 1) % 8
+                    component.prev_dc = 0
+                mcu_index += 1
+                _encode_block_sequential(
+                    component.zigzag_blocks[y, x], component
+                )
+    else:
+        components = _build_scan_components(image, dc_sinks, ac_sinks, True)
+        _encode_interleaved_scan(
+            components, mcus_y, mcus_x, restart_interval, writer
+        )
+
+
+def _collect_frequencies_baseline(
+    image: CoefficientImage, restart_interval: int = 0
+) -> tuple[list[dict[int, int]], list[dict[int, int]]]:
+    """First pass of the Huffman-optimizing encoder."""
+    table_ids = _huffman_table_ids(len(image.components))
+    dc_freqs: list[dict[int, int]] = [{}, {}]
+    ac_freqs: list[dict[int, int]] = [{}, {}]
+    dc_sinks = [_CountingSink(dc_freqs[t]) for t in table_ids]
+    ac_sinks = [_CountingSink(ac_freqs[t]) for t in table_ids]
+    _run_baseline_scan(image, dc_sinks, ac_sinks, restart_interval)
+    return dc_freqs, ac_freqs
+
+
+def _select_tables(
+    image: CoefficientImage, optimize: bool, restart_interval: int = 0
+) -> tuple[list[HuffmanTable], list[HuffmanTable]]:
+    """Choose the DC/AC tables (ids 0 and 1) for a baseline encode."""
+    if not optimize:
+        return (
+            [STANDARD_DC_LUMINANCE, STANDARD_DC_CHROMINANCE],
+            [STANDARD_AC_LUMINANCE, STANDARD_AC_CHROMINANCE],
+        )
+    dc_freqs, ac_freqs = _collect_frequencies_baseline(
+        image, restart_interval
+    )
+    dc_tables = []
+    ac_tables = []
+    for table_id in range(2):
+        if dc_freqs[table_id]:
+            dc_tables.append(build_optimized_table(dc_freqs[table_id]))
+        else:
+            dc_tables.append(STANDARD_DC_LUMINANCE)
+        if ac_freqs[table_id]:
+            ac_tables.append(build_optimized_table(ac_freqs[table_id]))
+        else:
+            ac_tables.append(STANDARD_AC_LUMINANCE)
+    return dc_tables, ac_tables
+
+
+def encode_baseline(
+    image: CoefficientImage,
+    optimize_huffman: bool = True,
+    restart_interval: int = 0,
+) -> bytes:
+    """Encode a coefficient image as a baseline sequential JPEG.
+
+    ``restart_interval`` > 0 emits a DRI segment and RSTn markers every
+    that many MCUs (resilience against corrupt scans, at a small size
+    cost).
+    """
+    if restart_interval < 0 or restart_interval > 0xFFFF:
+        raise ValueError(f"invalid restart interval {restart_interval}")
+    quant_tables, quant_ids = _assign_quant_tables(image)
+    table_ids = _huffman_table_ids(len(image.components))
+    num_tables = max(table_ids) + 1
+    dc_tables, ac_tables = _select_tables(
+        image, optimize_huffman, restart_interval
+    )
+
+    writer = BitWriter()
+    dc_encoders = [HuffmanEncoder(dc_tables[t]) for t in range(num_tables)]
+    ac_encoders = [HuffmanEncoder(ac_tables[t]) for t in range(num_tables)]
+    dc_sinks = [_WritingSink(writer, dc_encoders[t]) for t in table_ids]
+    ac_sinks = [_WritingSink(writer, ac_encoders[t]) for t in table_ids]
+    _run_baseline_scan(image, dc_sinks, ac_sinks, restart_interval, writer)
+    writer.flush()
+
+    segments = [Segment(marker=markers.SOI)]
+    segments.append(
+        Segment(marker=markers.APP0, payload=markers.jfif_app0_payload())
+    )
+    for app_marker, payload in image.app_segments:
+        segments.append(Segment(marker=app_marker, payload=payload))
+    if image.comment is not None:
+        segments.append(Segment(marker=markers.COM, payload=image.comment))
+    segments.extend(_dqt_segments(quant_tables))
+    segments.append(_sof_segment(image, quant_ids, progressive=False))
+    if restart_interval:
+        segments.append(
+            Segment(
+                marker=markers.DRI,
+                payload=struct.pack(">H", restart_interval),
+            )
+        )
+    for table_id in range(num_tables):
+        segments.append(_dht_segment(0, table_id, dc_tables[table_id]))
+        segments.append(_dht_segment(1, table_id, ac_tables[table_id]))
+    specs = [
+        (component.identifier, table_ids[index], table_ids[index])
+        for index, component in enumerate(image.components)
+    ]
+    segments.append(_sos_segment(specs, 0, 63, writer.getvalue()))
+    segments.append(Segment(marker=markers.EOI))
+    return markers.serialize_segments(segments)
+
+
+def encode_progressive_sa(
+    image: CoefficientImage, script=None
+) -> bytes:
+    """Progressive encoding with successive approximation (T.81 G.1.2).
+
+    ``script`` is a list of :class:`repro.jpeg.scans.ScanSpec`; the
+    default is the libjpeg-style two-level script of
+    :func:`repro.jpeg.scans.default_sa_script`.
+    """
+    from repro.jpeg.scans import default_sa_script, run_scan
+
+    if script is None:
+        script = default_sa_script(len(image.components))
+    quant_tables, quant_ids = _assign_quant_tables(image)
+    mcus = _mcu_grid(image)
+    mcus_y, mcus_x = mcus
+
+    blocks_per_component = [
+        _zigzag_blocks(component.coefficients)
+        for component in image.components
+    ]
+    padded_blocks = [
+        _pad_blocks_to_mcu(
+            blocks,
+            mcus_y,
+            mcus_x,
+            component.v_sampling,
+            component.h_sampling,
+        )
+        for blocks, component in zip(blocks_per_component, image.components)
+    ]
+    samplings = [
+        (component.h_sampling, component.v_sampling)
+        for component in image.components
+    ]
+
+    segments = [Segment(marker=markers.SOI)]
+    segments.append(
+        Segment(marker=markers.APP0, payload=markers.jfif_app0_payload())
+    )
+    segments.extend(_dqt_segments(quant_tables))
+    segments.append(_sof_segment(image, quant_ids, progressive=True))
+    for spec in script:
+        table, entropy = run_scan(
+            spec, blocks_per_component, padded_blocks, samplings, mcus
+        )
+        if table is not None:
+            table_class = 0 if spec.is_dc else 1
+            segments.append(_dht_segment(table_class, 0, table))
+        component_specs = [
+            (image.components[index].identifier, 0, 0)
+            for index in spec.component_indices
+        ]
+        segments.append(
+            _sos_segment(
+                component_specs,
+                spec.ss,
+                spec.se,
+                entropy,
+                approx_high=spec.ah,
+                approx_low=spec.al,
+            )
+        )
+    segments.append(Segment(marker=markers.EOI))
+    return markers.serialize_segments(segments)
+
+
+def encode_progressive(
+    image: CoefficientImage,
+    bands: tuple[tuple[int, int], ...] = DEFAULT_PROGRESSIVE_BANDS,
+) -> bytes:
+    """Encode as a progressive JPEG: one DC scan, then AC band scans.
+
+    AC scans are emitted per band, per component (progressive AC scans
+    are never interleaved).  Huffman tables are optimized per scan group,
+    matching libjpeg behaviour for progressive files.
+    """
+    for start, end in bands:
+        if not 1 <= start <= end <= 63:
+            raise ValueError(f"invalid spectral band ({start}, {end})")
+
+    quant_tables, quant_ids = _assign_quant_tables(image)
+    table_ids = _huffman_table_ids(len(image.components))
+    num_tables = max(table_ids) + 1
+    mcus_y, mcus_x = _mcu_grid(image)
+
+    # --- DC scan (interleaved, optimized table) ---
+    dc_freqs: list[dict[int, int]] = [{} for _ in range(num_tables)]
+    counting = _build_scan_components(
+        image,
+        [_CountingSink(dc_freqs[t]) for t in table_ids],
+        [_CountingSink({}) for _ in table_ids],
+        pad_to_mcu=True,
+    )
+    _encode_dc_scan_progressive(counting, mcus_y, mcus_x)
+    dc_tables = [
+        build_optimized_table(freq) if freq else STANDARD_DC_LUMINANCE
+        for freq in dc_freqs
+    ]
+    dc_writer = BitWriter()
+    writing = _build_scan_components(
+        image,
+        [
+            _WritingSink(dc_writer, HuffmanEncoder(dc_tables[t]))
+            for t in table_ids
+        ],
+        [_CountingSink({}) for _ in table_ids],
+        pad_to_mcu=True,
+    )
+    _encode_dc_scan_progressive(writing, mcus_y, mcus_x)
+    dc_writer.flush()
+
+    # --- AC scans: (band, component) -> own optimized table ---
+    ac_scan_plans = []  # (component_index, band, table, entropy_bytes)
+    for band in bands:
+        for index, component in enumerate(image.components):
+            freq: dict[int, int] = {}
+            scan_component = _ScanComponent(
+                zigzag_blocks=_zigzag_blocks(component.coefficients),
+                h_sampling=component.h_sampling,
+                v_sampling=component.v_sampling,
+                dc_sink=_CountingSink({}),
+                ac_sink=_CountingSink(freq),
+            )
+            _encode_ac_scan_progressive(scan_component, band[0], band[1])
+            table = (
+                build_optimized_table(freq) if freq else STANDARD_AC_LUMINANCE
+            )
+            ac_writer = BitWriter()
+            scan_component = _ScanComponent(
+                zigzag_blocks=scan_component.zigzag_blocks,
+                h_sampling=component.h_sampling,
+                v_sampling=component.v_sampling,
+                dc_sink=_CountingSink({}),
+                ac_sink=_WritingSink(ac_writer, HuffmanEncoder(table)),
+            )
+            _encode_ac_scan_progressive(scan_component, band[0], band[1])
+            ac_writer.flush()
+            ac_scan_plans.append((index, band, table, ac_writer.getvalue()))
+
+    # --- assemble segments ---
+    segments = [Segment(marker=markers.SOI)]
+    segments.append(
+        Segment(marker=markers.APP0, payload=markers.jfif_app0_payload())
+    )
+    for app_marker, payload in image.app_segments:
+        segments.append(Segment(marker=app_marker, payload=payload))
+    if image.comment is not None:
+        segments.append(Segment(marker=markers.COM, payload=image.comment))
+    segments.extend(_dqt_segments(quant_tables))
+    segments.append(_sof_segment(image, quant_ids, progressive=True))
+    for table_id in range(num_tables):
+        segments.append(_dht_segment(0, table_id, dc_tables[table_id]))
+    dc_specs = [
+        (component.identifier, table_ids[index], 0)
+        for index, component in enumerate(image.components)
+    ]
+    segments.append(_sos_segment(dc_specs, 0, 0, dc_writer.getvalue()))
+    for index, band, table, entropy in ac_scan_plans:
+        # AC tables are re-sent before each scan under table id 0.
+        segments.append(_dht_segment(1, 0, table))
+        component = image.components[index]
+        segments.append(
+            _sos_segment(
+                [(component.identifier, 0, 0)], band[0], band[1], entropy
+            )
+        )
+    segments.append(Segment(marker=markers.EOI))
+    return markers.serialize_segments(segments)

@@ -1,0 +1,63 @@
+"""Zigzag scan order for 8x8 DCT blocks (ITU-T T.81 Figure 5).
+
+JPEG entropy-codes the 64 coefficients of a block in zigzag order so that
+the low-frequency (statistically large) coefficients come first and runs
+of trailing zeros compress well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_zigzag_order() -> np.ndarray:
+    """Return the 64-entry array mapping zigzag index -> raster index."""
+    order = np.empty(64, dtype=np.int64)
+    row = 0
+    col = 0
+    for index in range(64):
+        order[index] = row * 8 + col
+        if (row + col) % 2 == 0:
+            # Moving "up-right"; bounce off the top and right edges.
+            if col == 7:
+                row += 1
+            elif row == 0:
+                col += 1
+            else:
+                row -= 1
+                col += 1
+        else:
+            # Moving "down-left"; bounce off the bottom and left edges.
+            if row == 7:
+                col += 1
+            elif col == 0:
+                row += 1
+            else:
+                row += 1
+                col -= 1
+    return order
+
+
+#: Maps zigzag position -> flattened raster position within an 8x8 block.
+ZIGZAG_ORDER: np.ndarray = _build_zigzag_order()
+
+#: Maps flattened raster position -> zigzag position (the inverse permutation).
+INVERSE_ZIGZAG: np.ndarray = np.argsort(ZIGZAG_ORDER)
+
+
+def to_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """Reorder the last axis (64 raster coefficients) into zigzag order.
+
+    ``blocks`` may have any leading shape, e.g. ``(n_blocks, 64)`` or
+    ``(by, bx, 64)``.
+    """
+    if blocks.shape[-1] != 64:
+        raise ValueError(f"expected trailing axis of 64, got {blocks.shape}")
+    return blocks[..., ZIGZAG_ORDER]
+
+
+def from_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_zigzag`."""
+    if blocks.shape[-1] != 64:
+        raise ValueError(f"expected trailing axis of 64, got {blocks.shape}")
+    return blocks[..., INVERSE_ZIGZAG]

@@ -1,0 +1,38 @@
+"""The P3 system (paper Section 4): proxies, PSPs, storage.
+
+The architecture of Figure 3: browsers/apps talk HTTP to photo-sharing
+providers; a trusted local proxy interposes on both the sender and the
+recipient side, transparently splitting uploads and reconstructing
+downloads.  Nothing at the PSP changes.
+"""
+
+from repro.system.client import PhotoSharingClient
+from repro.system.http import HttpRequest, HttpResponse
+from repro.system.proxy import RecipientProxy, SenderProxy
+from repro.system.psp import (
+    AccessDeniedError,
+    FacebookPSP,
+    FlickrPSP,
+    PhotoBucketPSP,
+    PhotoSharingProvider,
+    UploadRejectedError,
+)
+from repro.system.reverse import TransformEstimate, reverse_engineer
+from repro.system.storage import CloudStorage
+
+__all__ = [
+    "PhotoSharingClient",
+    "SenderProxy",
+    "RecipientProxy",
+    "PhotoSharingProvider",
+    "FacebookPSP",
+    "FlickrPSP",
+    "PhotoBucketPSP",
+    "AccessDeniedError",
+    "UploadRejectedError",
+    "CloudStorage",
+    "HttpRequest",
+    "HttpResponse",
+    "TransformEstimate",
+    "reverse_engineer",
+]

@@ -1,0 +1,109 @@
+"""End-to-end photo-sharing client sessions.
+
+:class:`PhotoSharingClient` models the unmodified browser/app: it frames
+plain HTTP uploads and downloads; the configured local proxy interposes
+transparently, exactly as in the paper's architecture (Figure 3).  The
+app never sees keys, splitting, or reconstruction — it sends a JPEG and
+receives pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.http import HttpRequest, HttpResponse, build_url
+from repro.system.proxy import RecipientProxy, SenderProxy, UploadReceipt
+
+
+class PhotoSharingClient:
+    """An application configured to route PSP traffic via local proxies."""
+
+    def __init__(
+        self,
+        user: str,
+        sender_proxy: SenderProxy | None = None,
+        recipient_proxy: RecipientProxy | None = None,
+    ) -> None:
+        self.user = user
+        self.sender_proxy = sender_proxy
+        self.recipient_proxy = recipient_proxy
+        self.request_log: list[HttpRequest] = []
+
+    # -- the unmodified app's operations --------------------------------------
+
+    def upload_photo(
+        self,
+        jpeg_bytes: bytes,
+        album: str,
+        viewers: set[str] | None = None,
+    ) -> UploadReceipt:
+        """POST a photo; the sender proxy interposes on the request."""
+        if self.sender_proxy is None:
+            raise RuntimeError(f"{self.user} has no sender proxy configured")
+        request = HttpRequest(
+            method="POST",
+            url=build_url(
+                f"https://{self.sender_proxy.psp.name}.example",
+                "/photos/upload",
+                {"album": album},
+            ),
+            headers={"content-type": "image/jpeg"},
+            body=jpeg_bytes,
+        )
+        self.request_log.append(request)
+        return self.sender_proxy.upload(jpeg_bytes, album, viewers)
+
+    def view_photo(
+        self,
+        photo_id: str,
+        album: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        """GET a photo; the recipient proxy reconstructs transparently.
+
+        The photo ID rides in the URL, which is how the proxy learns
+        which secret part to fetch (Section 4.1).
+        """
+        if self.recipient_proxy is None:
+            raise RuntimeError(
+                f"{self.user} has no recipient proxy configured"
+            )
+        params = {"id": photo_id}
+        if resolution is not None:
+            params["size"] = str(resolution)
+        if crop_box is not None:
+            params["crop"] = ",".join(str(v) for v in crop_box)
+        request = HttpRequest(
+            method="GET",
+            url=build_url(
+                f"https://{self.recipient_proxy.psp.name}.example",
+                f"/photos/{photo_id}",
+                params,
+            ),
+        )
+        self.request_log.append(request)
+        return self.recipient_proxy.download(
+            photo_id, album, resolution=resolution, crop_box=crop_box
+        )
+
+    def view_photo_without_key(
+        self, photo_id: str, resolution: int | None = None
+    ) -> np.ndarray:
+        """What a recipient lacking the album key renders (public only)."""
+        if self.recipient_proxy is None:
+            raise RuntimeError(
+                f"{self.user} has no recipient proxy configured"
+            )
+        return self.recipient_proxy.download_public_only(
+            photo_id, resolution=resolution
+        )
+
+
+def respond_with_pixels(pixels: np.ndarray) -> HttpResponse:
+    """Wrap reconstructed pixels as the HTTP response the app receives."""
+    return HttpResponse(
+        status=200,
+        headers={"content-type": "image/raw"},
+        body=np.ascontiguousarray(pixels).tobytes(),
+    )

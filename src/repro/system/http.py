@@ -1,0 +1,54 @@
+"""A minimal HTTP request/response model for the interposition proxies.
+
+The real P3 prototype interposes mitmproxy between mobile apps and PSP
+endpoints; here the same message flow is modelled in-process so tests
+can assert on exactly what crosses each trust boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlencode, urlparse
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request as seen by the proxy."""
+
+    method: str
+    url: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def host(self) -> str:
+        return urlparse(self.url).netloc
+
+    @property
+    def path(self) -> str:
+        return urlparse(self.url).path
+
+    @property
+    def query(self) -> dict[str, str]:
+        return dict(parse_qsl(urlparse(self.url).query))
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response as seen by the proxy."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def build_url(base: str, path: str, params: dict[str, str] | None = None) -> str:
+    """Join a base host, path and query parameters into a URL."""
+    url = base.rstrip("/") + "/" + path.lstrip("/")
+    if params:
+        url += "?" + urlencode(params)
+    return url

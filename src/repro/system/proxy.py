@@ -1,0 +1,235 @@
+"""The trusted local proxies (paper Section 4.1, Figure 3).
+
+``SenderProxy`` interposes on uploads: it splits the outgoing JPEG,
+sends the public part to the PSP, and stores the encrypted secret part
+with the storage provider under the photo ID the PSP returned.
+
+``RecipientProxy`` interposes on downloads: it forwards the request to
+the PSP, concurrently fetches (and caches) the secret part, estimates
+the PSP's transform when needed, reconstructs, and hands the finished
+image to the application.
+
+Both proxies run on the client device, inside the trust boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import P3Config
+from repro.core.decryptor import P3Decryptor
+from repro.core.encryptor import P3Encryptor
+from repro.core.linear import planes_to_image, reconstruct_transformed_planes
+from repro.core.reconstruction import recombine
+from repro.core.serialization import SecretPart
+from repro.crypto.keyring import Keyring
+from repro.jpeg.codec import decode_coefficients
+from repro.jpeg.decoder import coefficients_to_pixels, coefficients_to_planes
+from repro.system.psp import PhotoSharingProvider
+from repro.system.reverse import TransformEstimate
+from repro.system.storage import CloudStorage
+from repro.transforms.resize import Resize
+
+
+def secret_blob_key(album: str, photo_id: str) -> str:
+    """Storage key for a photo's secret part."""
+    return f"p3/{album}/{photo_id}.secret"
+
+
+@dataclass
+class UploadReceipt:
+    """What the sender proxy reports back after an interposed upload."""
+
+    photo_id: str
+    public_bytes: int
+    secret_bytes: int
+
+
+class SenderProxy:
+    """Trusted sender-side middlebox."""
+
+    def __init__(
+        self,
+        keyring: Keyring,
+        psp: PhotoSharingProvider,
+        storage: CloudStorage,
+        config: P3Config | None = None,
+    ) -> None:
+        self.keyring = keyring
+        self.psp = psp
+        self.storage = storage
+        self.config = config or P3Config()
+
+    def upload(
+        self,
+        jpeg_bytes: bytes,
+        album: str,
+        viewers: set[str] | None = None,
+    ) -> UploadReceipt:
+        """Interpose on a photo upload: split, upload, stash secret."""
+        encryptor = P3Encryptor(self.keyring.key_for(album), self.config)
+        photo = encryptor.encrypt_jpeg(jpeg_bytes)
+        photo_id = self.psp.upload(
+            photo.public_jpeg, owner=self.keyring.owner, viewers=viewers
+        )
+        self.storage.put(
+            secret_blob_key(album, photo_id), photo.secret_envelope
+        )
+        return UploadReceipt(
+            photo_id=photo_id,
+            public_bytes=photo.public_size,
+            secret_bytes=photo.secret_size,
+        )
+
+    def upload_pixels(
+        self,
+        pixels: np.ndarray,
+        album: str,
+        viewers: set[str] | None = None,
+    ) -> UploadReceipt:
+        """Upload a photo straight from the camera sensor (raw pixels)."""
+        encryptor = P3Encryptor(self.keyring.key_for(album), self.config)
+        photo = encryptor.encrypt_pixels(pixels)
+        photo_id = self.psp.upload(
+            photo.public_jpeg, owner=self.keyring.owner, viewers=viewers
+        )
+        self.storage.put(
+            secret_blob_key(album, photo_id), photo.secret_envelope
+        )
+        return UploadReceipt(
+            photo_id=photo_id,
+            public_bytes=photo.public_size,
+            secret_bytes=photo.secret_size,
+        )
+
+
+@dataclass
+class _CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class RecipientProxy:
+    """Trusted recipient-side middlebox with a secret-part cache."""
+
+    def __init__(
+        self,
+        keyring: Keyring,
+        psp: PhotoSharingProvider,
+        storage: CloudStorage,
+        transform_estimate: TransformEstimate | None = None,
+    ) -> None:
+        self.keyring = keyring
+        self.psp = psp
+        self.storage = storage
+        self.transform_estimate = transform_estimate
+        self._secret_cache: dict[str, SecretPart] = {}
+        self.cache_stats = _CacheStats()
+
+    def download(
+        self,
+        photo_id: str,
+        album: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        """Interpose on a photo download; returns reconstructed pixels.
+
+        The secret part is fetched once per photo and cached, so viewing
+        a thumbnail and then the large version downloads it only once
+        (the bandwidth optimization described in Section 4.1).
+        """
+        public_jpeg = self.psp.download(
+            photo_id,
+            requester=self.keyring.owner,
+            resolution=resolution,
+            crop_box=crop_box,
+        )
+        secret_part = self._fetch_secret(photo_id, album)
+        return self._reconstruct(public_jpeg, secret_part, resolution, crop_box)
+
+    def download_public_only(
+        self, photo_id: str, resolution: int | None = None
+    ) -> np.ndarray:
+        """What a viewer *without* the album key sees (Figure 4, right)."""
+        public_jpeg = self.psp.download(
+            photo_id, requester=self.keyring.owner, resolution=resolution
+        )
+        return coefficients_to_pixels(decode_coefficients(public_jpeg))
+
+    # -- internals ------------------------------------------------------------
+
+    def _fetch_secret(self, photo_id: str, album: str) -> SecretPart:
+        if photo_id in self._secret_cache:
+            self.cache_stats.hits += 1
+            return self._secret_cache[photo_id]
+        self.cache_stats.misses += 1
+        envelope = self.storage.get(secret_blob_key(album, photo_id))
+        decryptor = P3Decryptor(self.keyring.key_for(album))
+        secret_part = decryptor.open_secret(envelope)
+        self._secret_cache[photo_id] = secret_part
+        return secret_part
+
+    def _reconstruct(
+        self,
+        public_jpeg: bytes,
+        secret_part: SecretPart,
+        resolution: int | None,
+        crop_box: tuple[int, int, int, int] | None,
+    ) -> np.ndarray:
+        public = decode_coefficients(public_jpeg)
+        untouched = public.same_geometry(
+            secret_part.image
+        ) and public.same_quantization(secret_part.image)
+        if untouched and crop_box is None:
+            combined = recombine(
+                public, secret_part.image, secret_part.threshold
+            )
+            return coefficients_to_pixels(combined)
+        operator = self._operator_for(public, secret_part, resolution, crop_box)
+        public_planes = coefficients_to_planes(public, level_shift=True)
+        planes = reconstruct_transformed_planes(
+            public_planes, secret_part.image, secret_part.threshold, operator
+        )
+        return planes_to_image(planes)
+
+    def _operator_for(
+        self,
+        public,
+        secret_part: SecretPart,
+        resolution: int | None,
+        crop_box: tuple[int, int, int, int] | None,
+    ):
+        """Build the Eq. 2 operator for the served public geometry.
+
+        For cropped downloads the PSP's pipeline is resize-then-crop;
+        the cropping geometry and the size "are both encoded in the HTTP
+        get URL, so the proxy is able to determine those parameters"
+        (Section 4.1) — here they arrive as the request arguments.
+        """
+        from repro.transforms.crop import Crop
+        from repro.transforms.operators import Compose
+        from repro.transforms.resize import fit_within
+
+        if crop_box is None:
+            resize_h, resize_w = public.height, public.width
+        else:
+            if resolution is None:
+                raise ValueError(
+                    "cropped downloads must specify the resolution"
+                )
+            resize_h, resize_w = fit_within(
+                secret_part.image.height,
+                secret_part.image.width,
+                resolution,
+                resolution,
+            )
+        if self.transform_estimate is not None:
+            base = self.transform_estimate.operator(resize_h, resize_w)
+        else:
+            base = Resize(resize_h, resize_w, kernel="bilinear")
+        if crop_box is None:
+            return base
+        return Compose(operators=(base, Crop(*crop_box)))

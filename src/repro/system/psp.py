@@ -1,0 +1,339 @@
+"""Photo-sharing provider (PSP) simulators.
+
+Models the black-box behaviour the paper measured on real services
+(Section 2.1 and 4.1):
+
+* on upload, the PSP statically re-encodes the photo at several fixed
+  resolutions (Facebook: 720/130/75) through a *private* pipeline
+  (resize kernel + optional sharpening + re-quantization) whose
+  parameters outsiders cannot see;
+* Facebook converts files to progressive mode and strips all
+  application markers; Flickr keeps baseline;
+* dynamic downloads can request arbitrary resizing and cropping via
+  URL query parameters;
+* fully-encrypted (non-JPEG) uploads are rejected;
+* every photo gets an opaque unique ID — except PhotoBucket, whose
+  guessable sequential URLs reproduce the "fusking" leak.
+
+The PSP is *untrusted*: it may run recognition on everything it stores
+(exposed via :meth:`PhotoSharingProvider.run_analysis` so experiments
+can play the adversary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg.codec import decode, encode_gray, encode_rgb
+from repro.transforms.crop import Crop
+from repro.transforms.enhance import unsharp_mask
+from repro.transforms.resize import fit_within, resize_plane
+
+
+class UploadRejectedError(ValueError):
+    """The PSP refused an upload (e.g. not a decodable JPEG)."""
+
+
+class AccessDeniedError(PermissionError):
+    """The requester may not view this photo."""
+
+
+@dataclass
+class _StoredPhoto:
+    owner: str
+    viewers: set[str]
+    variants: dict[int, bytes]  # long-side resolution -> encoded bytes
+    original_size: tuple[int, int]  # (height, width)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """The PSP's private transformation parameters."""
+
+    kernel: str
+    sharpen_amount: float
+    quality: int
+    progressive: bool
+    strip_markers: bool
+
+
+class PhotoSharingProvider:
+    """Base PSP with upload/variant/dynamic-download machinery."""
+
+    name = "generic"
+    static_resolutions: tuple[int, ...] = (720, 130, 75)
+    #: Private pipeline parameters — not visible to clients.
+    _pipeline = PipelineConfig(
+        kernel="bicubic",
+        sharpen_amount=0.0,
+        quality=82,
+        progressive=False,
+        strip_markers=True,
+    )
+
+    def __init__(self) -> None:
+        self._photos: dict[str, _StoredPhoto] = {}
+        self._counter = 0
+        self.bytes_served = 0
+        self.bytes_received = 0
+
+    # -- naming ---------------------------------------------------------------
+
+    def _new_photo_id(self, data: bytes) -> str:
+        """Opaque, unguessable ID (hash-based), as real PSPs assign."""
+        self._counter += 1
+        digest = hashlib.sha256(
+            data + self._counter.to_bytes(8, "big") + self.name.encode()
+        ).hexdigest()
+        return digest[:16]
+
+    # -- upload ---------------------------------------------------------------
+
+    def upload(
+        self, data: bytes, owner: str, viewers: set[str] | None = None
+    ) -> str:
+        """Store a photo; returns its unique ID.
+
+        Non-JPEG payloads (e.g. fully-encrypted blobs) are rejected,
+        reproducing the paper's observation that end-to-end encryption
+        simply does not pass PSP ingestion.
+        """
+        self.bytes_received += len(data)
+        try:
+            pixels = decode(data)
+        except Exception as error:
+            raise UploadRejectedError(
+                f"{self.name} rejected the upload: {error}"
+            ) from error
+        if pixels.ndim == 2:
+            rgb = np.stack([np.clip(pixels, 0, 255).astype(np.uint8)] * 3, axis=-1)
+            grayscale = True
+        else:
+            rgb = pixels
+            grayscale = False
+        variants = {}
+        for resolution in self.static_resolutions:
+            variants[resolution] = self._transcode(
+                rgb, resolution, grayscale
+            )
+        photo_id = self._new_photo_id(data)
+        self._photos[photo_id] = _StoredPhoto(
+            owner=owner,
+            viewers=set(viewers or set()) | {owner},
+            variants=variants,
+            original_size=(rgb.shape[0], rgb.shape[1]),
+        )
+        return photo_id
+
+    def _transcode(
+        self, rgb: np.ndarray, resolution: int, grayscale: bool
+    ) -> bytes:
+        """Run the private pipeline to one static resolution."""
+        height, width = rgb.shape[:2]
+        out_h, out_w = fit_within(height, width, resolution, resolution)
+        planes = []
+        for channel in range(3):
+            plane = resize_plane(
+                rgb[..., channel].astype(np.float64),
+                out_h,
+                out_w,
+                self._pipeline.kernel,
+            )
+            if self._pipeline.sharpen_amount > 0:
+                plane = unsharp_mask(
+                    plane, radius=1.0, amount=self._pipeline.sharpen_amount
+                )
+            planes.append(np.clip(plane, 0, 255))
+        resized = np.stack(planes, axis=-1).round().astype(np.uint8)
+        if grayscale:
+            luma = resized[..., 0]
+            return encode_gray(
+                luma.astype(np.float64),
+                quality=self._pipeline.quality,
+                progressive=self._pipeline.progressive,
+            )
+        return encode_rgb(
+            resized,
+            quality=self._pipeline.quality,
+            subsampling="4:4:4",
+            progressive=self._pipeline.progressive,
+        )
+
+    # -- download -------------------------------------------------------------
+
+    def download(
+        self,
+        photo_id: str,
+        requester: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> bytes:
+        """Serve a stored variant, optionally dynamically resized/cropped.
+
+        ``resolution`` selects the smallest static variant that covers
+        the request, then resizes down to the exact size (what the
+        Facebook protocol's dynamic parameters do).  ``crop_box`` is
+        (top, left, height, width) in the served variant's coordinates.
+        """
+        photo = self._get_checked(photo_id, requester)
+        if resolution is None:
+            resolution = max(photo.variants)
+        source_resolution = min(
+            (r for r in photo.variants if r >= resolution),
+            default=max(photo.variants),
+        )
+        data = photo.variants[source_resolution]
+        if source_resolution != resolution or crop_box is not None:
+            data = self._dynamic_transform(data, resolution, crop_box)
+        self.bytes_served += len(data)
+        return data
+
+    def _dynamic_transform(
+        self,
+        data: bytes,
+        resolution: int,
+        crop_box: tuple[int, int, int, int] | None,
+    ) -> bytes:
+        pixels = decode(data)
+        grayscale = pixels.ndim == 2
+        if grayscale:
+            pixels = np.stack([pixels] * 3, axis=-1)
+        height, width = pixels.shape[:2]
+        out_h, out_w = fit_within(height, width, resolution, resolution)
+        planes = []
+        for channel in range(3):
+            plane = resize_plane(
+                pixels[..., channel].astype(np.float64),
+                out_h,
+                out_w,
+                self._pipeline.kernel,
+            )
+            if crop_box is not None:
+                plane = Crop(*crop_box)(plane)
+            planes.append(np.clip(plane, 0, 255))
+        out = np.stack(planes, axis=-1).round().astype(np.uint8)
+        if grayscale:
+            return encode_gray(
+                out[..., 0].astype(np.float64),
+                quality=self._pipeline.quality,
+                progressive=self._pipeline.progressive,
+            )
+        return encode_rgb(
+            out,
+            quality=self._pipeline.quality,
+            progressive=self._pipeline.progressive,
+        )
+
+    def _get_checked(self, photo_id: str, requester: str) -> _StoredPhoto:
+        if photo_id not in self._photos:
+            raise KeyError(f"no photo {photo_id!r}")
+        photo = self._photos[photo_id]
+        if requester not in photo.viewers:
+            raise AccessDeniedError(
+                f"{requester!r} may not view photo {photo_id!r}"
+            )
+        return photo
+
+    # -- the adversarial side ------------------------------------------------
+
+    def stored_variant(self, photo_id: str, resolution: int) -> bytes:
+        """Direct access to stored bytes — the PSP inspecting its disk.
+
+        Used by the evaluation to run recognition attacks on exactly
+        what the provider holds.
+        """
+        return self._photos[photo_id].variants[resolution]
+
+    def all_photo_ids(self) -> list[str]:
+        return list(self._photos)
+
+    def run_analysis(self, analyzer, resolution: int | None = None) -> dict:
+        """Run an attack callable over every stored photo.
+
+        ``analyzer(pixels) -> result`` models the PSP's recognition
+        infrastructure; returns {photo_id: result}.
+        """
+        results = {}
+        for photo_id, photo in self._photos.items():
+            chosen = resolution or max(photo.variants)
+            pixels = decode(photo.variants[chosen])
+            results[photo_id] = analyzer(pixels)
+        return results
+
+
+class FacebookPSP(PhotoSharingProvider):
+    """Facebook-like behaviour: 720/130/75, progressive, bicubic+sharpen."""
+
+    name = "facebook"
+    static_resolutions = (720, 130, 75)
+    _pipeline = PipelineConfig(
+        kernel="bicubic",
+        sharpen_amount=0.4,
+        quality=80,
+        progressive=True,
+        strip_markers=True,
+    )
+
+
+class FlickrPSP(PhotoSharingProvider):
+    """Flickr-like behaviour: more sizes, baseline output, lanczos."""
+
+    name = "flickr"
+    static_resolutions = (1024, 500, 240, 100)
+    _pipeline = PipelineConfig(
+        kernel="lanczos",
+        sharpen_amount=0.0,
+        quality=84,
+        progressive=False,
+        strip_markers=True,
+    )
+
+
+class PhotoBucketPSP(PhotoSharingProvider):
+    """A PSP with guessable sequential photo URLs (the fusking leak).
+
+    Unlike the others it does not assign unguessable IDs, and download
+    performs *no* access check — reproducing the privacy incident that
+    motivates the paper's first threat (Section 2.2): anyone who can
+    enumerate URLs can fetch stored photos.
+    """
+
+    name = "photobucket"
+    static_resolutions = (640, 160)
+    _pipeline = PipelineConfig(
+        kernel="bilinear",
+        sharpen_amount=0.0,
+        quality=82,
+        progressive=False,
+        strip_markers=False,
+    )
+
+    def _new_photo_id(self, data: bytes) -> str:
+        self._counter += 1
+        return f"img{self._counter:06d}"
+
+    def download(
+        self,
+        photo_id: str,
+        requester: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> bytes:
+        # No access control: the fusking vulnerability.
+        photo = self._photos.get(photo_id)
+        if photo is None:
+            raise KeyError(f"no photo {photo_id!r}")
+        if resolution is None:
+            resolution = max(photo.variants)
+        source = min(
+            (r for r in photo.variants if r >= resolution),
+            default=max(photo.variants),
+        )
+        data = photo.variants[source]
+        if source != resolution or crop_box is not None:
+            data = self._dynamic_transform(data, resolution, crop_box)
+        self.bytes_served += len(data)
+        return data

@@ -1,0 +1,56 @@
+"""Untrusted cloud blob storage (the Dropbox role).
+
+The paper stores the encrypted secret part with a storage provider that
+is *not* trusted: "because the secret part is encrypted, we do not
+assume that the storage provider is trusted" (Section 4.1).
+:meth:`CloudStorage.snoop` exposes the provider's view so tests can
+verify that nothing useful leaks, and :meth:`tamper` lets tests check
+that modified envelopes are detected by the HMAC.
+"""
+
+from __future__ import annotations
+
+
+class CloudStorage:
+    """A key-value blob store with adversarial inspection hooks."""
+
+    def __init__(self, name: str = "dropbox") -> None:
+        self.name = name
+        self._blobs: dict[str, bytes] = {}
+        self.bytes_stored = 0
+        self.get_count = 0
+
+    def put(self, key: str, blob: bytes) -> None:
+        """Store a blob under a key (overwrites)."""
+        if key in self._blobs:
+            self.bytes_stored -= len(self._blobs[key])
+        self._blobs[key] = bytes(blob)
+        self.bytes_stored += len(blob)
+
+    def get(self, key: str) -> bytes:
+        """Fetch a blob; raises KeyError when absent."""
+        self.get_count += 1
+        return self._blobs[key]
+
+    def exists(self, key: str) -> bool:
+        return key in self._blobs
+
+    def delete(self, key: str) -> None:
+        blob = self._blobs.pop(key, None)
+        if blob is not None:
+            self.bytes_stored -= len(blob)
+
+    def keys(self) -> list[str]:
+        return sorted(self._blobs)
+
+    # -- the adversarial side -------------------------------------------------
+
+    def snoop(self, key: str) -> bytes:
+        """The provider reading stored bytes (no access control here)."""
+        return self._blobs[key]
+
+    def tamper(self, key: str, offset: int, value: int) -> None:
+        """Flip a byte of a stored blob (active attacker simulation)."""
+        blob = bytearray(self._blobs[key])
+        blob[offset % len(blob)] ^= value & 0xFF
+        self._blobs[key] = bytes(blob)

@@ -1,0 +1,43 @@
+"""Image transforms: the PSP-side operations and their Eq. 2 replays.
+
+The paper's key observation is that "many interesting image
+transformations such as filtering, cropping, scaling (resizing), and
+overlapping can be expressed by linear operators" (Section 3.3).  This
+subpackage provides those operators in an explicitly linear form
+(separable weight matrices), plus the *nonlinear* enhancement ops
+(sharpening, gamma) real PSP pipelines add — the part that forces the
+reverse-engineering search of Section 4.
+"""
+
+from repro.transforms.crop import Crop, align_to_block_grid
+from repro.transforms.enhance import (
+    adjust_gamma,
+    sharpen,
+    unsharp_mask,
+)
+from repro.transforms.operators import (
+    Compose,
+    Identity,
+    LinearOperator,
+)
+from repro.transforms.resize import (
+    KERNELS,
+    Resize,
+    resize_plane,
+    resize_rgb,
+)
+
+__all__ = [
+    "LinearOperator",
+    "Identity",
+    "Compose",
+    "Resize",
+    "Crop",
+    "resize_plane",
+    "resize_rgb",
+    "KERNELS",
+    "align_to_block_grid",
+    "sharpen",
+    "unsharp_mask",
+    "adjust_gamma",
+]

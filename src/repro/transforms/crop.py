@@ -1,0 +1,75 @@
+"""Cropping operators.
+
+Cropping at 8x8 block boundaries is exactly linear; arbitrary crops are
+approximated by the nearest block-aligned crop, per the paper's
+footnote 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def align_to_block_grid(
+    top: int, left: int, height: int, width: int
+) -> tuple[int, int, int, int]:
+    """Snap a crop rectangle to the nearest 8x8 block boundaries."""
+    aligned_top = int(round(top / 8.0)) * 8
+    aligned_left = int(round(left / 8.0)) * 8
+    aligned_height = max(8, int(round(height / 8.0)) * 8)
+    aligned_width = max(8, int(round(width / 8.0)) * 8)
+    return aligned_top, aligned_left, aligned_height, aligned_width
+
+
+@dataclass(frozen=True)
+class Crop:
+    """Rectangular crop as a LinearOperator."""
+
+    top: int
+    left: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.top < 0 or self.left < 0:
+            raise ValueError("crop origin must be non-negative")
+        if self.height < 1 or self.width < 1:
+            raise ValueError("crop size must be positive")
+
+    @property
+    def is_block_aligned(self) -> bool:
+        return (
+            self.top % 8 == 0
+            and self.left % 8 == 0
+            and self.height % 8 == 0
+            and self.width % 8 == 0
+        )
+
+    def __call__(self, plane: np.ndarray) -> np.ndarray:
+        bottom = self.top + self.height
+        right = self.left + self.width
+        if bottom > plane.shape[0] or right > plane.shape[1]:
+            raise ValueError(
+                f"crop {self} exceeds plane of shape {plane.shape}"
+            )
+        return plane[self.top : bottom, self.left : right]
+
+    def output_shape(self, input_shape: tuple[int, int]) -> tuple[int, int]:
+        return (self.height, self.width)
+
+    @classmethod
+    def aligned(
+        cls, top: int, left: int, height: int, width: int
+    ) -> "Crop":
+        """Build the nearest block-aligned crop for arbitrary geometry."""
+        return cls(*align_to_block_grid(top, left, height, width))
+
+
+def crop_rgb(rgb: np.ndarray, crop: Crop) -> np.ndarray:
+    """Apply a crop to an ``(h, w, 3)`` image."""
+    return np.stack(
+        [crop(rgb[..., c].astype(np.float64)) for c in range(rgb.shape[2])],
+        axis=-1,
+    ).astype(rgb.dtype)

@@ -1,0 +1,35 @@
+"""P3 for video — the paper's Section 4.2 extension, implemented.
+
+"Extending this idea to video is feasible... As an initial step, it is
+possible to introduce the privacy preserving techniques only to the
+I-frames, which are coded independently using tools similar to those
+used in JPEG. Because other frames in a 'group of pictures' are coded
+using an I-frame as a predictor, quality reductions in an I-frame
+propagate through the remaining frames."
+
+This subpackage provides a minimal motion-JPEG-with-prediction codec
+(:mod:`repro.video.codec`: GOPs of one intra frame plus delta-coded
+predicted frames) and :mod:`repro.video.p3video`, which splits only the
+I-frames.  The propagation effect the paper predicts is measured by
+``benchmarks/bench_ext_video.py``.
+"""
+
+from repro.video.codec import (
+    VideoCodec,
+    decode_video,
+    encode_video,
+)
+from repro.video.p3video import (
+    EncryptedVideo,
+    P3VideoDecryptor,
+    P3VideoEncryptor,
+)
+
+__all__ = [
+    "VideoCodec",
+    "encode_video",
+    "decode_video",
+    "P3VideoEncryptor",
+    "P3VideoDecryptor",
+    "EncryptedVideo",
+]

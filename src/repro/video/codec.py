@@ -1,0 +1,156 @@
+"""A minimal predictive video codec (I-frames + delta-coded P-frames).
+
+Structure mirrors what P3's video extension needs from a real codec:
+
+* frames are grouped into GOPs of ``gop_size``;
+* the first frame of each GOP (the I-frame) is an ordinary JPEG;
+* every following P-frame stores the *difference* to the previously
+  reconstructed frame, mapped into [0, 255] with a half-range scale and
+  JPEG-coded — so P-frames are small and, crucially, meaningless
+  without their I-frame predictor.
+
+Container layout (big-endian):
+
+    magic "P3V1" | u16 width | u16 height | u16 frame_count |
+    u8 gop_size | per frame: u8 type ('I'/'P') | u32 length | payload
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg.codec import decode, encode_gray
+
+MAGIC = b"P3V1"
+_HEADER = struct.Struct(">4sHHHB")
+_FRAME_HEADER = struct.Struct(">cI")
+
+#: P-frame differences are mapped as diff/2 + 128 into [0.5, 255.5];
+#: half-range scaling loses 1 bit of diff precision, which stays far
+#: below the JPEG quantization loss at the qualities used here.
+_DIFF_SCALE = 0.5
+_DIFF_OFFSET = 128.0
+
+
+class VideoFormatError(ValueError):
+    """Raised for malformed video containers."""
+
+
+def _encode_diff(diff: np.ndarray, quality: int) -> bytes:
+    mapped = np.clip(diff * _DIFF_SCALE + _DIFF_OFFSET, 0.0, 255.0)
+    return encode_gray(mapped, quality=quality)
+
+
+def _decode_diff(data: bytes) -> np.ndarray:
+    mapped = decode(data)
+    return (mapped - _DIFF_OFFSET) / _DIFF_SCALE
+
+
+@dataclass
+class _Frame:
+    kind: bytes  # b"I" or b"P"
+    payload: bytes
+
+
+class VideoCodec:
+    """Encode/decode grayscale frame sequences with I/P GOP structure."""
+
+    def __init__(self, gop_size: int = 6, quality: int = 85) -> None:
+        if gop_size < 1:
+            raise ValueError(f"gop_size must be >= 1, got {gop_size}")
+        self.gop_size = gop_size
+        self.quality = quality
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, frames: list[np.ndarray]) -> bytes:
+        """Encode a list of equal-shaped (h, w) float frames."""
+        if not frames:
+            raise ValueError("need at least one frame")
+        height, width = frames[0].shape
+        encoded: list[_Frame] = []
+        reference: np.ndarray | None = None
+        for index, frame in enumerate(frames):
+            if frame.shape != (height, width):
+                raise ValueError(
+                    f"frame {index} has shape {frame.shape}, expected "
+                    f"{(height, width)}"
+                )
+            if index % self.gop_size == 0:
+                payload = encode_gray(frame, quality=self.quality)
+                encoded.append(_Frame(kind=b"I", payload=payload))
+                reference = decode(payload)
+            else:
+                assert reference is not None
+                payload = _encode_diff(frame - reference, self.quality)
+                encoded.append(_Frame(kind=b"P", payload=payload))
+                reference = np.clip(
+                    reference + _decode_diff(payload), 0.0, 255.0
+                )
+        out = bytearray(
+            _HEADER.pack(MAGIC, width, height, len(frames), self.gop_size)
+        )
+        for frame in encoded:
+            out.extend(_FRAME_HEADER.pack(frame.kind, len(frame.payload)))
+            out.extend(frame.payload)
+        return bytes(out)
+
+    # -- decoding -------------------------------------------------------------
+
+    @staticmethod
+    def parse(data: bytes) -> tuple[int, int, int, int, list[_Frame]]:
+        """Parse the container; returns (w, h, count, gop, frames)."""
+        if len(data) < _HEADER.size:
+            raise VideoFormatError("container too short")
+        magic, width, height, count, gop_size = _HEADER.unpack(
+            data[: _HEADER.size]
+        )
+        if magic != MAGIC:
+            raise VideoFormatError("bad video magic")
+        frames: list[_Frame] = []
+        position = _HEADER.size
+        for _ in range(count):
+            if position + _FRAME_HEADER.size > len(data):
+                raise VideoFormatError("truncated frame header")
+            kind, length = _FRAME_HEADER.unpack(
+                data[position : position + _FRAME_HEADER.size]
+            )
+            position += _FRAME_HEADER.size
+            payload = data[position : position + length]
+            if len(payload) != length:
+                raise VideoFormatError("truncated frame payload")
+            position += length
+            frames.append(_Frame(kind=kind, payload=payload))
+        return width, height, count, gop_size, frames
+
+    def decode(self, data: bytes) -> list[np.ndarray]:
+        """Decode a container back into (h, w) float frames."""
+        width, height, count, gop_size, frames = self.parse(data)
+        out: list[np.ndarray] = []
+        reference: np.ndarray | None = None
+        for frame in frames:
+            if frame.kind == b"I":
+                reference = decode(frame.payload)
+            else:
+                if reference is None:
+                    raise VideoFormatError("P-frame before any I-frame")
+                reference = np.clip(
+                    reference + _decode_diff(frame.payload), 0.0, 255.0
+                )
+            out.append(reference.copy())
+        return out
+
+
+def encode_video(
+    frames: list[np.ndarray], gop_size: int = 6, quality: int = 85
+) -> bytes:
+    """Convenience wrapper around :class:`VideoCodec`."""
+    return VideoCodec(gop_size=gop_size, quality=quality).encode(frames)
+
+
+def decode_video(data: bytes) -> list[np.ndarray]:
+    """Convenience wrapper around :class:`VideoCodec`."""
+    return VideoCodec().decode(data)

@@ -1,0 +1,151 @@
+"""P3 applied to video: split the I-frames, leave P-frames public.
+
+Sender side: each I-frame runs through the standard P3 split; the
+public video keeps the public I-frames (and the untouched P-frames,
+which are differences and carry little absolute content without their
+predictor).  The secret parts of all I-frames travel together in one
+AES envelope.
+
+Recipient side: reconstruct each I-frame exactly (Eq. 1), then replay
+the P-frame deltas — identical quality to watching the plain video.
+
+As the paper predicts, the I-frame degradation *propagates* through
+each GOP of the public video: every P-frame reconstructs on top of a
+useless predictor, so the whole public video is privacy-preserved even
+though only I-frames were split.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reconstruction import recombine
+from repro.core.serialization import deserialize_secret, serialize_secret
+from repro.core.splitting import split_image
+from repro.crypto.envelope import open_envelope, seal_envelope
+from repro.jpeg.codec import decode_coefficients, encode_coefficients
+from repro.jpeg.decoder import coefficients_to_pixels
+from repro.video.codec import MAGIC, VideoCodec, VideoFormatError, _Frame, _FRAME_HEADER, _HEADER
+
+
+@dataclass
+class EncryptedVideo:
+    """The two artifacts of a P3-encrypted video."""
+
+    public_video: bytes
+    secret_envelope: bytes
+
+    @property
+    def total_size(self) -> int:
+        return len(self.public_video) + len(self.secret_envelope)
+
+
+def _pack_secrets(containers: list[bytes]) -> bytes:
+    out = bytearray(struct.pack(">H", len(containers)))
+    for container in containers:
+        out.extend(struct.pack(">I", len(container)))
+        out.extend(container)
+    return bytes(out)
+
+
+def _unpack_secrets(data: bytes) -> list[bytes]:
+    (count,) = struct.unpack(">H", data[:2])
+    containers = []
+    position = 2
+    for _ in range(count):
+        (length,) = struct.unpack(">I", data[position : position + 4])
+        position += 4
+        containers.append(data[position : position + length])
+        position += length
+    return containers
+
+
+class P3VideoEncryptor:
+    """Splits the I-frames of a P3V1 video container."""
+
+    def __init__(self, key: bytes, threshold: int = 15) -> None:
+        self._key = key
+        self.threshold = threshold
+
+    def encrypt(self, video: bytes) -> EncryptedVideo:
+        """Split every I-frame; returns public video + secret envelope."""
+        width, height, count, gop_size, frames = VideoCodec.parse(video)
+        public_frames: list[_Frame] = []
+        secret_containers: list[bytes] = []
+        for frame in frames:
+            if frame.kind == b"I":
+                coefficients = decode_coefficients(frame.payload)
+                split = split_image(coefficients, self.threshold)
+                public_frames.append(
+                    _Frame(
+                        kind=b"I",
+                        payload=encode_coefficients(split.public),
+                    )
+                )
+                secret_containers.append(
+                    serialize_secret(split.secret, self.threshold)
+                )
+            else:
+                public_frames.append(frame)
+        out = bytearray(
+            _HEADER.pack(MAGIC, width, height, count, gop_size)
+        )
+        for frame in public_frames:
+            out.extend(_FRAME_HEADER.pack(frame.kind, len(frame.payload)))
+            out.extend(frame.payload)
+        envelope = seal_envelope(self._key, _pack_secrets(secret_containers))
+        return EncryptedVideo(
+            public_video=bytes(out), secret_envelope=envelope
+        )
+
+
+class P3VideoDecryptor:
+    """Recombines split I-frames and replays the P-frame deltas."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+
+    def decrypt(self, encrypted: EncryptedVideo) -> list[np.ndarray]:
+        """Reconstruct the full frame sequence."""
+        secrets = [
+            deserialize_secret(container)
+            for container in _unpack_secrets(
+                open_envelope(self._key, encrypted.secret_envelope)
+            )
+        ]
+        width, height, count, gop_size, frames = VideoCodec.parse(
+            encrypted.public_video
+        )
+        from repro.video.codec import _decode_diff
+
+        out: list[np.ndarray] = []
+        reference: np.ndarray | None = None
+        intra_index = 0
+        for frame in frames:
+            if frame.kind == b"I":
+                if intra_index >= len(secrets):
+                    raise VideoFormatError(
+                        "public video has more I-frames than secrets"
+                    )
+                secret_part = secrets[intra_index]
+                intra_index += 1
+                public = decode_coefficients(frame.payload)
+                combined = recombine(
+                    public, secret_part.image, secret_part.threshold
+                )
+                reference = coefficients_to_pixels(combined)
+            else:
+                if reference is None:
+                    raise VideoFormatError("P-frame before any I-frame")
+                reference = np.clip(
+                    reference + _decode_diff(frame.payload), 0.0, 255.0
+                )
+            out.append(reference.copy())
+        return out
+
+    def decrypt_public_only(self, encrypted: EncryptedVideo) -> list[np.ndarray]:
+        """What a key-less viewer sees: degraded I-frames propagate."""
+        return VideoCodec().decode(encrypted.public_video)

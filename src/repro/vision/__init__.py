@@ -1,0 +1,45 @@
+"""The attack suite used in the paper's privacy evaluation (Section 5).
+
+Each algorithm here plays the role of an automated "privacy attack" run
+against the public part of a P3-split photo:
+
+* :mod:`repro.vision.canny` — Canny edge detection (Figure 8a / 9),
+* :mod:`repro.vision.facedetect` — Viola-Jones face detection
+  (Figure 8b),
+* :mod:`repro.vision.sift` — SIFT feature extraction and matching
+  (Figure 8c),
+* :mod:`repro.vision.eigenfaces` — Eigenfaces recognition with CMC
+  evaluation (Figure 8d),
+* :mod:`repro.vision.metrics` — PSNR/SSIM and the edge matching-pixel
+  ratio used throughout.
+"""
+
+from repro.vision.canny import canny
+from repro.vision.eigenfaces import EigenfaceModel, cumulative_match_curve
+from repro.vision.facedetect import FaceDetector, train_default_detector
+from repro.vision.metrics import (
+    edge_matching_ratio,
+    mse,
+    psnr,
+    ssim,
+)
+from repro.vision.sift import (
+    SiftFeature,
+    detect_and_describe,
+    match_features,
+)
+
+__all__ = [
+    "canny",
+    "psnr",
+    "mse",
+    "ssim",
+    "edge_matching_ratio",
+    "detect_and_describe",
+    "match_features",
+    "SiftFeature",
+    "FaceDetector",
+    "train_default_detector",
+    "EigenfaceModel",
+    "cumulative_match_curve",
+]

@@ -1,0 +1,191 @@
+"""AdaBoost with decision stumps and the attentional cascade (VJ 2001).
+
+Training is fully vectorized: the (features x samples) response matrix
+is computed once; each boosting round scans every feature's sorted
+responses with cumulative weight sums to find the optimal stump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Stump:
+    """A one-feature threshold classifier.
+
+    Predicts positive when ``polarity * value < polarity * threshold``.
+    """
+
+    feature_index: int
+    threshold: float
+    polarity: int  # +1 or -1
+    alpha: float  # boosting weight
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        return (self.polarity * values) < (self.polarity * self.threshold)
+
+
+@dataclass
+class Stage:
+    """One cascade stage: a weighted stump committee with a threshold."""
+
+    stumps: list[Stump]
+    threshold: float
+
+    def scores(self, value_rows: np.ndarray) -> np.ndarray:
+        """Committee scores for samples.
+
+        ``value_rows[i]`` holds the i-th stump's feature values across
+        samples (already gathered by feature index).
+        """
+        total = np.zeros(value_rows.shape[1], dtype=np.float64)
+        for row, stump in zip(value_rows, self.stumps):
+            total += stump.alpha * stump.predict(row)
+        return total
+
+    def passes(self, value_rows: np.ndarray) -> np.ndarray:
+        return self.scores(value_rows) >= self.threshold
+
+    @property
+    def feature_indices(self) -> list[int]:
+        return [stump.feature_index for stump in self.stumps]
+
+
+@dataclass
+class Cascade:
+    """An ordered list of stages; a window must pass all of them."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    @property
+    def num_features_used(self) -> int:
+        return sum(len(stage.stumps) for stage in self.stages)
+
+
+def _best_stump_per_feature(
+    responses: np.ndarray,
+    order: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """For every feature, the minimal weighted error and its stump.
+
+    ``responses`` is (F, N); ``order`` its per-row argsort.  Returns
+    arrays (errors, thresholds, polarities), each length F.
+    """
+    num_features, num_samples = responses.shape
+    sorted_weights = weights[order]
+    sorted_labels = labels[order]
+    weight_pos = np.where(sorted_labels, sorted_weights, 0.0)
+    weight_neg = np.where(~sorted_labels, sorted_weights, 0.0)
+    total_pos = weight_pos.sum(axis=1, keepdims=True)
+    total_neg = weight_neg.sum(axis=1, keepdims=True)
+    # below_pos[f, i] = weight of positives with response < cut i.
+    below_pos = np.concatenate(
+        [np.zeros((num_features, 1)), np.cumsum(weight_pos, axis=1)], axis=1
+    )
+    below_neg = np.concatenate(
+        [np.zeros((num_features, 1)), np.cumsum(weight_neg, axis=1)], axis=1
+    )
+    # polarity +1: predict positive below the cut.
+    error_plus = below_neg + (total_pos - below_pos)
+    # polarity -1: predict positive above the cut.
+    error_minus = below_pos + (total_neg - below_neg)
+
+    best_plus_index = np.argmin(error_plus, axis=1)
+    best_minus_index = np.argmin(error_minus, axis=1)
+    rows = np.arange(num_features)
+    best_plus = error_plus[rows, best_plus_index]
+    best_minus = error_minus[rows, best_minus_index]
+
+    use_minus = best_minus < best_plus
+    errors = np.where(use_minus, best_minus, best_plus)
+    cut_indices = np.where(use_minus, best_minus_index, best_plus_index)
+    polarities = np.where(use_minus, -1, 1)
+
+    # Convert cut index i (0..N) to a threshold value between the two
+    # adjacent sorted responses.
+    sorted_responses = np.take_along_axis(responses, order, axis=1)
+    padded = np.concatenate(
+        [
+            sorted_responses[:, :1] - 1.0,
+            (sorted_responses[:, :-1] + sorted_responses[:, 1:]) / 2.0,
+            sorted_responses[:, -1:] + 1.0,
+        ],
+        axis=1,
+    )
+    thresholds = padded[rows, cut_indices]
+    return errors, thresholds, polarities
+
+
+def train_committee(
+    responses: np.ndarray,
+    labels: np.ndarray,
+    num_rounds: int,
+) -> list[Stump]:
+    """AdaBoost: select ``num_rounds`` stumps over the response matrix.
+
+    ``responses`` is (F, N) feature values; ``labels`` is (N,) bool.
+    """
+    num_features, num_samples = responses.shape
+    labels = labels.astype(bool)
+    order = np.argsort(responses, axis=1, kind="stable")
+    positives = int(labels.sum())
+    negatives = num_samples - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("training needs both positive and negative samples")
+    weights = np.where(labels, 0.5 / positives, 0.5 / negatives)
+
+    stumps: list[Stump] = []
+    for _ in range(num_rounds):
+        weights = weights / weights.sum()
+        errors, thresholds, polarities = _best_stump_per_feature(
+            responses, order, labels, weights
+        )
+        best = int(np.argmin(errors))
+        error = float(np.clip(errors[best], 1e-10, 1 - 1e-10))
+        stump_raw = Stump(
+            feature_index=best,
+            threshold=float(thresholds[best]),
+            polarity=int(polarities[best]),
+            alpha=0.0,
+        )
+        predictions = stump_raw.predict(responses[best])
+        beta = error / (1.0 - error)
+        alpha = float(np.log(1.0 / beta))
+        stumps.append(
+            Stump(
+                feature_index=best,
+                threshold=stump_raw.threshold,
+                polarity=stump_raw.polarity,
+                alpha=alpha,
+            )
+        )
+        correct = predictions == labels
+        weights = weights * np.where(correct, beta, 1.0)
+    return stumps
+
+
+def calibrate_stage(
+    stumps: list[Stump],
+    responses: np.ndarray,
+    labels: np.ndarray,
+    min_detection_rate: float = 0.995,
+) -> Stage:
+    """Set the stage threshold so at least ``min_detection_rate`` of the
+    positives pass (the cascade's asymmetry: stages may have many false
+    positives but almost no false negatives)."""
+    value_rows = responses[[s.feature_index for s in stumps]]
+    stage = Stage(stumps=stumps, threshold=0.0)
+    scores = stage.scores(value_rows)
+    positive_scores = np.sort(scores[labels])
+    if positive_scores.size == 0:
+        raise ValueError("stage calibration needs positive samples")
+    cutoff_index = int(
+        np.floor((1.0 - min_detection_rate) * positive_scores.size)
+    )
+    stage.threshold = float(positive_scores[cutoff_index])
+    return stage

@@ -1,0 +1,373 @@
+"""Multi-scale Viola-Jones face detector, trained in-repo.
+
+No pre-trained cascade can be shipped or downloaded offline, so the
+detector is trained on the synthetic face corpus: positives are aligned
+face crops, negatives are scene patches and face-free clutter.  The
+resulting cascade plays the role of OpenCV's Haar detector in the
+Figure 8b attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datasets.faces import render_face, sample_identity
+from repro.datasets.scenes import render_scene
+from repro.transforms.resize import resize_plane
+from repro.vision.boost import Cascade, Stage, calibrate_stage, train_committee
+from repro.vision.haar import WINDOW, HaarFeature, generate_features
+from repro.vision.integral import integral_image
+from repro.vision.kernels import to_luma
+
+
+@dataclass
+class Detection:
+    """One detected face: window origin and side length, plus score."""
+
+    top: int
+    left: int
+    size: int
+    score: float
+
+    def intersection_over_union(self, other: "Detection") -> float:
+        y0 = max(self.top, other.top)
+        x0 = max(self.left, other.left)
+        y1 = min(self.top + self.size, other.top + other.size)
+        x1 = min(self.left + self.size, other.left + other.size)
+        if y1 <= y0 or x1 <= x0:
+            return 0.0
+        intersection = (y1 - y0) * (x1 - x0)
+        union = self.size**2 + other.size**2 - intersection
+        return intersection / union
+
+
+def _normalized_patch_tables(patches: list[np.ndarray]) -> np.ndarray:
+    """Variance-normalize 24x24 patches and stack their integral tables."""
+    tables = np.zeros((len(patches), WINDOW + 1, WINDOW + 1))
+    for index, patch in enumerate(patches):
+        std = float(patch.std())
+        normalized = patch / (std if std > 1e-6 else 1.0)
+        tables[index] = integral_image(normalized)
+    return tables
+
+
+def _response_matrix(
+    features: list[HaarFeature], tables: np.ndarray
+) -> np.ndarray:
+    """(F, N) matrix of feature responses over normalized patches."""
+    responses = np.zeros((len(features), tables.shape[0]))
+    for index, feature in enumerate(features):
+        responses[index] = feature.evaluate_patches(tables)
+    return responses
+
+
+class FaceDetector:
+    """A trained attentional cascade plus the sliding-window machinery."""
+
+    def __init__(self, features: list[HaarFeature], cascade: Cascade) -> None:
+        self.features = features
+        self.cascade = cascade
+
+    # -- detection ----------------------------------------------------------
+
+    def detect(
+        self,
+        image: np.ndarray,
+        scale_factor: float = 1.25,
+        step_fraction: float = 0.08,
+        min_size: int = WINDOW,
+        merge_iou: float = 0.3,
+        min_neighbors: int = 3,
+    ) -> list[Detection]:
+        """Detect faces at multiple scales; returns merged detections.
+
+        ``min_neighbors`` plays the same role as in OpenCV: a face must
+        be confirmed by at least that many overlapping raw windows,
+        which suppresses isolated false alarms.
+        """
+        luma = to_luma(np.asarray(image))
+        raw: list[Detection] = []
+        size = float(min_size)
+        while size <= min(luma.shape):
+            raw.extend(self._detect_at_size(luma, int(round(size)), step_fraction))
+            size *= scale_factor
+        return self._group(raw, merge_iou, min_neighbors)
+
+    def count_faces(self, image: np.ndarray) -> int:
+        """Convenience for the Figure 8b metric."""
+        return len(self.detect(image))
+
+    def _detect_at_size(
+        self, luma: np.ndarray, window: int, step_fraction: float
+    ) -> list[Detection]:
+        height, width = luma.shape
+        if window > height or window > width:
+            return []
+        table = integral_image(luma)
+        table_sq = integral_image(luma.astype(np.float64) ** 2)
+        step = max(1, int(round(window * step_fraction)))
+        tops = np.arange(0, height - window + 1, step)
+        lefts = np.arange(0, width - window + 1, step)
+        if tops.size == 0 or lefts.size == 0:
+            return []
+        grid_tops = tops.reshape(-1, 1)
+        grid_lefts = lefts.reshape(1, -1)
+
+        # Window standard deviation for variance normalization.
+        area = window * window
+        sums = (
+            table[grid_tops + window, grid_lefts + window]
+            - table[grid_tops, grid_lefts + window]
+            - table[grid_tops + window, grid_lefts]
+            + table[grid_tops, grid_lefts]
+        )
+        sums_sq = (
+            table_sq[grid_tops + window, grid_lefts + window]
+            - table_sq[grid_tops, grid_lefts + window]
+            - table_sq[grid_tops + window, grid_lefts]
+            + table_sq[grid_tops, grid_lefts]
+        )
+        variance = np.maximum(sums_sq / area - (sums / area) ** 2, 1e-12)
+        stds = np.sqrt(variance)
+
+        scale = window / WINDOW
+        alive_tops = np.repeat(grid_tops, lefts.size, axis=1)[
+            np.ones((tops.size, lefts.size), dtype=bool)
+        ]
+        alive_lefts = np.tile(grid_lefts, (tops.size, 1))[
+            np.ones((tops.size, lefts.size), dtype=bool)
+        ]
+        alive_stds = stds.ravel()
+        final_scores = np.zeros(alive_tops.shape[0])
+
+        for stage in self.cascade.stages:
+            if alive_tops.size == 0:
+                break
+            scores = np.zeros(alive_tops.shape[0])
+            for stump in stage.stumps:
+                feature = self.features[stump.feature_index]
+                values = feature.evaluate_grid(
+                    table, alive_tops, alive_lefts, scale=scale
+                )
+                values = values / (alive_stds * area / (WINDOW * WINDOW))
+                scores += stump.alpha * (
+                    (stump.polarity * values)
+                    < (stump.polarity * stump.threshold)
+                )
+            passed = scores >= stage.threshold
+            alive_tops = alive_tops[passed]
+            alive_lefts = alive_lefts[passed]
+            alive_stds = alive_stds[passed]
+            final_scores = scores[passed]
+
+        return [
+            Detection(top=int(t), left=int(l), size=window, score=float(s))
+            for t, l, s in zip(alive_tops, alive_lefts, final_scores)
+        ]
+
+    @staticmethod
+    def _group(
+        detections: list[Detection], iou: float, min_neighbors: int
+    ) -> list[Detection]:
+        """Cluster raw windows; emit the average of large-enough groups."""
+        detections = sorted(detections, key=lambda d: -d.score)
+        groups: list[list[Detection]] = []
+        for detection in detections:
+            for group in groups:
+                if detection.intersection_over_union(group[0]) >= iou:
+                    group.append(detection)
+                    break
+            else:
+                groups.append([detection])
+        merged = []
+        for group in groups:
+            if len(group) < min_neighbors:
+                continue
+            merged.append(
+                Detection(
+                    top=int(round(np.mean([d.top for d in group]))),
+                    left=int(round(np.mean([d.left for d in group]))),
+                    size=int(round(np.mean([d.size for d in group]))),
+                    score=float(sum(d.score for d in group)),
+                )
+            )
+        merged.sort(key=lambda d: -d.score)
+        return merged
+
+
+# -- training ----------------------------------------------------------------
+
+
+def _training_patches(
+    num_positives: int, num_negatives: int, seed: int
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Render aligned face patches and background patches at 24x24.
+
+    Negatives mix whole-scene crops at many sizes with *near-miss*
+    windows from face images (offset/oversized crops around real faces),
+    the hard negatives a sliding-window detector actually encounters.
+    """
+    rng = np.random.default_rng(seed)
+    positives = []
+    face_images: list[np.ndarray] = []
+    for index in range(num_positives):
+        identity = sample_identity(rng)
+        sample = render_face(
+            identity,
+            np.random.default_rng(seed + 7919 + index),
+            height=64,
+            width=64,
+            face_scale=0.8,
+            cluttered_background=bool(index % 2),
+        )
+        top, left, height, width = sample.bbox
+        luma = to_luma(sample.image)
+        face_images.append(luma)
+        crop = luma[top : top + height, left : left + width]
+        positives.append(resize_plane(crop, WINDOW, WINDOW, "bilinear"))
+
+    negatives = []
+    scenes = [
+        render_scene(seed + 104729 + i, height=128, width=128)
+        for i in range(max(8, num_negatives // 24))
+    ]
+    for index in range(num_negatives):
+        if index % 4 == 3 and face_images:
+            # Near-miss: a small corner/edge crop of a face image that
+            # does not contain the whole face.
+            luma = face_images[index % len(face_images)]
+            size = int(rng.integers(16, 30))
+            top = int(rng.integers(0, luma.shape[0] - size + 1))
+            left = (
+                int(rng.integers(0, 12))
+                if rng.uniform() < 0.5
+                else int(luma.shape[1] - size - rng.integers(0, 12))
+            )
+            patch = luma[top : top + size, left : left + size]
+        else:
+            scene = to_luma(scenes[index % len(scenes)])
+            size = int(rng.integers(20, 100))
+            top = int(rng.integers(0, scene.shape[0] - size + 1))
+            left = int(rng.integers(0, scene.shape[1] - size + 1))
+            patch = scene[top : top + size, left : left + size]
+        negatives.append(resize_plane(patch, WINDOW, WINDOW, "bilinear"))
+    return positives, negatives
+
+
+def _cascade_passes_tables(
+    features: list[HaarFeature], cascade: Cascade, tables: np.ndarray
+) -> np.ndarray:
+    """Which normalized patch tables pass every current stage."""
+    alive = np.ones(tables.shape[0], dtype=bool)
+    for stage in cascade.stages:
+        if not alive.any():
+            break
+        scores = np.zeros(tables.shape[0])
+        for stump in stage.stumps:
+            values = features[stump.feature_index].evaluate_patches(tables)
+            scores += stump.alpha * stump.predict(values)
+        alive &= scores >= stage.threshold
+    return alive
+
+
+def _mine_hard_negatives(
+    features: list[HaarFeature],
+    cascade: Cascade,
+    needed: int,
+    seed: int,
+    max_batches: int = 30,
+) -> np.ndarray:
+    """Sample fresh scene patches that the current cascade wrongly passes.
+
+    This is the bootstrapping loop of Viola-Jones: every stage after the
+    first trains against the previous stages' *false positives*, not
+    against easy random patches.
+    """
+    rng = np.random.default_rng(seed)
+    mined: list[np.ndarray] = []
+    for batch in range(max_batches):
+        scene = to_luma(
+            render_scene(seed + 811 * (batch + 1), height=128, width=128)
+        )
+        patches = []
+        for _ in range(48):
+            size = int(rng.integers(20, 100))
+            top = int(rng.integers(0, scene.shape[0] - size + 1))
+            left = int(rng.integers(0, scene.shape[1] - size + 1))
+            patch = scene[top : top + size, left : left + size]
+            patches.append(resize_plane(patch, WINDOW, WINDOW, "bilinear"))
+        tables = _normalized_patch_tables(patches)
+        passing = _cascade_passes_tables(features, cascade, tables)
+        mined.extend(tables[passing])
+        if len(mined) >= needed:
+            break
+    if not mined:
+        return np.zeros((0, WINDOW + 1, WINDOW + 1))
+    return np.stack(mined[:needed])
+
+
+def train_cascade(
+    positives: list[np.ndarray],
+    negatives: list[np.ndarray],
+    stage_sizes: tuple[int, ...] = (8, 16, 30, 50),
+    min_detection_rate: float = 0.995,
+    mine_negatives: bool = True,
+    seed: int = 65537,
+) -> tuple[list[HaarFeature], Cascade]:
+    """Train an attentional cascade on 24x24 grayscale patches.
+
+    After each stage, negatives the cascade already rejects are dropped
+    and (with ``mine_negatives``) replaced by freshly mined false
+    positives, so later stages concentrate on the hard examples.
+    """
+    features = generate_features()
+    positive_tables = _normalized_patch_tables(positives)
+    negative_tables = _normalized_patch_tables(negatives)
+    cascade = Cascade()
+    minimum_negatives = max(32, len(positives) // 2)
+    for stage_index, stage_size in enumerate(stage_sizes):
+        if (
+            negative_tables.shape[0] < minimum_negatives
+            and mine_negatives
+            and cascade.stages
+        ):
+            mined = _mine_hard_negatives(
+                features,
+                cascade,
+                needed=minimum_negatives * 4,
+                seed=seed + 7 * stage_index,
+            )
+            if mined.shape[0]:
+                negative_tables = np.concatenate(
+                    [negative_tables, mined]
+                )
+        if negative_tables.shape[0] < 8:
+            break  # cascade already rejects (almost) everything
+        tables = np.concatenate([positive_tables, negative_tables])
+        labels = np.zeros(tables.shape[0], dtype=bool)
+        labels[: positive_tables.shape[0]] = True
+        responses = _response_matrix(features, tables)
+        stumps = train_committee(responses, labels, stage_size)
+        stage = calibrate_stage(
+            stumps, responses, labels, min_detection_rate
+        )
+        cascade.stages.append(stage)
+        # Keep only negatives this stage still (wrongly) passes.
+        negative_responses = responses[:, ~labels]
+        value_rows = negative_responses[stage.feature_indices]
+        still_passing = stage.passes(value_rows)
+        negative_tables = negative_tables[still_passing]
+    return features, cascade
+
+
+@lru_cache(maxsize=2)
+def train_default_detector(seed: int = 7) -> FaceDetector:
+    """Train (once per process) the detector used by tests and benches."""
+    positives, negatives = _training_patches(
+        num_positives=150, num_negatives=1200, seed=seed
+    )
+    features, cascade = train_cascade(positives, negatives)
+    return FaceDetector(features=features, cascade=cascade)

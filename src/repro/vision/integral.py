@@ -1,0 +1,56 @@
+"""Integral images (summed-area tables) for Haar feature evaluation.
+
+The Viola-Jones detector evaluates thousands of rectangle sums per
+window; the integral image makes each sum four lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def integral_image(plane: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero row/column prepended.
+
+    ``result[y, x]`` is the sum of ``plane[:y, :x]``, so a rectangle sum
+    is ``ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0]``.
+    """
+    if plane.ndim != 2:
+        raise ValueError(f"expected 2-D plane, got shape {plane.shape}")
+    table = np.zeros(
+        (plane.shape[0] + 1, plane.shape[1] + 1), dtype=np.float64
+    )
+    np.cumsum(np.cumsum(plane, axis=0), axis=1, out=table[1:, 1:])
+    return table
+
+
+def box_sum(
+    table: np.ndarray, top: int, left: int, height: int, width: int
+) -> float:
+    """Sum of the rectangle [top, top+height) x [left, left+width)."""
+    bottom = top + height
+    right = left + width
+    return float(
+        table[bottom, right]
+        - table[top, right]
+        - table[bottom, left]
+        + table[top, left]
+    )
+
+
+def box_sums(
+    table: np.ndarray,
+    tops: np.ndarray,
+    lefts: np.ndarray,
+    heights: np.ndarray,
+    widths: np.ndarray,
+) -> np.ndarray:
+    """Vectorized rectangle sums for arrays of rectangles."""
+    bottoms = tops + heights
+    rights = lefts + widths
+    return (
+        table[bottoms, rights]
+        - table[tops, rights]
+        - table[bottoms, lefts]
+        + table[tops, lefts]
+    )

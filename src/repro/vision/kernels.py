@@ -1,0 +1,49 @@
+"""Shared convolution kernels for the vision stack."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def gaussian_kernel_1d(sigma: float, truncate: float = 4.0) -> np.ndarray:
+    """A normalized 1-D Gaussian kernel."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    radius = max(1, int(truncate * sigma + 0.5))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (xs / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(plane: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with edge replication."""
+    if sigma <= 0:
+        return plane.astype(np.float64)
+    kernel = gaussian_kernel_1d(sigma)
+    blurred = ndimage.convolve1d(
+        plane.astype(np.float64), kernel, axis=0, mode="nearest"
+    )
+    return ndimage.convolve1d(blurred, kernel, axis=1, mode="nearest")
+
+
+def sobel_gradients(plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sobel gradient images ``(gy, gx)``."""
+    plane = plane.astype(np.float64)
+    kernel_smooth = np.array([1.0, 2.0, 1.0])
+    kernel_diff = np.array([1.0, 0.0, -1.0])
+    gy = ndimage.convolve1d(plane, kernel_diff, axis=0, mode="nearest")
+    gy = ndimage.convolve1d(gy, kernel_smooth, axis=1, mode="nearest")
+    gx = ndimage.convolve1d(plane, kernel_diff, axis=1, mode="nearest")
+    gx = ndimage.convolve1d(gx, kernel_smooth, axis=0, mode="nearest")
+    return gy, gx
+
+
+def to_luma(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB or grayscale array to a float64 luma plane."""
+    if image.ndim == 2:
+        return image.astype(np.float64)
+    if image.ndim == 3 and image.shape[2] == 3:
+        weights = np.array([0.299, 0.587, 0.114])
+        return image.astype(np.float64) @ weights
+    raise ValueError(f"expected (h, w) or (h, w, 3), got {image.shape}")

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Series, Table, format_table
+from repro.analysis.sweep import psnr_sweep, size_sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    from repro.datasets import usc_sipi_like
+
+    return usc_sipi_like(count=2, size=96)
+
+
+class TestSizeSweep:
+    def test_secret_fraction_decreases_with_threshold(self, tiny_corpus):
+        result = size_sweep(tiny_corpus, thresholds=(1, 10, 50))
+        assert result.secret_fraction_mean == sorted(
+            result.secret_fraction_mean, reverse=True
+        )
+
+    def test_total_overhead_bounded(self, tiny_corpus):
+        """Figure 5: total is ~1.2x at T=1 and shrinks toward 1.0."""
+        result = size_sweep(tiny_corpus, thresholds=(1, 20))
+        assert result.total_fraction_mean[0] < 1.6
+        assert result.total_fraction_mean[1] < result.total_fraction_mean[0]
+
+    def test_all_lists_aligned(self, tiny_corpus):
+        result = size_sweep(tiny_corpus, thresholds=(5, 15))
+        assert (
+            len(result.thresholds)
+            == len(result.public_fraction_mean)
+            == len(result.secret_fraction_std)
+            == 2
+        )
+
+
+class TestPsnrSweep:
+    def test_public_much_worse_than_secret(self, tiny_corpus):
+        result = psnr_sweep(tiny_corpus, thresholds=(10,))
+        assert result.public_psnr_mean[0] < 25.0
+        assert result.secret_psnr_mean[0] > result.public_psnr_mean[0]
+
+    def test_public_psnr_flat_across_thresholds(self, tiny_corpus):
+        """Figure 6: the DC extraction dominates, so public PSNR rises
+        only slightly with T."""
+        result = psnr_sweep(tiny_corpus, thresholds=(1, 100))
+        assert (
+            result.public_psnr_mean[1] - result.public_psnr_mean[0] < 10.0
+        )
+
+
+class TestReport:
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError):
+            Series(name="x", xs=[1, 2], ys=[1])
+
+    def test_format_table_alignment(self):
+        table = Table(title="demo", x_label="T")
+        table.add("a", [1, 5, 10], [0.5, 0.25, 0.125])
+        text = format_table(table)
+        assert "== demo ==" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, header, rule, 3 rows
+
+    def test_format_table_mixed_x_rejected(self):
+        table = Table(title="demo", x_label="T")
+        table.add("a", [1, 2], [0.0, 1.0])
+        table.add("b", [1, 3], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            format_table(table)
+
+    def test_format_handles_inf_nan(self):
+        table = Table(title="demo", x_label="T")
+        table.add("a", [1.0], [float("inf")])
+        table.add("b", [1.0], [float("nan")])
+        text = format_table(table)
+        assert "inf" in text
+        assert "nan" in text
+
+    def test_empty_table(self):
+        assert "(empty)" in format_table(Table(title="t", x_label="x"))

@@ -1,0 +1,66 @@
+"""Shared fixtures: deterministic images, corpora and trained models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def gray_image() -> np.ndarray:
+    """A structured 128x128 grayscale image with edges and texture."""
+    rng = np.random.default_rng(42)
+    x = np.linspace(0, 255, 128)
+    image = np.outer(np.sin(x / 9.0) * 80 + 120, np.cos(x / 17.0)) * 0.5
+    image += 100.0
+    image[40:80, 30:90] += 60.0  # a bright rectangle -> crisp edges
+    image += rng.normal(0, 5, (128, 128))
+    return np.clip(image, 0, 255)
+
+
+@pytest.fixture(scope="session")
+def rgb_image() -> np.ndarray:
+    """A structured 96x80 RGB image."""
+    rng = np.random.default_rng(7)
+    gradient = np.indices((96, 80)).sum(axis=0)[..., None]
+    noise = rng.integers(0, 256, (96, 80, 3)).astype(np.float64)
+    image = noise * 0.3 + gradient
+    image[20:50, 20:60, 0] += 80  # red patch
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+@pytest.fixture(scope="session")
+def odd_gray_image() -> np.ndarray:
+    """Dimensions not divisible by 8 or 16 (padding paths)."""
+    rng = np.random.default_rng(3)
+    image = np.outer(
+        np.linspace(30, 220, 61), np.linspace(50, 200, 45)
+    ) / 220.0 * 200.0
+    image += rng.normal(0, 4, (61, 45))
+    return np.clip(image, 0, 255)
+
+
+@pytest.fixture(scope="session")
+def scene_corpus():
+    from repro.datasets import usc_sipi_like
+
+    return usc_sipi_like(count=3, size=128)
+
+
+@pytest.fixture(scope="session")
+def trained_detector():
+    from repro.vision.facedetect import train_default_detector
+
+    return train_default_detector()
+
+
+@pytest.fixture(scope="session")
+def small_feret():
+    from repro.datasets import feret_like
+
+    return feret_like(subjects=8, probes_per_subject=2, size=96)
+
+
+@pytest.fixture()
+def album_key() -> bytes:
+    return bytes(range(16))

@@ -1,0 +1,93 @@
+"""Property-based tests of the P3 core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reconstruction import recombine_block_arrays
+from repro.core.splitting import split_block_array
+
+
+@st.composite
+def coefficient_arrays(draw):
+    by = draw(st.integers(1, 3))
+    bx = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scale = draw(st.sampled_from([5, 50, 500, 2000]))
+    rng = np.random.default_rng(seed)
+    return rng.integers(-scale, scale + 1, (by, bx, 8, 8)).astype(np.int32)
+
+
+class TestSplitRecombineInvariants:
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=120, deadline=None)
+    def test_split_then_recombine_is_identity(self, coefficients, threshold):
+        public, secret = split_block_array(coefficients, threshold)
+        assert np.array_equal(
+            recombine_block_arrays(public, secret, threshold), coefficients
+        )
+
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_public_ac_bounded_by_threshold(self, coefficients, threshold):
+        public, _ = split_block_array(coefficients, threshold)
+        ac = public.copy()
+        ac[..., 0, 0] = 0
+        assert np.abs(ac).max() <= threshold
+
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_public_dc_always_zero(self, coefficients, threshold):
+        public, _ = split_block_array(coefficients, threshold)
+        assert np.all(public[..., 0, 0] == 0)
+
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_secret_magnitude_is_excess_over_threshold(
+        self, coefficients, threshold
+    ):
+        _, secret = split_block_array(coefficients, threshold)
+        ac_mask = np.ones_like(coefficients, dtype=bool)
+        ac_mask[..., 0, 0] = False
+        magnitudes = np.abs(coefficients)
+        expected = np.where(
+            magnitudes > threshold, magnitudes - threshold, 0
+        )
+        assert np.array_equal(
+            np.abs(secret[ac_mask]), expected[ac_mask]
+        )
+
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_secret_preserves_sign_of_clipped_coefficients(
+        self, coefficients, threshold
+    ):
+        _, secret = split_block_array(coefficients, threshold)
+        ac_mask = np.ones_like(coefficients, dtype=bool)
+        ac_mask[..., 0, 0] = False
+        clipped = ac_mask & (np.abs(coefficients) > threshold)
+        assert np.array_equal(
+            np.sign(secret[clipped]), np.sign(coefficients[clipped])
+        )
+
+    @given(coefficient_arrays(), st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_split_conserves_information(
+        self, coefficients, threshold
+    ):
+        """Splitting never creates or destroys nonzero positions beyond
+        the defined mapping: positions zero in both parts were zero (or
+        exactly the clipped-to-T positions) in the original."""
+        public, secret = split_block_array(coefficients, threshold)
+        both_zero = (public == 0) & (secret == 0)
+        ac_mask = np.ones_like(coefficients, dtype=bool)
+        ac_mask[..., 0, 0] = False
+        assert np.all(coefficients[both_zero & ac_mask] == 0)
+
+
+class TestEnvelopeProperties:
+    @given(st.binary(max_size=300), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_seal_open_roundtrip(self, payload, key):
+        from repro.crypto.envelope import open_envelope, seal_envelope
+
+        assert open_envelope(key, seal_envelope(key, payload)) == payload

@@ -1,0 +1,146 @@
+"""Tests for Eq. 1 recombination exactness."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import (
+    correction_image,
+    recombine,
+    recombine_block_arrays,
+)
+from repro.core.splitting import split_block_array, split_image
+from repro.jpeg.codec import decode_coefficients, encode_gray, encode_rgb
+from repro.jpeg.dct import inverse_dct
+from repro.jpeg.quantization import dequantize
+
+
+class TestExactness:
+    @pytest.mark.parametrize("threshold", [1, 5, 15, 100, 1000])
+    def test_recombine_inverts_split_random(self, threshold):
+        rng = np.random.default_rng(threshold)
+        coefficients = rng.integers(
+            -1200, 1200, (3, 4, 8, 8)
+        ).astype(np.int32)
+        public, secret = split_block_array(coefficients, threshold)
+        recovered = recombine_block_arrays(public, secret, threshold)
+        assert np.array_equal(recovered, coefficients)
+
+    def test_recombine_real_image_gray(self, gray_image):
+        image = decode_coefficients(encode_gray(gray_image, quality=85))
+        split = split_image(image, 15)
+        recovered = recombine(split.public, split.secret, 15)
+        assert np.array_equal(
+            recovered.luma.coefficients, image.luma.coefficients
+        )
+
+    def test_recombine_real_image_color(self, rgb_image):
+        image = decode_coefficients(
+            encode_rgb(rgb_image, quality=85, subsampling="4:2:0")
+        )
+        split = split_image(image, 10)
+        recovered = recombine(split.public, split.secret, 10)
+        for a, b in zip(recovered.components, image.components):
+            assert np.array_equal(a.coefficients, b.coefficients)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recombine_block_arrays(
+                np.zeros((1, 1, 8, 8), dtype=np.int32),
+                np.zeros((1, 2, 8, 8), dtype=np.int32),
+                10,
+            )
+
+    def test_geometry_mismatch_rejected(self, gray_image):
+        image = decode_coefficients(encode_gray(gray_image, quality=85))
+        small = decode_coefficients(
+            encode_gray(gray_image[:64, :64], quality=85)
+        )
+        split = split_image(image, 15)
+        with pytest.raises(ValueError):
+            recombine(split.public, small, 15)
+
+
+class TestPaperCases:
+    """The three sign cases spelled out in Section 3.3."""
+
+    def _single(self, value, threshold):
+        coefficients = np.zeros((1, 1, 8, 8), dtype=np.int32)
+        coefficients[0, 0, 3, 4] = value
+        public, secret = split_block_array(coefficients, threshold)
+        recovered = recombine_block_arrays(public, secret, threshold)
+        return (
+            public[0, 0, 3, 4],
+            secret[0, 0, 3, 4],
+            recovered[0, 0, 3, 4],
+        )
+
+    def test_below_threshold(self):
+        public, secret, recovered = self._single(-7, 10)
+        assert (public, secret, recovered) == (-7, 0, -7)
+
+    def test_above_threshold_positive(self):
+        public, secret, recovered = self._single(25, 10)
+        assert (public, secret) == (10, 15)
+        assert recovered == 25
+
+    def test_above_threshold_negative(self):
+        # y < -T: xp = T, xs = y + T; y = xs + xp - 2T = xs - T.
+        public, secret, recovered = self._single(-25, 10)
+        assert (public, secret) == (10, -15)
+        assert recovered == -25
+
+    def test_negative_dc_not_corrected(self):
+        coefficients = np.zeros((1, 1, 8, 8), dtype=np.int32)
+        coefficients[0, 0, 0, 0] = -300
+        public, secret = split_block_array(coefficients, 10)
+        recovered = recombine_block_arrays(public, secret, 10)
+        assert recovered[0, 0, 0, 0] == -300
+
+
+class TestCorrectionImage:
+    def test_nonzero_only_at_negative_residuals(self, gray_image):
+        image = decode_coefficients(encode_gray(gray_image, quality=85))
+        split = split_image(image, 8)
+        correction = correction_image(split.secret, 8)
+        secret = split.secret.luma.coefficients
+        expected_mask = secret < 0
+        expected_mask[..., 0, 0] = False
+        got = correction.luma.coefficients
+        assert np.all(got[expected_mask] == -16)
+        assert np.all(got[~expected_mask] == 0)
+
+    def test_correction_completes_pixel_identity(self, gray_image):
+        """Eq. 1 as pixel addition: render(y) = render(xp) + render(xs)
+        + render(correction) with shared level shift."""
+        image = decode_coefficients(encode_gray(gray_image, quality=85))
+        threshold = 12
+        split = split_image(image, threshold)
+        correction = correction_image(split.secret, threshold)
+
+        def render(img, shift):
+            component = img.luma
+            return (
+                inverse_dct(
+                    dequantize(component.coefficients, component.quant_table)
+                )
+                + shift
+            )
+
+        combined = (
+            render(split.public, 128.0)
+            + render(split.secret, 0.0)
+            + render(correction, 0.0)
+        )
+        original = render(image, 128.0)
+        assert np.allclose(combined, original, atol=1e-6)
+
+    def test_correction_derivable_from_secret_alone(self, gray_image):
+        # The paper stresses the correction "does not depend on the
+        # public image" — the API takes only the secret part.
+        image = decode_coefficients(encode_gray(gray_image, quality=85))
+        split = split_image(image, 8)
+        correction_a = correction_image(split.secret, 8)
+        correction_b = correction_image(split.secret.copy(), 8)
+        assert np.array_equal(
+            correction_a.luma.coefficients, correction_b.luma.coefficients
+        )

@@ -1,0 +1,92 @@
+"""Tests for reconstruction under nonlinear one-to-one remaps."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import (
+    invert_map_numerically,
+    reconstruct_under_remap,
+)
+from repro.core.splitting import split_image
+from repro.jpeg.codec import decode_coefficients, encode_gray
+from repro.jpeg.decoder import coefficients_to_planes
+from repro.transforms.enhance import adjust_gamma
+from repro.transforms.operators import Identity
+from repro.transforms.resize import Resize
+from repro.vision.metrics import psnr
+
+
+def _gamma_map(gamma):
+    return lambda plane: adjust_gamma(plane, gamma)
+
+
+class TestInversion:
+    def test_gamma_inverts(self):
+        forward = _gamma_map(2.2)
+        inverse = invert_map_numerically(forward)
+        values = np.linspace(0, 255, 50)
+        assert np.allclose(inverse(forward(values)), values, atol=0.2)
+
+    def test_identity_map(self):
+        inverse = invert_map_numerically(lambda x: x)
+        values = np.linspace(0, 255, 20)
+        assert np.allclose(inverse(values), values, atol=1e-6)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            invert_map_numerically(lambda x: np.sin(x / 10.0))
+
+
+class TestReconstructUnderRemap:
+    @pytest.fixture(scope="class")
+    def setup(self, gray_image):
+        image = decode_coefficients(encode_gray(gray_image, quality=88))
+        threshold = 12
+        split = split_image(image, threshold)
+        original_planes = coefficients_to_planes(image, level_shift=True)
+        public_planes = coefficients_to_planes(
+            split.public, level_shift=True
+        )
+        return image, split, threshold, original_planes, public_planes
+
+    @pytest.mark.parametrize("gamma", [0.8, 1.2, 2.2])
+    def test_gamma_after_identity(self, setup, gamma):
+        image, split, threshold, original_planes, public_planes = setup
+        forward = _gamma_map(gamma)
+        served = [forward(np.clip(p, 0, 255)) for p in public_planes]
+        reconstructed = reconstruct_under_remap(
+            served, split.secret, threshold, Identity(), forward
+        )
+        target = forward(np.clip(original_planes[0], 0, 255))
+        # "can result in some loss" — but should stay perceptually good.
+        assert psnr(target, reconstructed[0]) > 28.0
+
+    def test_gamma_after_resize(self, setup):
+        image, split, threshold, original_planes, public_planes = setup
+        forward = _gamma_map(1.4)
+        operator = Resize(64, 64, "bilinear")
+        served = [
+            forward(np.clip(operator(p), 0, 255)) for p in public_planes
+        ]
+        reconstructed = reconstruct_under_remap(
+            served, split.secret, threshold, operator, forward
+        )
+        target = forward(np.clip(operator(original_planes[0]), 0, 255))
+        assert psnr(target, reconstructed[0]) > 25.0
+
+    def test_remap_reconstruction_beats_naive(self, setup):
+        """Ignoring the remap (treating g(A x) as A x) must be worse
+        than the paper's reverse-remap recipe."""
+        from repro.core.linear import reconstruct_transformed_planes
+
+        image, split, threshold, original_planes, public_planes = setup
+        forward = _gamma_map(2.2)
+        served = [forward(np.clip(p, 0, 255)) for p in public_planes]
+        proper = reconstruct_under_remap(
+            served, split.secret, threshold, Identity(), forward
+        )
+        naive = reconstruct_transformed_planes(
+            served, split.secret, threshold, Identity()
+        )
+        target = forward(np.clip(original_planes[0], 0, 255))
+        assert psnr(target, proper[0]) > psnr(target, naive[0]) + 3.0

@@ -1,0 +1,126 @@
+"""Tests for the video codec and the P3 video extension."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    P3VideoDecryptor,
+    P3VideoEncryptor,
+    VideoCodec,
+    decode_video,
+    encode_video,
+)
+from repro.video.codec import VideoFormatError
+from repro.vision.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def frames():
+    """A short clip: a bright square drifting over a textured scene."""
+    rng = np.random.default_rng(8)
+    background = np.clip(
+        rng.normal(110, 25, (96, 96))
+        + np.outer(np.linspace(0, 50, 96), np.ones(96)),
+        0,
+        255,
+    )
+    clip = []
+    for step in range(10):
+        frame = background.copy()
+        x = 10 + step * 6
+        frame[30:60, x : x + 20] = 220.0
+        clip.append(frame)
+    return clip
+
+
+class TestVideoCodec:
+    def test_roundtrip_quality(self, frames):
+        data = encode_video(frames, gop_size=5, quality=88)
+        decoded = decode_video(data)
+        assert len(decoded) == len(frames)
+        for original, restored in zip(frames, decoded):
+            assert psnr(original, restored) > 28.0
+
+    def test_gop_structure(self, frames):
+        data = encode_video(frames, gop_size=4, quality=85)
+        _, _, count, gop, parsed = VideoCodec.parse(data)
+        kinds = [f.kind for f in parsed]
+        assert kinds[0] == b"I"
+        assert kinds[4] == b"I"
+        assert kinds[8] == b"I"
+        assert kinds.count(b"I") == 3
+        assert count == 10
+
+    def test_p_frames_smaller_than_i_frames(self, frames):
+        data = encode_video(frames, gop_size=10, quality=85)
+        _, _, _, _, parsed = VideoCodec.parse(data)
+        i_size = len(parsed[0].payload)
+        p_sizes = [len(f.payload) for f in parsed[1:]]
+        assert np.mean(p_sizes) < i_size
+
+    def test_gop_of_one_is_all_intra(self, frames):
+        data = encode_video(frames[:4], gop_size=1)
+        _, _, _, _, parsed = VideoCodec.parse(data)
+        assert all(f.kind == b"I" for f in parsed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_video([])
+
+    def test_mismatched_shapes_rejected(self, frames):
+        bad = frames[:2] + [np.zeros((10, 10))]
+        with pytest.raises(ValueError):
+            encode_video(bad)
+
+    def test_bad_magic_rejected(self, frames):
+        data = bytearray(encode_video(frames[:2]))
+        data[0] ^= 0xFF
+        with pytest.raises(VideoFormatError):
+            decode_video(bytes(data))
+
+
+class TestP3Video:
+    def test_reconstruction_matches_plain_decode(self, frames, album_key):
+        video = encode_video(frames, gop_size=5, quality=88)
+        encrypted = P3VideoEncryptor(album_key, threshold=15).encrypt(video)
+        reconstructed = P3VideoDecryptor(album_key).decrypt(encrypted)
+        plain = decode_video(video)
+        for a, b in zip(plain, reconstructed):
+            # I-frames recombine exactly; P-frames replay the same
+            # deltas on the same predictor.
+            assert np.allclose(a, b, atol=1e-9)
+
+    def test_public_video_degraded_throughout_gop(self, frames, album_key):
+        """The paper's propagation claim: splitting only the I-frame
+        degrades *every* frame of the GOP in the public video."""
+        video = encode_video(frames, gop_size=5, quality=88)
+        encrypted = P3VideoEncryptor(album_key, threshold=15).encrypt(video)
+        public = P3VideoDecryptor(album_key).decrypt_public_only(encrypted)
+        plain = decode_video(video)
+        for original, degraded in zip(plain, public):
+            assert psnr(original, degraded) < 25.0
+
+    def test_secret_much_smaller_than_public(self, frames, album_key):
+        video = encode_video(frames, gop_size=5, quality=88)
+        encrypted = P3VideoEncryptor(album_key, threshold=15).encrypt(video)
+        assert len(encrypted.secret_envelope) < len(encrypted.public_video)
+
+    def test_wrong_key_fails(self, frames, album_key):
+        from repro.crypto.envelope import EnvelopeError
+
+        video = encode_video(frames[:4], gop_size=2)
+        encrypted = P3VideoEncryptor(album_key).encrypt(video)
+        with pytest.raises(EnvelopeError):
+            P3VideoDecryptor(b"\x01" * 16).decrypt(encrypted)
+
+    def test_p_frames_identical_in_public_video(self, frames, album_key):
+        """Only I-frames are modified; P-frame bytes pass through."""
+        video = encode_video(frames, gop_size=5, quality=88)
+        encrypted = P3VideoEncryptor(album_key, threshold=15).encrypt(video)
+        _, _, _, _, original_frames = VideoCodec.parse(video)
+        _, _, _, _, public_frames = VideoCodec.parse(encrypted.public_video)
+        for original, public in zip(original_frames, public_frames):
+            if original.kind == b"P":
+                assert original.payload == public.payload
+            else:
+                assert original.payload != public.payload

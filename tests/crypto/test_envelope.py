@@ -1,0 +1,73 @@
+"""Tests for the authenticated envelope."""
+
+import pytest
+
+from repro.crypto.envelope import (
+    EnvelopeError,
+    open_envelope,
+    seal_envelope,
+)
+
+
+class TestRoundTrip:
+    def test_seal_open(self, album_key):
+        envelope = seal_envelope(album_key, b"secret part bytes")
+        assert open_envelope(album_key, envelope) == b"secret part bytes"
+
+    def test_empty_payload(self, album_key):
+        assert open_envelope(album_key, seal_envelope(album_key, b"")) == b""
+
+    def test_large_payload(self, album_key):
+        payload = bytes(range(256)) * 100
+        assert open_envelope(
+            album_key, seal_envelope(album_key, payload)
+        ) == payload
+
+    def test_deterministic_with_fixed_nonce(self, album_key):
+        nonce = b"\x01" * 12
+        a = seal_envelope(album_key, b"x", nonce=nonce)
+        b = seal_envelope(album_key, b"x", nonce=nonce)
+        assert a == b
+
+    def test_random_nonce_differs(self, album_key):
+        a = seal_envelope(album_key, b"x")
+        b = seal_envelope(album_key, b"x")
+        assert a != b
+
+
+class TestSecurity:
+    def test_wrong_key_rejected(self, album_key):
+        envelope = seal_envelope(album_key, b"data")
+        with pytest.raises(EnvelopeError):
+            open_envelope(b"\x99" * 16, envelope)
+
+    def test_tampered_ciphertext_rejected(self, album_key):
+        envelope = bytearray(seal_envelope(album_key, b"data" * 10))
+        envelope[20] ^= 0x01
+        with pytest.raises(EnvelopeError):
+            open_envelope(album_key, bytes(envelope))
+
+    def test_tampered_tag_rejected(self, album_key):
+        envelope = bytearray(seal_envelope(album_key, b"data"))
+        envelope[-1] ^= 0x80
+        with pytest.raises(EnvelopeError):
+            open_envelope(album_key, bytes(envelope))
+
+    def test_truncated_envelope_rejected(self, album_key):
+        with pytest.raises(EnvelopeError):
+            open_envelope(album_key, b"P3E1\x00")
+
+    def test_bad_magic_rejected(self, album_key):
+        envelope = bytearray(seal_envelope(album_key, b"data"))
+        envelope[0] ^= 0xFF
+        with pytest.raises(EnvelopeError):
+            open_envelope(album_key, bytes(envelope))
+
+    def test_ciphertext_hides_plaintext(self, album_key):
+        plaintext = b"A" * 64
+        envelope = seal_envelope(album_key, plaintext)
+        assert plaintext not in envelope
+
+    def test_bad_nonce_length(self, album_key):
+        with pytest.raises(EnvelopeError):
+            seal_envelope(album_key, b"x", nonce=b"short")

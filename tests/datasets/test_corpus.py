@@ -1,0 +1,69 @@
+"""Tests for the named corpora."""
+
+import numpy as np
+
+from repro.datasets import (
+    caltech_faces_like,
+    feret_like,
+    inria_like,
+    usc_sipi_like,
+)
+
+
+class TestUscSipiLike:
+    def test_count_and_size(self):
+        corpus = usc_sipi_like(count=4, size=96)
+        assert len(corpus) == 4
+        assert all(img.shape == (96, 96, 3) for img in corpus)
+
+    def test_deterministic(self):
+        a = usc_sipi_like(count=2, size=64)
+        b = usc_sipi_like(count=2, size=64)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_images_distinct(self):
+        corpus = usc_sipi_like(count=3, size=64)
+        assert not np.array_equal(corpus[0], corpus[1])
+
+
+class TestInriaLike:
+    def test_varied_resolutions(self):
+        corpus = inria_like(count=6)
+        shapes = {img.shape for img in corpus}
+        assert len(shapes) > 1  # diverse resolutions, unlike USC-SIPI
+
+    def test_deterministic(self):
+        a = inria_like(count=2)
+        b = inria_like(count=2)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestCaltechLike:
+    def test_subject_labels_cycle(self):
+        samples = caltech_faces_like(count=6, subjects=3)
+        assert [s.subject for s in samples] == [0, 1, 2, 0, 1, 2]
+
+    def test_same_subject_different_nuisance(self):
+        samples = caltech_faces_like(count=6, subjects=3)
+        assert not np.array_equal(samples[0].image, samples[3].image)
+
+
+class TestFeretLike:
+    def test_partition_sizes(self):
+        corpus = feret_like(
+            subjects=5, gallery_per_subject=1, probes_per_subject=3
+        )
+        assert len(corpus.gallery) == 5
+        assert len(corpus.probes) == 15
+        assert corpus.num_subjects == 5
+
+    def test_every_subject_in_both_partitions(self):
+        corpus = feret_like(subjects=4, probes_per_subject=2)
+        assert {s.subject for s in corpus.gallery} == set(range(4))
+        assert {s.subject for s in corpus.probes} == set(range(4))
+
+    def test_gallery_and_probes_differ(self):
+        corpus = feret_like(subjects=2, probes_per_subject=1)
+        assert not np.array_equal(
+            corpus.gallery[0].image, corpus.probes[0].image
+        )

@@ -1,0 +1,95 @@
+"""Tests for the parametric face generator."""
+
+import numpy as np
+
+from repro.datasets.faces import render_face, sample_identity
+
+
+class TestIdentitySampling:
+    def test_deterministic_per_rng(self):
+        a = sample_identity(np.random.default_rng(1))
+        b = sample_identity(np.random.default_rng(1))
+        assert a == b
+
+    def test_identities_differ(self):
+        rng = np.random.default_rng(2)
+        assert sample_identity(rng) != sample_identity(rng)
+
+    def test_parameters_in_range(self):
+        identity = sample_identity(np.random.default_rng(3))
+        assert 1.0 < identity.head_aspect < 1.6
+        assert 0.0 < identity.eye_size < 0.2
+
+
+class TestRenderFace:
+    def test_shape_and_bbox(self):
+        identity = sample_identity(np.random.default_rng(4))
+        sample = render_face(identity, np.random.default_rng(5))
+        assert sample.image.shape == (128, 128, 3)
+        top, left, height, width = sample.bbox
+        assert height > 0 and width > 0
+        assert top + height <= 128 and left + width <= 128
+
+    def test_deterministic(self):
+        identity = sample_identity(np.random.default_rng(6))
+        a = render_face(identity, np.random.default_rng(7))
+        b = render_face(identity, np.random.default_rng(7))
+        assert np.array_equal(a.image, b.image)
+
+    def test_nuisance_varies_same_subject(self):
+        identity = sample_identity(np.random.default_rng(8))
+        a = render_face(identity, np.random.default_rng(1))
+        b = render_face(identity, np.random.default_rng(2))
+        assert not np.array_equal(a.image, b.image)
+
+    def test_face_region_differs_from_background(self):
+        identity = sample_identity(np.random.default_rng(9))
+        sample = render_face(
+            identity,
+            np.random.default_rng(10),
+            cluttered_background=False,
+        )
+        top, left, height, width = sample.bbox
+        face = sample.image[top : top + height, left : left + width]
+        # Face interior should have structure (eyes vs skin).
+        assert face.std() > 10.0
+
+    def test_pose_jitter_zero_centers_face(self):
+        identity = sample_identity(np.random.default_rng(11))
+        sample = render_face(
+            identity,
+            np.random.default_rng(12),
+            pose_jitter=0.0,
+            cluttered_background=False,
+        )
+        top, left, height, width = sample.bbox
+        center_y = top + height / 2
+        center_x = left + width / 2
+        assert abs(center_y - 64) < 4
+        assert abs(center_x - 64) < 4
+
+    def test_within_subject_similarity_exceeds_between(self):
+        """Identity must be stronger than nuisance — the property
+        recognition experiments depend on."""
+        from repro.vision.eigenfaces import prepare_face
+
+        rng = np.random.default_rng(13)
+        subject_a = sample_identity(rng)
+        subject_b = sample_identity(rng)
+        kwargs = dict(
+            cluttered_background=False,
+            pose_jitter=0.25,
+            illumination_jitter=0.5,
+        )
+        a1 = prepare_face(
+            render_face(subject_a, np.random.default_rng(1), **kwargs).image
+        )
+        a2 = prepare_face(
+            render_face(subject_a, np.random.default_rng(2), **kwargs).image
+        )
+        b1 = prepare_face(
+            render_face(subject_b, np.random.default_rng(3), **kwargs).image
+        )
+        within = np.linalg.norm(a1 - a2)
+        between = np.linalg.norm(a1 - b1)
+        assert within < between

@@ -1,0 +1,166 @@
+"""Full-system integration tests across trust boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import P3Config
+from repro.crypto.keyring import Keyring
+from repro.jpeg.codec import decode, encode_rgb
+from repro.system.client import PhotoSharingClient
+from repro.system.proxy import RecipientProxy, SenderProxy, secret_blob_key
+from repro.system.psp import FacebookPSP, FlickrPSP
+from repro.system.reverse import reverse_engineer
+from repro.system.storage import CloudStorage
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr, ssim
+
+
+@pytest.fixture(scope="module")
+def shared_world(scene_corpus):
+    alice_keys = Keyring("alice")
+    alice_keys.create_album("trip")
+    bob_keys = Keyring("bob")
+    alice_keys.share_with(bob_keys, "trip")
+    psp = FacebookPSP()
+    storage = CloudStorage()
+    alice = PhotoSharingClient(
+        "alice",
+        sender_proxy=SenderProxy(
+            alice_keys, psp, storage, P3Config(threshold=15, quality=88)
+        ),
+    )
+    bob = PhotoSharingClient(
+        "bob", recipient_proxy=RecipientProxy(bob_keys, psp, storage)
+    )
+    jpeg = encode_rgb(scene_corpus[0], quality=88)
+    receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+    return alice, bob, psp, storage, jpeg, receipt
+
+
+class TestMultiResolutionViewing:
+    @pytest.mark.parametrize("resolution", [75, 130, 720])
+    def test_every_static_resolution_reconstructs(
+        self, shared_world, resolution
+    ):
+        _, bob, _, _, jpeg, receipt = shared_world
+        pixels = bob.view_photo(receipt.photo_id, "trip", resolution=resolution)
+        assert max(pixels.shape[:2]) <= max(resolution, 256)
+        reference_psp = FacebookPSP()
+        ref_id = reference_psp.upload(jpeg, owner="x")
+        reference = decode(
+            reference_psp.download(ref_id, "x", resolution=resolution)
+        )
+        assert psnr(to_luma(reference), to_luma(pixels)) > 25.0
+
+
+class TestReverseEngineeredPipeline:
+    def test_calibrated_recipient_improves_reconstruction(
+        self, shared_world, scene_corpus
+    ):
+        alice, bob, psp, storage, jpeg, receipt = shared_world
+        # Calibrate against a scratch PSP with the same private pipeline.
+        calibration_psp = FacebookPSP()
+        originals = []
+        serveds = []
+        for image in scene_corpus[:2]:
+            cal_jpeg = encode_rgb(image, quality=88)
+            pid = calibration_psp.upload(cal_jpeg, owner="cal")
+            served = decode(
+                calibration_psp.download(pid, "cal", resolution=130)
+            )
+            originals.append(to_luma(decode(cal_jpeg)))
+            serveds.append(to_luma(served))
+        estimate = reverse_engineer(originals, serveds)
+        assert estimate.score_db > 25.0
+
+        calibrated_bob = PhotoSharingClient(
+            "bob",
+            recipient_proxy=RecipientProxy(
+                bob.recipient_proxy.keyring,
+                psp,
+                storage,
+                transform_estimate=estimate,
+            ),
+        )
+        reference_psp = FacebookPSP()
+        ref_id = reference_psp.upload(jpeg, owner="x")
+        reference = to_luma(
+            decode(reference_psp.download(ref_id, "x", resolution=130))
+        )
+        calibrated = to_luma(
+            calibrated_bob.view_photo(receipt.photo_id, "trip", resolution=130)
+        )
+        naive = to_luma(bob.view_photo(receipt.photo_id, "trip", resolution=130))
+        assert psnr(reference, calibrated) >= psnr(reference, naive) - 0.5
+        assert psnr(reference, calibrated) > 28.0
+
+
+class TestCrossProviderPortability:
+    def test_same_flow_works_on_flickr(self, scene_corpus):
+        """P3 'can be extended to other services': the identical client
+        and proxy code must work against the Flickr-like PSP."""
+        keys = Keyring("carol")
+        keys.create_album("album1")
+        psp = FlickrPSP()
+        storage = CloudStorage()
+        carol = PhotoSharingClient(
+            "carol",
+            sender_proxy=SenderProxy(
+                keys, psp, storage, P3Config(threshold=10, quality=90)
+            ),
+            recipient_proxy=RecipientProxy(keys, psp, storage),
+        )
+        jpeg = encode_rgb(scene_corpus[1], quality=90)
+        receipt = carol.upload_photo(jpeg, "album1")
+        # The corpus image is 128 px; request Flickr's 100-px variant.
+        pixels = carol.view_photo(receipt.photo_id, "album1", resolution=100)
+        assert max(pixels.shape[:2]) == 100
+
+
+class TestThreatModel:
+    def test_psp_analysis_on_p3_photos_sees_degraded_content(
+        self, shared_world
+    ):
+        """The PSP 'may be able to infer social contexts' from stored
+        photos; with P3 it only analyzes the degraded public part."""
+        alice, _, psp, _, jpeg, receipt = shared_world
+        original = to_luma(decode(jpeg))
+
+        def fidelity_to_original(pixels):
+            luma = to_luma(pixels)
+            if luma.shape != original.shape:
+                from repro.transforms.resize import resize_plane
+
+                luma = resize_plane(
+                    luma, original.shape[0], original.shape[1]
+                )
+            return psnr(original, luma)
+
+        results = psp.run_analysis(fidelity_to_original, resolution=720)
+        # The stored public part is in the degraded 10-25 dB band.
+        assert results[receipt.photo_id] < 25.0
+
+    def test_storage_provider_learns_nothing_decodable(self, shared_world):
+        _, _, _, storage, _, receipt = shared_world
+        blob = storage.snoop(secret_blob_key("trip", receipt.photo_id))
+        from repro.jpeg.markers import JpegFormatError, parse_segments
+
+        with pytest.raises(JpegFormatError):
+            parse_segments(blob)
+
+    def test_tampering_detected_not_silent(self, shared_world, scene_corpus):
+        alice, bob, psp, storage, jpeg, _ = shared_world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        storage.tamper(
+            secret_blob_key("trip", receipt.photo_id), offset=40, value=1
+        )
+        from repro.crypto.envelope import EnvelopeError
+
+        fresh_bob = PhotoSharingClient(
+            "bob",
+            recipient_proxy=RecipientProxy(
+                bob.recipient_proxy.keyring, psp, storage
+            ),
+        )
+        with pytest.raises(EnvelopeError):
+            fresh_bob.view_photo(receipt.photo_id, "trip", resolution=130)

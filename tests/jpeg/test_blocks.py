@@ -1,0 +1,61 @@
+"""Tests for block tiling."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.blocks import (
+    block_grid_shape,
+    blocks_to_plane,
+    pad_to_multiple_of_8,
+    plane_to_blocks,
+)
+
+
+class TestPadding:
+    def test_already_aligned_untouched(self):
+        plane = np.ones((16, 24))
+        assert pad_to_multiple_of_8(plane) is plane
+
+    def test_pads_with_edge_values(self):
+        plane = np.arange(10.0).reshape(2, 5)
+        padded = pad_to_multiple_of_8(plane)
+        assert padded.shape == (8, 8)
+        assert padded[7, 7] == plane[1, 4]
+        assert padded[0, 7] == plane[0, 4]
+
+
+class TestTiling:
+    def test_shapes(self):
+        blocks = plane_to_blocks(np.zeros((17, 33)))
+        assert blocks.shape == (3, 5, 8, 8)
+
+    def test_block_content_matches_plane(self):
+        plane = np.arange(256.0).reshape(16, 16)
+        blocks = plane_to_blocks(plane)
+        assert np.array_equal(blocks[0, 0], plane[:8, :8])
+        assert np.array_equal(blocks[1, 1], plane[8:, 8:])
+
+    def test_roundtrip_aligned(self):
+        rng = np.random.default_rng(0)
+        plane = rng.normal(size=(24, 40))
+        blocks = plane_to_blocks(plane)
+        assert np.array_equal(blocks_to_plane(blocks, 24, 40), plane)
+
+    def test_roundtrip_unaligned_crops_padding(self):
+        rng = np.random.default_rng(1)
+        plane = rng.normal(size=(13, 21))
+        blocks = plane_to_blocks(plane)
+        assert np.array_equal(blocks_to_plane(blocks, 13, 21), plane)
+
+    def test_blocks_to_plane_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            blocks_to_plane(np.zeros((2, 2, 8, 7)))
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "height,width,expected",
+        [(8, 8, (1, 1)), (9, 8, (2, 1)), (1, 1, (1, 1)), (64, 17, (8, 3))],
+    )
+    def test_examples(self, height, width, expected):
+        assert block_grid_shape(height, width) == expected

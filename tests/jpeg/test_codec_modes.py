@@ -1,0 +1,90 @@
+"""Tests for the codec facade's mode selection (baseline/progressive/SA)."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.codec import (
+    decode_coefficients,
+    encode_coefficients,
+    gray_to_coefficients,
+    image_info,
+)
+
+
+@pytest.fixture(scope="module")
+def coefficients(gray_image):
+    return gray_to_coefficients(gray_image, quality=88)
+
+
+class TestModeSelection:
+    def test_sa_mode(self, coefficients):
+        data = encode_coefficients(coefficients, progressive="sa")
+        info = image_info(data)
+        assert info.progressive
+        assert info.num_scans >= 6
+        decoded = decode_coefficients(data)
+        assert np.array_equal(
+            decoded.luma.coefficients, coefficients.luma.coefficients
+        )
+
+    def test_spectral_mode(self, coefficients):
+        data = encode_coefficients(coefficients, progressive=True)
+        info = image_info(data)
+        assert info.progressive
+        decoded = decode_coefficients(data)
+        assert np.array_equal(
+            decoded.luma.coefficients, coefficients.luma.coefficients
+        )
+
+    def test_baseline_with_restarts(self, coefficients):
+        data = encode_coefficients(
+            coefficients, progressive=False, restart_interval=5
+        )
+        info = image_info(data)
+        assert not info.progressive
+        decoded = decode_coefficients(data)
+        assert np.array_equal(
+            decoded.luma.coefficients, coefficients.luma.coefficients
+        )
+
+    def test_none_keeps_recorded_mode(self, coefficients):
+        coefficients.progressive = True
+        data = encode_coefficients(coefficients, progressive=None)
+        assert image_info(data).progressive
+        coefficients.progressive = False
+        data = encode_coefficients(coefficients, progressive=None)
+        assert not image_info(data).progressive
+
+    def test_all_modes_agree_on_coefficients(self, coefficients):
+        variants = [
+            encode_coefficients(coefficients, progressive=False),
+            encode_coefficients(coefficients, progressive=True),
+            encode_coefficients(coefficients, progressive="sa"),
+            encode_coefficients(
+                coefficients, progressive=False, restart_interval=3
+            ),
+        ]
+        decoded = [decode_coefficients(v) for v in variants]
+        for image in decoded[1:]:
+            assert np.array_equal(
+                image.luma.coefficients, decoded[0].luma.coefficients
+            )
+
+    def test_p3_split_survives_every_transcode_mode(self, coefficients):
+        """P3's pipeline is mode-agnostic: splitting then transcoding
+        through any entropy mode is still exactly invertible."""
+        from repro.core.reconstruction import recombine
+        from repro.core.splitting import split_image
+
+        split = split_image(coefficients, 15)
+        for mode in (False, True, "sa"):
+            public = decode_coefficients(
+                encode_coefficients(split.public, progressive=mode)
+            )
+            secret = decode_coefficients(
+                encode_coefficients(split.secret, progressive=mode)
+            )
+            combined = recombine(public, secret, 15)
+            assert np.array_equal(
+                combined.luma.coefficients, coefficients.luma.coefficients
+            )

@@ -1,0 +1,77 @@
+"""Tests for the 8x8 DCT."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.dct import DCT_BASIS, forward_dct, inverse_dct
+
+
+class TestBasis:
+    def test_orthonormal(self):
+        assert np.allclose(DCT_BASIS @ DCT_BASIS.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_is_constant(self):
+        assert np.allclose(DCT_BASIS[0], np.sqrt(1.0 / 8.0))
+
+
+class TestForwardDct:
+    def test_flat_block_has_only_dc(self):
+        block = np.full((8, 8), 100.0)
+        coefficients = forward_dct(block)
+        assert coefficients[0, 0] == pytest.approx(800.0)
+        coefficients[0, 0] = 0.0
+        assert np.allclose(coefficients, 0.0, atol=1e-9)
+
+    def test_energy_preservation(self):
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(8, 8))
+        coefficients = forward_dct(block)
+        assert np.sum(block**2) == pytest.approx(np.sum(coefficients**2))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        assert np.allclose(
+            forward_dct(2.0 * a - 3.0 * b),
+            2.0 * forward_dct(a) - 3.0 * forward_dct(b),
+        )
+
+    def test_stack_matches_individual(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.normal(size=(3, 4, 8, 8))
+        stacked = forward_dct(blocks)
+        for i in range(3):
+            for j in range(4):
+                assert np.allclose(stacked[i, j], forward_dct(blocks[i, j]))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            forward_dct(np.zeros((8, 7)))
+        with pytest.raises(ValueError):
+            inverse_dct(np.zeros((7, 8)))
+
+
+class TestRoundTrip:
+    def test_inverse_of_forward(self):
+        rng = np.random.default_rng(4)
+        blocks = rng.uniform(-128, 127, size=(5, 5, 8, 8))
+        assert np.allclose(inverse_dct(forward_dct(blocks)), blocks)
+
+    def test_forward_of_inverse(self):
+        rng = np.random.default_rng(5)
+        coefficients = rng.normal(scale=50, size=(2, 2, 8, 8))
+        assert np.allclose(
+            forward_dct(inverse_dct(coefficients)), coefficients
+        )
+
+    def test_horizontal_cosine_maps_to_single_coefficient(self):
+        n = np.arange(8)
+        wave = np.cos((2 * n + 1) * 3 * np.pi / 16.0)
+        block = np.tile(wave, (8, 1))
+        coefficients = forward_dct(block)
+        # Only the (0, 3) coefficient should be non-negligible.
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 3] = True
+        assert abs(coefficients[0, 3]) > 1.0
+        assert np.allclose(coefficients[~mask], 0.0, atol=1e-9)

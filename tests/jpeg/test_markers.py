@@ -1,0 +1,109 @@
+"""Tests for marker segment parsing/serialization."""
+
+import pytest
+
+from repro.jpeg import markers
+from repro.jpeg.markers import (
+    JpegFormatError,
+    Segment,
+    jfif_app0_payload,
+    marker_name,
+    parse_segments,
+    serialize_segments,
+    strip_application_markers,
+)
+
+
+def _minimal_jpeg() -> bytes:
+    segments = [
+        Segment(marker=markers.SOI),
+        Segment(marker=markers.APP0, payload=jfif_app0_payload()),
+        Segment(marker=markers.COM, payload=b"hello"),
+        Segment(marker=markers.SOS, payload=b"\x01\x01\x00\x00\x3f\x00",
+                entropy_data=b"\x12\x34\xff\x00\x56"),
+        Segment(marker=markers.EOI),
+    ]
+    return serialize_segments(segments)
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        data = _minimal_jpeg()
+        segments = parse_segments(data)
+        assert serialize_segments(segments) == data
+
+    def test_marker_sequence(self):
+        segments = parse_segments(_minimal_jpeg())
+        names = [s.name for s in segments]
+        assert names == ["SOI", "APP0", "COM", "SOS", "EOI"]
+
+    def test_entropy_data_attached_to_sos(self):
+        segments = parse_segments(_minimal_jpeg())
+        sos = next(s for s in segments if s.marker == markers.SOS)
+        assert sos.entropy_data == b"\x12\x34\xff\x00\x56"
+
+    def test_stuffed_ff_inside_scan_not_a_marker(self):
+        segments = parse_segments(_minimal_jpeg())
+        # the FF 00 inside the scan must not split the stream
+        assert segments[-1].marker == markers.EOI
+
+    def test_missing_soi_raises(self):
+        with pytest.raises(JpegFormatError):
+            parse_segments(b"\x00\x01\x02\x03")
+
+    def test_truncated_length_raises(self):
+        with pytest.raises(JpegFormatError):
+            parse_segments(b"\xff\xd8\xff\xe0\x00")
+
+    def test_garbage_between_segments_raises(self):
+        data = b"\xff\xd8" + b"zz" + b"\xff\xd9"
+        with pytest.raises(JpegFormatError):
+            parse_segments(data)
+
+
+class TestMarkerNames:
+    @pytest.mark.parametrize(
+        "marker,name",
+        [
+            (markers.SOI, "SOI"),
+            (markers.SOF0, "SOF0"),
+            (markers.SOF2, "SOF2"),
+            (markers.APP0, "APP0"),
+            (markers.APP0 + 13, "APP13"),
+            (markers.RST0 + 3, "RST3"),
+            (0xC9, "0xC9"),
+        ],
+    )
+    def test_names(self, marker, name):
+        assert marker_name(marker) == name
+
+
+class TestStripApplicationMarkers:
+    def test_strips_app_and_com(self):
+        segments = parse_segments(_minimal_jpeg())
+        stripped = strip_application_markers(segments)
+        names = [s.name for s in stripped]
+        assert "APP0" not in names
+        assert "COM" not in names
+        assert "SOS" in names
+
+    def test_keeps_structure_segments(self):
+        segments = [
+            Segment(marker=markers.SOI),
+            Segment(marker=markers.APP0 + 5, payload=b"secret!"),
+            Segment(marker=markers.DQT, payload=b"\x00" + bytes(64)),
+            Segment(marker=markers.EOI),
+        ]
+        stripped = strip_application_markers(segments)
+        assert [s.marker for s in stripped] == [
+            markers.SOI,
+            markers.DQT,
+            markers.EOI,
+        ]
+
+
+class TestJfifPayload:
+    def test_magic_and_version(self):
+        payload = jfif_app0_payload()
+        assert payload.startswith(b"JFIF\x00")
+        assert payload[5:7] == bytes([1, 1])

@@ -1,0 +1,91 @@
+"""Tests for quantization tables and quality scaling."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.quantization import (
+    STANDARD_CHROMINANCE_TABLE,
+    STANDARD_LUMINANCE_TABLE,
+    chrominance_table,
+    dequantize,
+    luminance_table,
+    quantize,
+    scale_table,
+)
+
+
+class TestStandardTables:
+    def test_luminance_corner_values(self):
+        # Annex K Table K.1 anchors.
+        assert STANDARD_LUMINANCE_TABLE[0, 0] == 16
+        assert STANDARD_LUMINANCE_TABLE[7, 7] == 99
+        assert STANDARD_LUMINANCE_TABLE[0, 7] == 61
+
+    def test_chrominance_corner_values(self):
+        assert STANDARD_CHROMINANCE_TABLE[0, 0] == 17
+        assert STANDARD_CHROMINANCE_TABLE[7, 7] == 99
+
+
+class TestQualityScaling:
+    def test_quality_50_returns_base(self):
+        assert np.array_equal(
+            luminance_table(50), STANDARD_LUMINANCE_TABLE
+        )
+
+    def test_quality_100_is_all_ones(self):
+        assert np.all(luminance_table(100) == 1)
+        assert np.all(chrominance_table(100) == 1)
+
+    def test_higher_quality_never_coarser(self):
+        previous = luminance_table(10)
+        for quality in (25, 50, 75, 90, 100):
+            current = luminance_table(quality)
+            assert np.all(current <= previous)
+            previous = current
+
+    def test_values_stay_in_8bit_range(self):
+        for quality in (1, 5, 50, 95, 100):
+            table = luminance_table(quality)
+            assert table.min() >= 1
+            assert table.max() <= 255
+
+    def test_invalid_quality_raises(self):
+        with pytest.raises(ValueError):
+            scale_table(STANDARD_LUMINANCE_TABLE, 0)
+        with pytest.raises(ValueError):
+            scale_table(STANDARD_LUMINANCE_TABLE, 101)
+
+
+class TestQuantizeDequantize:
+    def test_quantize_rounds_half_away_from_zero(self):
+        table = np.full((8, 8), 10, dtype=np.int32)
+        coefficients = np.zeros((8, 8))
+        coefficients[0, 0] = 15.0  # 1.5 -> 2
+        coefficients[0, 1] = -15.0  # -1.5 -> -2
+        coefficients[0, 2] = 14.9  # 1.49 -> 1
+        quantized = quantize(coefficients, table)
+        assert quantized[0, 0] == 2
+        assert quantized[0, 1] == -2
+        assert quantized[0, 2] == 1
+
+    def test_quantization_is_sign_symmetric(self):
+        rng = np.random.default_rng(0)
+        table = luminance_table(75)
+        coefficients = rng.normal(scale=100, size=(4, 4, 8, 8))
+        assert np.array_equal(
+            quantize(coefficients, table), -quantize(-coefficients, table)
+        )
+
+    def test_dequantize_inverts_scale(self):
+        table = luminance_table(85)
+        quantized = np.ones((8, 8), dtype=np.int32) * 3
+        assert np.array_equal(
+            dequantize(quantized, table), 3.0 * table.astype(float)
+        )
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(1)
+        table = luminance_table(60)
+        coefficients = rng.normal(scale=80, size=(10, 8, 8))
+        recovered = dequantize(quantize(coefficients, table), table)
+        assert np.all(np.abs(recovered - coefficients) <= table / 2.0 + 1e-9)

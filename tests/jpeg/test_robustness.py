@@ -1,0 +1,81 @@
+"""Decoder robustness: malformed inputs must raise, never crash or hang.
+
+The recipient proxy decodes bytes served by an *untrusted* PSP, so the
+decoder's failure mode matters: every malformed input must surface as
+``JpegFormatError`` (or a clean ValueError subclass), never an
+unhandled IndexError/panic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jpeg.codec import decode_coefficients, encode_gray
+from repro.jpeg.markers import JpegFormatError
+
+
+def _accept(data: bytes) -> None:
+    """Decode; any failure must be a JpegFormatError family error."""
+    try:
+        decode_coefficients(data)
+    except (JpegFormatError, ValueError):
+        pass
+
+
+class TestMalformedInputs:
+    def test_empty(self):
+        with pytest.raises(JpegFormatError):
+            decode_coefficients(b"")
+
+    def test_garbage(self):
+        with pytest.raises((JpegFormatError, ValueError)):
+            decode_coefficients(b"not a jpeg at all, sorry")
+
+    def test_soi_only(self):
+        with pytest.raises((JpegFormatError, ValueError)):
+            decode_coefficients(b"\xff\xd8\xff\xd9")
+
+    def test_truncations_never_crash(self, gray_image):
+        data = encode_gray(gray_image, quality=85)
+        for cut in range(2, len(data), max(1, len(data) // 60)):
+            _accept(data[:cut])
+
+    def test_single_byte_corruptions_never_crash(self, gray_image):
+        data = bytearray(encode_gray(gray_image[:32, :32], quality=85))
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            position = int(rng.integers(2, len(data)))
+            original = data[position]
+            data[position] ^= int(rng.integers(1, 256))
+            _accept(bytes(data))
+            data[position] = original
+
+    def test_header_dimension_tampering(self, gray_image):
+        data = bytearray(encode_gray(gray_image[:16, :16], quality=85))
+        # Find the SOF0 segment and zero its height field.
+        index = data.find(b"\xff\xc0")
+        assert index >= 0
+        data[index + 5] = 0
+        data[index + 6] = 0
+        _accept(bytes(data))
+
+
+class TestFuzzProperties:
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=120, deadline=None)
+    def test_random_bytes_never_crash(self, blob):
+        _accept(blob)
+
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bytes_with_soi_prefix_never_crash(self, blob):
+        _accept(b"\xff\xd8" + blob)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_random_truncation_never_crashes(self, seed, cut_percent):
+        rng = np.random.default_rng(seed)
+        image = rng.uniform(0, 255, (16, 16))
+        data = encode_gray(image, quality=80)
+        cut = max(2, len(data) * cut_percent // 100)
+        _accept(data[:cut])

@@ -1,0 +1,56 @@
+"""Tests for the zigzag scan order."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.zigzag import (
+    INVERSE_ZIGZAG,
+    ZIGZAG_ORDER,
+    from_zigzag,
+    to_zigzag,
+)
+
+
+class TestZigzagOrder:
+    def test_is_permutation_of_64(self):
+        assert sorted(ZIGZAG_ORDER.tolist()) == list(range(64))
+
+    def test_known_prefix(self):
+        # T.81 Figure 5: 0, 1, 8, 16, 9, 2, 3, 10, ...
+        assert ZIGZAG_ORDER[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+
+    def test_known_suffix_ends_at_63(self):
+        assert ZIGZAG_ORDER[-1] == 63
+        assert ZIGZAG_ORDER[-2] == 62
+
+    def test_dc_first(self):
+        assert ZIGZAG_ORDER[0] == 0
+
+    def test_inverse_is_inverse(self):
+        assert np.array_equal(ZIGZAG_ORDER[INVERSE_ZIGZAG], np.arange(64))
+        assert np.array_equal(INVERSE_ZIGZAG[ZIGZAG_ORDER], np.arange(64))
+
+
+class TestRoundTrip:
+    def test_roundtrip_single_block(self):
+        block = np.arange(64).reshape(1, 64)
+        assert np.array_equal(from_zigzag(to_zigzag(block)), block)
+
+    def test_roundtrip_stack(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-100, 100, (4, 5, 64))
+        assert np.array_equal(from_zigzag(to_zigzag(blocks)), blocks)
+
+    def test_zigzag_moves_low_frequencies_first(self):
+        # A block with energy only in the top-left 2x2 raster corner must
+        # occupy early zigzag positions.
+        block = np.zeros((8, 8))
+        block[:2, :2] = 1.0
+        zigzagged = to_zigzag(block.reshape(1, 64))[0]
+        assert zigzagged[:5].sum() == 4.0  # positions 0,1,2,3,4 cover 2x2
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            to_zigzag(np.zeros((4, 63)))
+        with pytest.raises(ValueError):
+            from_zigzag(np.zeros((4, 63)))

@@ -1,0 +1,37 @@
+"""Tests for the HTTP message model."""
+
+from repro.system.http import HttpRequest, HttpResponse, build_url
+
+
+class TestHttpRequest:
+    def test_url_parsing(self):
+        request = HttpRequest(
+            method="GET",
+            url="https://facebook.example/photos/abc?id=abc&size=720",
+        )
+        assert request.host == "facebook.example"
+        assert request.path == "/photos/abc"
+        assert request.query == {"id": "abc", "size": "720"}
+
+    def test_empty_query(self):
+        request = HttpRequest(method="GET", url="https://x.example/p")
+        assert request.query == {}
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(status=200).ok
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=404).ok
+        assert not HttpResponse(status=302).ok
+
+
+class TestBuildUrl:
+    def test_joins_and_encodes(self):
+        url = build_url(
+            "https://a.example/", "/photos/upload", {"album": "my trip"}
+        )
+        assert url == "https://a.example/photos/upload?album=my+trip"
+
+    def test_no_params(self):
+        assert build_url("https://a.example", "x") == "https://a.example/x"

@@ -1,0 +1,153 @@
+"""Tests for the interposition proxies and client sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import P3Config
+from repro.crypto.keyring import Keyring
+from repro.jpeg.codec import decode, encode_rgb
+from repro.system.client import PhotoSharingClient
+from repro.system.proxy import RecipientProxy, SenderProxy, secret_blob_key
+from repro.system.psp import AccessDeniedError, FacebookPSP, FlickrPSP
+from repro.system.storage import CloudStorage
+from repro.vision.kernels import to_luma
+from repro.vision.metrics import psnr
+
+
+@pytest.fixture()
+def world(scene_corpus):
+    """A sender (alice), a recipient (bob), a PSP and cloud storage."""
+    alice_keys = Keyring("alice")
+    alice_keys.create_album("trip")
+    bob_keys = Keyring("bob")
+    alice_keys.share_with(bob_keys, "trip")
+    psp = FacebookPSP()
+    storage = CloudStorage()
+    alice = PhotoSharingClient(
+        "alice",
+        sender_proxy=SenderProxy(
+            alice_keys, psp, storage, P3Config(threshold=15, quality=88)
+        ),
+    )
+    bob = PhotoSharingClient(
+        "bob", recipient_proxy=RecipientProxy(bob_keys, psp, storage)
+    )
+    jpeg = encode_rgb(scene_corpus[0], quality=88)
+    return alice, bob, psp, storage, jpeg
+
+
+class TestUploadPath:
+    def test_receipt_fields(self, world):
+        alice, _, psp, storage, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        assert receipt.public_bytes > 0
+        assert receipt.secret_bytes > 0
+        assert storage.exists(secret_blob_key("trip", receipt.photo_id))
+
+    def test_psp_never_sees_original(self, world):
+        """What crosses the PSP trust boundary is only the public part."""
+        alice, _, psp, _, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        stored = psp.stored_variant(receipt.photo_id, 720)
+        original = to_luma(decode(jpeg))
+        public_view = to_luma(decode(stored))
+        # Paper Figure 6: public parts are degraded to ~10-20 dB.
+        assert psnr(original, public_view) < 25.0
+
+    def test_storage_only_sees_ciphertext(self, world):
+        alice, _, _, storage, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip")
+        blob = storage.snoop(secret_blob_key("trip", receipt.photo_id))
+        assert blob[:4] == b"P3E1"  # envelope, not JPEG
+        assert b"\xff\xd8" != blob[:2]
+
+    def test_request_log_records_app_level_http(self, world):
+        alice, _, _, _, jpeg = world
+        alice.upload_photo(jpeg, "trip")
+        assert alice.request_log[-1].method == "POST"
+        assert "facebook" in alice.request_log[-1].host
+
+
+class TestDownloadPath:
+    def test_full_resolution_roundtrip(self, world):
+        alice, bob, psp, _, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        reconstructed = bob.view_photo(receipt.photo_id, "trip", resolution=720)
+        # Reference: the same PSP pipeline applied to a plain upload.
+        reference_psp = FacebookPSP()
+        ref_id = reference_psp.upload(jpeg, owner="x")
+        reference = decode(reference_psp.download(ref_id, "x", resolution=720))
+        value = psnr(to_luma(reference), to_luma(reconstructed))
+        assert value > 30.0
+
+    def test_reconstruction_beats_public_only(self, world):
+        alice, bob, psp, _, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        reference_psp = FacebookPSP()
+        ref_id = reference_psp.upload(jpeg, owner="x")
+        reference = to_luma(
+            decode(reference_psp.download(ref_id, "x", resolution=720))
+        )
+        with_key = to_luma(
+            bob.view_photo(receipt.photo_id, "trip", resolution=720)
+        )
+        without_key = to_luma(
+            bob.view_photo_without_key(receipt.photo_id, resolution=720)
+        )
+        assert psnr(reference, with_key) > psnr(reference, without_key) + 10
+
+    def test_secret_cache_reused_across_resolutions(self, world):
+        alice, bob, _, storage, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        before = storage.get_count
+        bob.view_photo(receipt.photo_id, "trip", resolution=75)
+        bob.view_photo(receipt.photo_id, "trip", resolution=130)
+        bob.view_photo(receipt.photo_id, "trip", resolution=720)
+        assert storage.get_count == before + 1  # one secret fetch only
+        assert bob.recipient_proxy.cache_stats.hits == 2
+
+    def test_stranger_cannot_download(self, world):
+        alice, _, psp, storage, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip")  # no viewers
+        mallory_keys = Keyring("mallory")
+        mallory = PhotoSharingClient(
+            "mallory",
+            recipient_proxy=RecipientProxy(mallory_keys, psp, storage),
+        )
+        with pytest.raises(AccessDeniedError):
+            mallory.view_photo(receipt.photo_id, "trip")
+
+    def test_viewer_without_key_sees_degraded(self, world):
+        """Access to the PSP but no album key (the Figure 4 scenario)."""
+        alice, bob, psp, storage, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"carol", "bob"})
+        carol_keys = Keyring("carol")  # never given the album key
+        carol = PhotoSharingClient(
+            "carol",
+            recipient_proxy=RecipientProxy(carol_keys, psp, storage),
+        )
+        degraded = carol.view_photo_without_key(
+            receipt.photo_id, resolution=720
+        )
+        original = decode(jpeg)
+        assert psnr(to_luma(original), to_luma(degraded)) < 25.0
+
+    def test_cropped_download(self, world):
+        alice, bob, _, _, jpeg = world
+        receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        cropped = bob.view_photo(
+            receipt.photo_id, "trip", resolution=128, crop_box=(8, 8, 64, 64)
+        )
+        assert cropped.shape[:2] == (64, 64)
+
+
+class TestMissingProxies:
+    def test_upload_without_proxy(self, world):
+        _, bob, _, _, jpeg = world
+        with pytest.raises(RuntimeError):
+            bob.upload_photo(jpeg, "trip")
+
+    def test_view_without_proxy(self, world):
+        alice, _, _, _, jpeg = world
+        with pytest.raises(RuntimeError):
+            alice.view_photo("x", "trip")

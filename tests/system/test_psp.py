@@ -1,0 +1,145 @@
+"""Tests for the PSP simulators."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.codec import decode, encode_rgb, image_info
+from repro.system.psp import (
+    AccessDeniedError,
+    FacebookPSP,
+    FlickrPSP,
+    PhotoBucketPSP,
+    UploadRejectedError,
+)
+
+
+@pytest.fixture(scope="module")
+def photo_bytes(scene_corpus):
+    return encode_rgb(scene_corpus[0], quality=88)
+
+
+class TestUpload:
+    def test_returns_opaque_id(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        assert len(photo_id) == 16
+        assert photo_id != psp.upload(photo_bytes, owner="alice")
+
+    def test_rejects_encrypted_blob(self):
+        """End-to-end encryption fails at ingestion (paper Section 3.1)."""
+        psp = FacebookPSP()
+        with pytest.raises(UploadRejectedError):
+            psp.upload(b"\x00" * 5000, owner="alice")
+
+    def test_rejects_truncated_jpeg(self, photo_bytes):
+        psp = FacebookPSP()
+        with pytest.raises(UploadRejectedError):
+            psp.upload(photo_bytes[: len(photo_bytes) // 2], owner="alice")
+
+    def test_creates_static_variants(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        for resolution in psp.static_resolutions:
+            data = psp.stored_variant(photo_id, resolution)
+            info = image_info(data)
+            assert max(info.width, info.height) <= resolution or (
+                resolution >= 720
+            )
+
+
+class TestFacebookBehaviour:
+    def test_serves_progressive(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(photo_id, "alice", resolution=130)
+        assert image_info(served).progressive
+
+    def test_strips_markers(self, scene_corpus):
+        from repro.jpeg import markers as m
+        from repro.jpeg.codec import (
+            encode_coefficients,
+            rgb_to_coefficients,
+        )
+
+        image = rgb_to_coefficients(scene_corpus[0], quality=88)
+        image.app_segments.append((m.APP1, b"Exif\x00\x00location-data"))
+        data = encode_coefficients(image)
+        psp = FacebookPSP()
+        photo_id = psp.upload(data, owner="alice")
+        served = psp.download(photo_id, "alice", resolution=130)
+        info = image_info(served)
+        assert all(not a.startswith("APP1") for a in info.app_markers)
+
+    def test_resolution_720_cap(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(photo_id, "alice")  # largest
+        info = image_info(served)
+        assert max(info.width, info.height) <= 720
+
+
+class TestAccessControl:
+    def test_viewer_allowed(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice", viewers={"bob"})
+        assert psp.download(photo_id, "bob", resolution=130)
+
+    def test_stranger_denied(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        with pytest.raises(AccessDeniedError):
+            psp.download(photo_id, "mallory")
+
+    def test_owner_always_allowed(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        assert psp.download(photo_id, "alice", resolution=75)
+
+
+class TestFusking:
+    def test_photobucket_ids_guessable(self, photo_bytes):
+        psp = PhotoBucketPSP()
+        psp.upload(photo_bytes, owner="victim")
+        # An attacker enumerates sequential IDs without authorization.
+        leaked = psp.download("img000001", "attacker")
+        assert decode(leaked).size > 0
+
+    def test_facebook_ids_not_sequential(self, photo_bytes):
+        psp = FacebookPSP()
+        psp.upload(photo_bytes, owner="victim")
+        with pytest.raises(KeyError):
+            psp.download("img000001", "victim")
+
+
+class TestDynamicTransforms:
+    def test_dynamic_resize(self, photo_bytes):
+        psp = FlickrPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(photo_id, "alice", resolution=64)
+        info = image_info(served)
+        assert max(info.width, info.height) == 64
+
+    def test_dynamic_crop(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(
+            photo_id, "alice", resolution=128, crop_box=(8, 8, 64, 48)
+        )
+        info = image_info(served)
+        assert (info.height, info.width) == (64, 48)
+
+    def test_bandwidth_accounting(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        before = psp.bytes_served
+        psp.download(photo_id, "alice", resolution=75)
+        assert psp.bytes_served > before
+
+
+class TestAdversarialAnalysis:
+    def test_run_analysis_sees_all_photos(self, photo_bytes):
+        psp = FacebookPSP()
+        a = psp.upload(photo_bytes, owner="alice")
+        b = psp.upload(photo_bytes, owner="bob")
+        results = psp.run_analysis(lambda pixels: pixels.shape, resolution=75)
+        assert set(results) == {a, b}

@@ -1,0 +1,88 @@
+"""Tests for transform reverse engineering."""
+
+import numpy as np
+import pytest
+
+from repro.system.reverse import (
+    SharpenOperator,
+    TransformEstimate,
+    reverse_engineer,
+)
+from repro.transforms.enhance import unsharp_mask
+from repro.transforms.resize import resize_plane
+from repro.vision.kernels import to_luma
+
+
+@pytest.fixture(scope="module")
+def calibration_planes(scene_corpus):
+    return [to_luma(img) for img in scene_corpus]
+
+
+def _simulate_psp(planes, kernel, sharpen, out=(64, 64)):
+    served = []
+    for plane in planes:
+        result = resize_plane(plane, out[0], out[1], kernel)
+        if sharpen:
+            result = unsharp_mask(result, amount=sharpen)
+        served.append(np.clip(result, 0, 255))
+    return served
+
+
+class TestReverseEngineer:
+    def test_recovers_kernel_without_sharpening(self, calibration_planes):
+        served = _simulate_psp(calibration_planes, "lanczos", 0.0)
+        estimate = reverse_engineer(calibration_planes, served)
+        assert estimate.kernel == "lanczos"
+        assert estimate.sharpen_amount == 0.0
+        assert estimate.score_db > 45.0
+
+    def test_recovers_sharpen_amount(self, calibration_planes):
+        served = _simulate_psp(calibration_planes, "bicubic", 0.6)
+        estimate = reverse_engineer(calibration_planes, served)
+        assert estimate.sharpen_amount == 0.6
+        assert estimate.score_db > 40.0
+
+    def test_gamma_detected(self, calibration_planes):
+        from repro.transforms.enhance import adjust_gamma
+
+        served = [
+            adjust_gamma(p, 1.1)
+            for p in _simulate_psp(calibration_planes, "bilinear", 0.0)
+        ]
+        estimate = reverse_engineer(calibration_planes, served)
+        assert estimate.gamma == 1.1
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            reverse_engineer([], [])
+
+    def test_length_mismatch_rejected(self, calibration_planes):
+        with pytest.raises(ValueError):
+            reverse_engineer(calibration_planes, calibration_planes[:1])
+
+
+class TestEstimateOperator:
+    def test_operator_shape(self):
+        estimate = TransformEstimate(
+            kernel="bilinear", sharpen_amount=0.0, gamma=1.0, score_db=50.0
+        )
+        operator = estimate.operator(32, 48)
+        assert operator.output_shape((128, 128)) == (32, 48)
+
+    def test_operator_includes_sharpen_when_estimated(self):
+        estimate = TransformEstimate(
+            kernel="bicubic", sharpen_amount=0.5, gamma=1.0, score_db=40.0
+        )
+        operator = estimate.operator(32, 32)
+        rng = np.random.default_rng(0)
+        plane = rng.uniform(0, 255, (64, 64))
+        expected = unsharp_mask(
+            resize_plane(plane, 32, 32, "bicubic"), amount=0.5
+        )
+        assert np.allclose(operator(plane), expected)
+
+    def test_sharpen_operator_is_linear(self):
+        from repro.transforms.operators import check_linearity
+
+        rng = np.random.default_rng(1)
+        assert check_linearity(SharpenOperator(amount=0.4), (24, 24), rng)

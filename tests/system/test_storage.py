@@ -1,0 +1,67 @@
+"""Tests for the untrusted blob store."""
+
+import pytest
+
+from repro.system.storage import CloudStorage
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        storage = CloudStorage()
+        storage.put("a/b", b"blob")
+        assert storage.get("a/b") == b"blob"
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            CloudStorage().get("nope")
+
+    def test_overwrite_updates_accounting(self):
+        storage = CloudStorage()
+        storage.put("k", b"12345")
+        storage.put("k", b"12")
+        assert storage.bytes_stored == 2
+
+    def test_delete(self):
+        storage = CloudStorage()
+        storage.put("k", b"123")
+        storage.delete("k")
+        assert not storage.exists("k")
+        assert storage.bytes_stored == 0
+
+    def test_keys_sorted(self):
+        storage = CloudStorage()
+        storage.put("z", b"")
+        storage.put("a", b"")
+        assert storage.keys() == ["a", "z"]
+
+    def test_get_count(self):
+        storage = CloudStorage()
+        storage.put("k", b"x")
+        storage.get("k")
+        storage.get("k")
+        assert storage.get_count == 2
+
+
+class TestAdversarialHooks:
+    def test_snoop_returns_stored_bytes(self):
+        storage = CloudStorage()
+        storage.put("k", b"ciphertext")
+        assert storage.snoop("k") == b"ciphertext"
+
+    def test_tamper_flips_byte(self):
+        storage = CloudStorage()
+        storage.put("k", b"\x00\x00\x00")
+        storage.tamper("k", offset=1, value=0xFF)
+        assert storage.get("k") == b"\x00\xff\x00"
+
+    def test_tampered_envelope_detected(self, album_key):
+        """The paper: the storage provider 'can tamper with images and
+        hinder reconstruction' but 'cannot leak photo privacy'.  Our
+        envelope additionally detects the tampering."""
+        from repro.crypto.envelope import EnvelopeError, open_envelope, seal_envelope
+
+        storage = CloudStorage()
+        storage.put("k", seal_envelope(album_key, b"secret-part"))
+        storage.tamper("k", offset=30, value=0x01)
+        with pytest.raises(EnvelopeError):
+            open_envelope(album_key, storage.get("k"))

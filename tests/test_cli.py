@@ -1,0 +1,124 @@
+"""Tests for the command-line interface and netpbm I/O."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.imageio import NetpbmError, read_image, write_image
+from repro.jpeg.codec import decode, encode_rgb
+
+
+class TestNetpbm:
+    def test_gray_roundtrip(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, (13, 17)).astype(np.uint8)
+        assert np.array_equal(read_image(write_image(image)), image)
+
+    def test_rgb_roundtrip(self):
+        rng = np.random.default_rng(1)
+        image = rng.integers(0, 256, (9, 11, 3)).astype(np.uint8)
+        assert np.array_equal(read_image(write_image(image)), image)
+
+    def test_float_input_clipped(self):
+        image = np.array([[-5.0, 300.0]])
+        decoded = read_image(write_image(image))
+        assert decoded[0, 0] == 0
+        assert decoded[0, 1] == 255
+
+    def test_comments_in_header(self):
+        data = b"P5\n# a comment\n2 1\n255\n\x01\x02"
+        assert np.array_equal(read_image(data), np.array([[1, 2]]))
+
+    def test_bad_magic(self):
+        with pytest.raises(NetpbmError):
+            read_image(b"P3\n1 1\n255\n0")
+
+    def test_truncated_raster(self):
+        with pytest.raises(NetpbmError):
+            read_image(b"P5\n4 4\n255\n\x00\x00")
+
+    def test_16bit_rejected(self):
+        with pytest.raises(NetpbmError):
+            read_image(b"P5\n1 1\n65535\n\x00\x00")
+
+
+@pytest.fixture()
+def photo_file(tmp_path, scene_corpus):
+    path = tmp_path / "photo.jpg"
+    path.write_bytes(encode_rgb(scene_corpus[0], quality=88))
+    return path
+
+
+class TestCli:
+    def test_genkey(self, tmp_path):
+        key_path = tmp_path / "album.key"
+        assert main(["genkey", "--output", str(key_path)]) == 0
+        assert len(key_path.read_bytes()) == 16
+
+    def test_encrypt_decrypt_roundtrip(self, tmp_path, photo_file):
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        public = tmp_path / "pub.jpg"
+        secret = tmp_path / "photo.p3s"
+        assert main(
+            [
+                "encrypt", str(photo_file),
+                "--key", str(key_path),
+                "--public", str(public),
+                "--secret", str(secret),
+                "--threshold", "15",
+            ]
+        ) == 0
+        assert public.read_bytes()[:2] == b"\xff\xd8"
+        assert secret.read_bytes()[:4] == b"P3E1"
+
+        output = tmp_path / "recon.ppm"
+        assert main(
+            [
+                "decrypt", str(public), str(secret),
+                "--key", str(key_path),
+                "--output", str(output),
+            ]
+        ) == 0
+        reconstructed = read_image(output.read_bytes())
+        reference = decode(photo_file.read_bytes())
+        assert np.array_equal(reconstructed, reference)
+
+    def test_encrypt_from_netpbm(self, tmp_path, scene_corpus):
+        ppm = tmp_path / "photo.ppm"
+        ppm.write_bytes(write_image(scene_corpus[0]))
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        assert main(
+            [
+                "encrypt", str(ppm),
+                "--key", str(key_path),
+                "--public", str(tmp_path / "p.jpg"),
+                "--secret", str(tmp_path / "s.p3s"),
+            ]
+        ) == 0
+
+    def test_inspect(self, photo_file, capsys):
+        assert main(["inspect", str(photo_file)]) == 0
+        captured = capsys.readouterr()
+        assert "dimensions" in captured.out
+        assert "progressive" in captured.out
+
+    def test_public_part_degraded(self, tmp_path, photo_file):
+        from repro.vision.kernels import to_luma
+        from repro.vision.metrics import psnr
+
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        public = tmp_path / "pub.jpg"
+        main(
+            [
+                "encrypt", str(photo_file),
+                "--key", str(key_path),
+                "--public", str(public),
+                "--secret", str(tmp_path / "s.p3s"),
+            ]
+        )
+        reference = decode(photo_file.read_bytes())
+        public_pixels = decode(public.read_bytes())
+        assert psnr(to_luma(reference), to_luma(public_pixels)) < 25.0

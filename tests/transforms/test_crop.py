@@ -1,0 +1,65 @@
+"""Tests for crop operators."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.crop import Crop, align_to_block_grid, crop_rgb
+from repro.transforms.operators import check_linearity
+
+
+class TestCrop:
+    def test_basic(self):
+        plane = np.arange(100.0).reshape(10, 10)
+        out = Crop(2, 3, 4, 5)(plane)
+        assert out.shape == (4, 5)
+        assert out[0, 0] == plane[2, 3]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Crop(5, 5, 10, 10)(np.zeros((8, 8)))
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            Crop(-1, 0, 4, 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Crop(0, 0, 0, 4)
+
+    def test_output_shape(self):
+        crop = Crop(0, 0, 6, 7)
+        assert crop.output_shape((20, 20)) == (6, 7)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(0)
+        assert check_linearity(Crop(3, 5, 10, 12), (20, 24), rng)
+
+    def test_is_block_aligned(self):
+        assert Crop(8, 16, 24, 32).is_block_aligned
+        assert not Crop(8, 16, 24, 33).is_block_aligned
+        assert not Crop(4, 16, 24, 32).is_block_aligned
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "box,expected",
+        [
+            ((0, 0, 16, 16), (0, 0, 16, 16)),
+            ((3, 5, 17, 14), (0, 8, 16, 16)),
+            ((12, 12, 3, 3), (16, 16, 8, 8)),
+        ],
+    )
+    def test_examples(self, box, expected):
+        assert align_to_block_grid(*box) == expected
+
+    def test_aligned_constructor(self):
+        crop = Crop.aligned(3, 5, 17, 14)
+        assert crop.is_block_aligned
+
+
+class TestCropRgb:
+    def test_preserves_dtype(self):
+        rgb = np.zeros((16, 16, 3), dtype=np.uint8)
+        out = crop_rgb(rgb, Crop(0, 0, 8, 8))
+        assert out.shape == (8, 8, 3)
+        assert out.dtype == np.uint8

@@ -1,0 +1,93 @@
+"""Tests for enhancement operations."""
+
+import numpy as np
+import pytest
+
+from repro.transforms.enhance import (
+    adjust_contrast,
+    adjust_gamma,
+    gaussian_blur,
+    sharpen,
+    unsharp_mask,
+)
+
+
+class TestGaussianBlur:
+    def test_preserves_constant(self):
+        assert np.allclose(gaussian_blur(np.full((16, 16), 42.0), 2.0), 42.0)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        plane = rng.normal(128, 30, (32, 32))
+        assert gaussian_blur(plane, 1.5).std() < plane.std()
+
+    def test_sigma_zero_identity(self):
+        plane = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(gaussian_blur(plane, 0.0), plane)
+
+
+class TestUnsharpMask:
+    def test_amount_zero_identity(self):
+        plane = np.arange(64.0).reshape(8, 8)
+        assert np.array_equal(unsharp_mask(plane, amount=0.0), plane)
+
+    def test_increases_edge_contrast(self):
+        plane = np.zeros((16, 16))
+        plane[:, 8:] = 100.0
+        sharpened = sharpen(plane, amount=1.0)
+        # Overshoot on both sides of the step edge.
+        assert sharpened[:, 7].max() < 0 + 1e-9 or sharpened.min() < 0.0
+        assert sharpened.max() > 100.0
+
+    def test_is_linear(self):
+        from repro.transforms.operators import check_linearity
+        from repro.system.reverse import SharpenOperator
+
+        rng = np.random.default_rng(1)
+        assert check_linearity(SharpenOperator(amount=0.7), (20, 20), rng)
+
+    def test_preserves_constant(self):
+        plane = np.full((12, 12), 50.0)
+        assert np.allclose(unsharp_mask(plane, amount=0.8), 50.0)
+
+
+class TestGamma:
+    def test_gamma_one_identity(self):
+        plane = np.linspace(0, 255, 64).reshape(8, 8)
+        assert np.allclose(adjust_gamma(plane, 1.0), plane)
+
+    def test_gamma_below_one_brightens(self):
+        plane = np.full((4, 4), 64.0)
+        assert adjust_gamma(plane, 0.5).mean() > plane.mean()
+
+    def test_endpoints_fixed(self):
+        plane = np.array([[0.0, 255.0]])
+        out = adjust_gamma(plane, 2.2)
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[0, 1] == pytest.approx(255.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            adjust_gamma(np.zeros((2, 2)), 0.0)
+
+    def test_gamma_is_nonlinear(self):
+        # This nonlinearity is precisely why gamma is excluded from the
+        # Eq. 2 operator (see repro.system.reverse).
+        a = np.full((4, 4), 50.0)
+        b = np.full((4, 4), 150.0)
+        assert not np.allclose(
+            adjust_gamma(a + b, 2.0),
+            adjust_gamma(a, 2.0) + adjust_gamma(b, 2.0),
+        )
+
+
+class TestContrast:
+    def test_factor_one_identity_inside_range(self):
+        plane = np.full((4, 4), 100.0)
+        assert np.allclose(adjust_contrast(plane, 1.0), plane)
+
+    def test_expansion_clips(self):
+        plane = np.array([[0.0, 255.0]])
+        out = adjust_contrast(plane, 2.0)
+        assert out[0, 0] == 0.0
+        assert out[0, 1] == 255.0

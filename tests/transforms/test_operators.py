@@ -1,0 +1,62 @@
+"""Tests for the operator abstraction."""
+
+import numpy as np
+
+from repro.transforms.crop import Crop
+from repro.transforms.operators import (
+    Compose,
+    FunctionOperator,
+    Identity,
+    check_linearity,
+)
+from repro.transforms.resize import Resize
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        plane = np.ones((4, 4))
+        assert Identity()(plane) is plane
+
+    def test_shape(self):
+        assert Identity().output_shape((7, 9)) == (7, 9)
+
+
+class TestCompose:
+    def test_order_left_to_right(self):
+        double = FunctionOperator(lambda p: 2 * p, lambda s: s)
+        add_shape = FunctionOperator(lambda p: p[:2], lambda s: (2, s[1]))
+        composed = Compose(operators=(double, add_shape))
+        plane = np.ones((4, 4))
+        out = composed(plane)
+        assert out.shape == (2, 4)
+        assert np.all(out == 2.0)
+
+    def test_shape_chaining(self):
+        composed = Compose(
+            operators=(Resize(16, 16), Crop(0, 0, 8, 8))
+        )
+        assert composed.output_shape((64, 64)) == (8, 8)
+
+    def test_composition_is_linear(self):
+        rng = np.random.default_rng(0)
+        composed = Compose(
+            operators=(Resize(12, 12, "bicubic"), Crop(2, 2, 8, 8))
+        )
+        assert check_linearity(composed, (24, 24), rng)
+
+
+class TestCheckLinearity:
+    def test_detects_nonlinearity(self):
+        clipping = FunctionOperator(
+            lambda p: np.clip(p, 0, 1), lambda s: s
+        )
+        rng = np.random.default_rng(1)
+        assert not check_linearity(clipping, (8, 8), rng)
+
+    def test_accepts_matrix_multiply(self):
+        rng = np.random.default_rng(2)
+        m = rng.normal(size=(5, 8))
+        operator = FunctionOperator(
+            lambda p: m @ p, lambda s: (5, s[1])
+        )
+        assert check_linearity(operator, (8, 6), rng)

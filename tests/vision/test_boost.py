@@ -1,0 +1,106 @@
+"""Tests for AdaBoost stumps and cascade calibration."""
+
+import numpy as np
+import pytest
+
+from repro.vision.boost import (
+    Stage,
+    Stump,
+    calibrate_stage,
+    train_committee,
+)
+
+
+def _separable_data(rng, num_samples=200, num_features=20):
+    """Feature 3 separates the classes; others are noise."""
+    labels = rng.uniform(size=num_samples) < 0.5
+    responses = rng.normal(size=(num_features, num_samples))
+    responses[3] = np.where(labels, 2.0, -2.0) + rng.normal(
+        scale=0.3, size=num_samples
+    )
+    return responses, labels
+
+
+class TestStump:
+    def test_predict_polarity_positive(self):
+        stump = Stump(feature_index=0, threshold=1.0, polarity=1, alpha=1.0)
+        values = np.array([0.0, 2.0])
+        assert stump.predict(values).tolist() == [True, False]
+
+    def test_predict_polarity_negative(self):
+        stump = Stump(feature_index=0, threshold=1.0, polarity=-1, alpha=1.0)
+        values = np.array([0.0, 2.0])
+        assert stump.predict(values).tolist() == [False, True]
+
+
+class TestTrainCommittee:
+    def test_finds_discriminative_feature(self):
+        rng = np.random.default_rng(0)
+        responses, labels = _separable_data(rng)
+        stumps = train_committee(responses, labels, num_rounds=1)
+        assert stumps[0].feature_index == 3
+
+    def test_committee_accuracy_high_on_separable(self):
+        rng = np.random.default_rng(1)
+        responses, labels = _separable_data(rng)
+        stumps = train_committee(responses, labels, num_rounds=5)
+        stage = Stage(stumps=stumps, threshold=0.0)
+        scores = stage.scores(responses[[s.feature_index for s in stumps]])
+        threshold = np.median(scores)
+        predictions = scores > threshold
+        accuracy = (predictions == labels).mean()
+        assert accuracy > 0.9
+
+    def test_boosting_improves_on_harder_data(self):
+        rng = np.random.default_rng(2)
+        num = 300
+        labels = rng.uniform(size=num) < 0.5
+        responses = rng.normal(size=(10, num))
+        # Two weak features, each partially informative.
+        responses[1] += np.where(labels, 0.8, -0.8)
+        responses[4] += np.where(labels, 0.6, -0.6)
+
+        def accuracy(rounds):
+            stumps = train_committee(responses, labels, rounds)
+            value_rows = responses[[s.feature_index for s in stumps]]
+            stage = Stage(stumps=stumps, threshold=0.0)
+            scores = stage.scores(value_rows)
+            predictions = scores > np.median(scores)
+            return (predictions == labels).mean()
+
+        assert accuracy(8) >= accuracy(1) - 0.02
+
+    def test_needs_both_classes(self):
+        responses = np.zeros((3, 10))
+        labels = np.ones(10, dtype=bool)
+        with pytest.raises(ValueError):
+            train_committee(responses, labels, 2)
+
+    def test_alphas_positive_for_informative_stumps(self):
+        rng = np.random.default_rng(3)
+        responses, labels = _separable_data(rng)
+        stumps = train_committee(responses, labels, num_rounds=3)
+        assert all(s.alpha > 0 for s in stumps)
+
+
+class TestCalibrateStage:
+    def test_detection_rate_met(self):
+        rng = np.random.default_rng(4)
+        responses, labels = _separable_data(rng, num_samples=400)
+        stumps = train_committee(responses, labels, num_rounds=4)
+        stage = calibrate_stage(
+            stumps, responses, labels, min_detection_rate=0.99
+        )
+        value_rows = responses[stage.feature_indices]
+        passes = stage.passes(value_rows)
+        detection_rate = passes[labels].mean()
+        assert detection_rate >= 0.99
+
+    def test_stage_rejects_some_negatives(self):
+        rng = np.random.default_rng(5)
+        responses, labels = _separable_data(rng, num_samples=400)
+        stumps = train_committee(responses, labels, num_rounds=4)
+        stage = calibrate_stage(stumps, responses, labels)
+        passes = stage.passes(responses[stage.feature_indices])
+        false_positive_rate = passes[~labels].mean()
+        assert false_positive_rate < 0.5

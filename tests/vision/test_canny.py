@@ -1,0 +1,65 @@
+"""Tests for the Canny edge detector."""
+
+import numpy as np
+
+from repro.vision.canny import canny
+
+
+class TestCanny:
+    def test_blank_image_no_edges(self):
+        assert not canny(np.full((32, 32), 128.0)).any()
+
+    def test_step_edge_detected(self):
+        image = np.zeros((32, 32))
+        image[:, 16:] = 200.0
+        edges = canny(image)
+        # Edge pixels concentrated around column 16.
+        columns = np.nonzero(edges)[1]
+        assert len(columns) > 0
+        assert np.all(np.abs(columns - 16) <= 3)
+
+    def test_edge_map_is_boolean(self, gray_image):
+        edges = canny(gray_image)
+        assert edges.dtype == bool
+        assert edges.shape == gray_image.shape
+
+    def test_rectangle_outline_found(self):
+        image = np.zeros((64, 64))
+        image[20:44, 12:52] = 180.0
+        edges = canny(image)
+        # Most edge pixels lie near the rectangle border.
+        ys, xs = np.nonzero(edges)
+        near_border = (
+            (np.abs(ys - 20) <= 2)
+            | (np.abs(ys - 43) <= 2)
+            | (np.abs(xs - 12) <= 2)
+            | (np.abs(xs - 51) <= 2)
+        )
+        assert near_border.mean() > 0.9
+
+    def test_thin_edges(self):
+        image = np.zeros((32, 32))
+        image[:, 16:] = 200.0
+        edges = canny(image)
+        # Non-maximum suppression: at most ~2 pixels thick per row.
+        per_row = edges.sum(axis=1)
+        assert per_row.max() <= 3
+
+    def test_works_on_rgb(self, rgb_image):
+        edges = canny(rgb_image)
+        assert edges.shape == rgb_image.shape[:2]
+
+    def test_explicit_thresholds(self):
+        image = np.zeros((32, 32))
+        image[:, 16:] = 10.0  # weak edge
+        strict = canny(image, low_threshold=50.0, high_threshold=100.0)
+        assert not strict.any()
+
+    def test_noise_produces_fewer_structured_edges_than_scene(
+        self, scene_corpus
+    ):
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(0, 255, scene_corpus[0].shape[:2])
+        scene_edges = canny(scene_corpus[0])
+        # Edges exist on the structured scene.
+        assert scene_edges.mean() > 0.005

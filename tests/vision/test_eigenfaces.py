@@ -1,0 +1,116 @@
+"""Tests for Eigenfaces recognition and CMC evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.vision.eigenfaces import (
+    EigenfaceModel,
+    FACE_SIZE,
+    cumulative_match_curve,
+    prepare_face,
+)
+
+
+def _aligned(sample):
+    """Face-box crop: the CSU pipeline's geometric normalization."""
+    top, left, height, width = sample.bbox
+    return sample.image[top : top + height, left : left + width]
+
+
+@pytest.fixture(scope="module")
+def model(small_feret):
+    gallery = [_aligned(s) for s in small_feret.gallery]
+    subjects = [s.subject for s in small_feret.gallery]
+    return EigenfaceModel.train(gallery, gallery, subjects)
+
+
+class TestPrepareFace:
+    def test_output_shape_and_normalization(self, small_feret):
+        vector = prepare_face(small_feret.gallery[0].image)
+        assert vector.shape == (FACE_SIZE[0] * FACE_SIZE[1],)
+        assert vector.mean() == pytest.approx(0.0, abs=1e-9)
+        assert vector.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_image_handled(self):
+        vector = prepare_face(np.full((64, 64), 100.0))
+        assert np.all(np.isfinite(vector))
+
+
+class TestModel:
+    def test_basis_orthonormal(self, model):
+        gram = model.basis @ model.basis.T
+        assert np.allclose(gram, np.eye(model.basis.shape[0]), atol=1e-8)
+
+    def test_gallery_projections_shape(self, model, small_feret):
+        assert model.gallery.shape == (
+            len(small_feret.gallery),
+            model.basis.shape[0],
+        )
+
+    def test_identify_gallery_images_perfectly(self, model, small_feret):
+        """Gallery images themselves must match their own identity."""
+        for sample in small_feret.gallery:
+            assert model.identify(_aligned(sample), "euclidean") == sample.subject
+
+    def test_probe_recognition_beats_chance(self, model, small_feret):
+        correct = sum(
+            1
+            for probe in small_feret.probes
+            if model.identify(_aligned(probe), "euclidean") == probe.subject
+        )
+        chance = len(small_feret.probes) / small_feret.num_subjects
+        assert correct > 2 * chance
+
+    def test_unknown_metric_rejected(self, model, small_feret):
+        with pytest.raises(ValueError):
+            model.distances(_aligned(small_feret.probes[0]), metric="cosine!")
+
+    def test_ranked_subjects_deduplicated(self, model, small_feret):
+        ranked = model.ranked_subjects(_aligned(small_feret.probes[0]))
+        assert len(ranked) == len(set(ranked))
+        assert len(ranked) == small_feret.num_subjects
+
+
+class TestCmc:
+    def test_monotone_nondecreasing(self, model, small_feret):
+        curve = cumulative_match_curve(
+            model,
+            [_aligned(s) for s in small_feret.probes],
+            [s.subject for s in small_feret.probes],
+        )
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_final_rank_reaches_one(self, model, small_feret):
+        curve = cumulative_match_curve(
+            model,
+            [_aligned(s) for s in small_feret.probes],
+            [s.subject for s in small_feret.probes],
+        )
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_max_rank_truncation(self, model, small_feret):
+        curve = cumulative_match_curve(
+            model,
+            [_aligned(s) for s in small_feret.probes],
+            [s.subject for s in small_feret.probes],
+            max_rank=3,
+        )
+        assert len(curve) == 3
+
+    def test_mismatched_lengths_rejected(self, model, small_feret):
+        with pytest.raises(ValueError):
+            cumulative_match_curve(
+                model, [_aligned(small_feret.probes[0])], [0, 1]
+            )
+
+    def test_rank1_reasonable_normal_setting(self, model, small_feret):
+        """The paper's Normal-Normal baseline is >80%; the synthetic
+        corpus with 1 gallery shot per subject lands lower but must stay
+        well above chance."""
+        curve = cumulative_match_curve(
+            model,
+            [_aligned(s) for s in small_feret.probes],
+            [s.subject for s in small_feret.probes],
+            metric="euclidean",
+        )
+        assert curve[0] >= 0.5

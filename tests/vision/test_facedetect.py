@@ -1,0 +1,74 @@
+"""Tests for the trained Viola-Jones detector."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import caltech_faces_like, usc_sipi_like
+from repro.vision.facedetect import Detection
+
+
+class TestDetection:
+    def test_iou_identical(self):
+        a = Detection(top=0, left=0, size=24, score=1.0)
+        assert a.intersection_over_union(a) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        a = Detection(top=0, left=0, size=10, score=1.0)
+        b = Detection(top=50, left=50, size=10, score=1.0)
+        assert a.intersection_over_union(b) == 0.0
+
+    def test_iou_half_overlap(self):
+        a = Detection(top=0, left=0, size=10, score=1.0)
+        b = Detection(top=0, left=5, size=10, score=1.0)
+        assert a.intersection_over_union(b) == pytest.approx(1.0 / 3.0)
+
+
+class TestTrainedDetector:
+    def test_cascade_has_stages(self, trained_detector):
+        assert len(trained_detector.cascade.stages) >= 1
+        assert trained_detector.cascade.num_features_used >= 8
+
+    def test_detects_faces_in_face_corpus(self, trained_detector):
+        samples = caltech_faces_like(count=6, subjects=3, size=128)
+        hits = sum(
+            1 for s in samples if trained_detector.count_faces(s.image) >= 1
+        )
+        assert hits >= 5  # at least 5/6 faces found
+
+    def test_no_faces_in_scenes(self, trained_detector):
+        scenes = usc_sipi_like(count=5, size=128)
+        false_positives = sum(
+            trained_detector.count_faces(s) for s in scenes
+        )
+        assert false_positives <= 1
+
+    def test_detection_location_overlaps_truth(self, trained_detector):
+        samples = caltech_faces_like(count=4, subjects=2, size=128)
+        for sample in samples:
+            detections = trained_detector.detect(sample.image)
+            if not detections:
+                continue
+            top, left, height, width = sample.bbox
+            truth = Detection(
+                top=top, left=left, size=min(height, width), score=0
+            )
+            best = max(
+                detections,
+                key=lambda d: d.intersection_over_union(truth),
+            )
+            assert best.intersection_over_union(truth) > 0.2
+
+    def test_min_neighbors_suppresses(self, trained_detector):
+        sample = caltech_faces_like(count=1, subjects=1, size=128)[0]
+        loose = trained_detector.detect(sample.image, min_neighbors=1)
+        strict = trained_detector.detect(sample.image, min_neighbors=4)
+        assert len(strict) <= len(loose)
+
+    def test_blank_image_no_faces(self, trained_detector):
+        blank = np.full((96, 96), 127.0)
+        assert trained_detector.count_faces(blank) == 0
+
+    def test_noise_image_no_faces(self, trained_detector):
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(0, 255, (96, 96))
+        assert trained_detector.count_faces(noise) <= 1

@@ -1,0 +1,112 @@
+"""Tests for integral images and Haar features."""
+
+import numpy as np
+import pytest
+
+from repro.vision.haar import (
+    HaarFeature,
+    WINDOW,
+    generate_features,
+)
+from repro.vision.integral import box_sum, box_sums, integral_image
+
+
+class TestIntegralImage:
+    def test_single_pixel(self):
+        table = integral_image(np.array([[5.0]]))
+        assert table.shape == (2, 2)
+        assert table[1, 1] == 5.0
+
+    def test_matches_direct_sum(self):
+        rng = np.random.default_rng(0)
+        plane = rng.uniform(0, 10, (12, 15))
+        table = integral_image(plane)
+        assert box_sum(table, 2, 3, 5, 7) == pytest.approx(
+            plane[2:7, 3:10].sum()
+        )
+
+    def test_full_rectangle(self):
+        plane = np.ones((6, 6))
+        table = integral_image(plane)
+        assert box_sum(table, 0, 0, 6, 6) == 36.0
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        plane = rng.uniform(0, 5, (20, 20))
+        table = integral_image(plane)
+        tops = np.array([0, 3, 7])
+        lefts = np.array([1, 2, 5])
+        heights = np.array([4, 4, 4])
+        widths = np.array([6, 6, 6])
+        batch = box_sums(table, tops, lefts, heights, widths)
+        for i in range(3):
+            assert batch[i] == pytest.approx(
+                box_sum(table, tops[i], lefts[i], heights[i], widths[i])
+            )
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            integral_image(np.zeros((4, 4, 3)))
+
+
+class TestHaarFeatures:
+    def test_feature_set_nonempty_and_bounded(self):
+        features = generate_features()
+        assert 500 < len(features) < 20_000
+
+    def test_all_rects_inside_window(self):
+        for feature in generate_features():
+            for top, left, height, width, _ in feature.rects:
+                assert 0 <= top and top + height <= WINDOW
+                assert 0 <= left and left + width <= WINDOW
+
+    def test_features_are_dc_free(self):
+        """Weighted areas cancel: response to a constant patch is zero.
+        This is what makes variance-only normalization sufficient."""
+        constant = np.full((WINDOW, WINDOW), 73.0)
+        table = integral_image(constant)[None]
+        for feature in generate_features()[::50]:
+            assert feature.evaluate_patches(table)[0] == pytest.approx(0.0)
+
+    def test_two_rect_detects_contrast(self):
+        feature = HaarFeature(
+            rects=((0, 0, 8, 4, -1.0), (0, 4, 8, 4, +1.0))
+        )
+        patch = np.zeros((WINDOW, WINDOW))
+        patch[:8, 4:8] = 10.0
+        table = integral_image(patch)[None]
+        assert feature.evaluate_patches(table)[0] > 0
+
+    def test_grid_evaluation_matches_patch_evaluation(self):
+        rng = np.random.default_rng(2)
+        image = rng.uniform(0, 255, (48, 48))
+        table = integral_image(image)
+        feature = generate_features()[17]
+        tops = np.array([0, 8, 24])
+        lefts = np.array([0, 16, 24])
+        grid_values = feature.evaluate_grid(table, tops, lefts, scale=1.0)
+        for i in range(3):
+            patch = image[
+                tops[i] : tops[i] + WINDOW, lefts[i] : lefts[i] + WINDOW
+            ]
+            patch_value = feature.evaluate_patches(
+                integral_image(patch)[None]
+            )[0]
+            assert grid_values[i] == pytest.approx(patch_value)
+
+    def test_scaled_grid_evaluation_scales_area(self):
+        # A feature evaluated at scale 2 on a 2x-upsampled image gives
+        # ~4x the response of scale 1 on the original (replication).
+        rng = np.random.default_rng(3)
+        small = rng.uniform(0, 255, (24, 24))
+        large = np.repeat(np.repeat(small, 2, axis=0), 2, axis=1)
+        feature = HaarFeature(
+            rects=((0, 0, 12, 6, -1.0), (0, 6, 12, 6, +1.0))
+        )
+        value_small = feature.evaluate_grid(
+            integral_image(small), np.array([0]), np.array([0]), scale=1.0
+        )[0]
+        value_large = feature.evaluate_grid(
+            integral_image(large), np.array([0]), np.array([0]), scale=2.0
+        )[0]
+        assert value_large == pytest.approx(4.0 * value_small, rel=0.05)

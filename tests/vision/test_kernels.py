@@ -1,0 +1,79 @@
+"""Tests for shared vision kernels."""
+
+import numpy as np
+import pytest
+
+from repro.vision.kernels import (
+    gaussian_blur,
+    gaussian_kernel_1d,
+    sobel_gradients,
+    to_luma,
+)
+
+
+class TestGaussianKernel:
+    def test_normalized(self):
+        kernel = gaussian_kernel_1d(1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel_1d(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_peak_at_center(self):
+        kernel = gaussian_kernel_1d(1.0)
+        assert kernel.argmax() == len(kernel) // 2
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_1d(0.0)
+
+
+class TestGaussianBlur:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        plane = rng.uniform(0, 255, (32, 32))
+        blurred = gaussian_blur(plane, 2.0)
+        assert blurred.mean() == pytest.approx(plane.mean(), rel=0.02)
+
+    def test_zero_sigma_identity(self):
+        plane = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(gaussian_blur(plane, 0.0), plane)
+
+
+class TestSobel:
+    def test_vertical_edge_gives_horizontal_gradient(self):
+        plane = np.zeros((16, 16))
+        plane[:, 8:] = 100.0
+        gy, gx = sobel_gradients(plane)
+        assert np.abs(gx).max() > np.abs(gy).max() * 5
+
+    def test_horizontal_edge_gives_vertical_gradient(self):
+        plane = np.zeros((16, 16))
+        plane[8:, :] = 100.0
+        gy, gx = sobel_gradients(plane)
+        assert np.abs(gy).max() > np.abs(gx).max() * 5
+
+    def test_flat_image_zero_gradient(self):
+        gy, gx = sobel_gradients(np.full((8, 8), 50.0))
+        assert np.allclose(gy, 0.0)
+        assert np.allclose(gx, 0.0)
+
+
+class TestToLuma:
+    def test_gray_passthrough(self):
+        plane = np.arange(4.0).reshape(2, 2)
+        assert np.array_equal(to_luma(plane), plane)
+
+    def test_rgb_weights(self):
+        rgb = np.zeros((1, 1, 3), dtype=np.uint8)
+        rgb[..., 1] = 255  # pure green
+        assert to_luma(rgb)[0, 0] == pytest.approx(0.587 * 255)
+
+    def test_white_maps_to_255(self):
+        rgb = np.full((2, 2, 3), 255, dtype=np.uint8)
+        assert np.allclose(to_luma(rgb), 255.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            to_luma(np.zeros((2, 2, 4)))

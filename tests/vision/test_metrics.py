@@ -1,0 +1,97 @@
+"""Tests for quality/privacy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.vision.metrics import edge_matching_ratio, mse, psnr, ssim
+
+
+class TestMse:
+    def test_identical_zero(self):
+        image = np.random.default_rng(0).uniform(0, 255, (16, 16))
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert mse(a, b) == 4.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestPsnr:
+    def test_identical_infinite(self):
+        image = np.ones((8, 8))
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(1)
+        image = rng.uniform(50, 200, (32, 32))
+        small = image + rng.normal(0, 2, image.shape)
+        large = image + rng.normal(0, 20, image.shape)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_typical_jpeg_range(self, gray_image):
+        from repro.jpeg.codec import decode, encode_gray
+
+        decoded = decode(encode_gray(gray_image, quality=90))
+        value = psnr(gray_image, decoded)
+        assert 25.0 < value < 60.0
+
+
+class TestSsim:
+    def test_identical_one(self):
+        image = np.random.default_rng(2).uniform(0, 255, (32, 32))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_noise_lowers_ssim(self):
+        rng = np.random.default_rng(3)
+        image = rng.uniform(50, 200, (64, 64))
+        noisy = image + rng.normal(0, 30, image.shape)
+        assert ssim(image, noisy) < 0.95
+
+    def test_works_on_rgb(self, rgb_image):
+        assert ssim(rgb_image, rgb_image) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((9, 8)))
+
+
+class TestEdgeMatchingRatio:
+    def test_identical_maps(self):
+        edges = np.zeros((10, 10), dtype=bool)
+        edges[5] = True
+        assert edge_matching_ratio(edges, edges) == 1.0
+
+    def test_disjoint_maps(self):
+        a = np.zeros((10, 10), dtype=bool)
+        b = np.zeros((10, 10), dtype=bool)
+        a[2] = True
+        b[7] = True
+        assert edge_matching_ratio(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.zeros((4, 4), dtype=bool)
+        a[0, :4] = True
+        b = np.zeros((4, 4), dtype=bool)
+        b[0, :2] = True
+        assert edge_matching_ratio(a, b) == pytest.approx(0.5)
+
+    def test_empty_reference(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        full = np.ones((4, 4), dtype=bool)
+        assert edge_matching_ratio(empty, full) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            edge_matching_ratio(
+                np.zeros((2, 2), dtype=bool), np.zeros((3, 3), dtype=bool)
+            )

@@ -1,0 +1,94 @@
+"""Tests for the SIFT implementation."""
+
+import numpy as np
+import pytest
+
+from repro.vision.sift import (
+    SiftFeature,
+    count_preserved_features,
+    detect_and_describe,
+    match_features,
+)
+
+
+@pytest.fixture(scope="module")
+def scene_features(scene_corpus):
+    return detect_and_describe(scene_corpus[0])
+
+
+class TestDetection:
+    def test_finds_features_on_structured_image(self, scene_features):
+        assert len(scene_features) >= 10
+
+    def test_no_features_on_flat_image(self):
+        assert detect_and_describe(np.full((64, 64), 128.0)) == []
+
+    def test_descriptors_are_unit_norm(self, scene_features):
+        for feature in scene_features[:20]:
+            assert np.linalg.norm(feature.descriptor) == pytest.approx(
+                1.0, abs=1e-5
+            )
+            assert feature.descriptor.shape == (128,)
+
+    def test_descriptor_values_clipped(self, scene_features):
+        # Values are clipped at 0.2 then renormalized, so the final max
+        # can exceed 0.2 but stays far below an un-clipped spike.
+        for feature in scene_features[:20]:
+            assert feature.descriptor.max() <= 0.6
+
+    def test_keypoints_inside_image(self, scene_corpus, scene_features):
+        height, width = scene_corpus[0].shape[:2]
+        for feature in scene_features:
+            assert 0 <= feature.y < height
+            assert 0 <= feature.x < width
+
+    def test_max_features_limits(self, scene_corpus):
+        limited = detect_and_describe(scene_corpus[0], max_features=5)
+        assert len(limited) <= 5
+
+
+class TestMatching:
+    def test_self_matching_is_total(self, scene_features):
+        matches = match_features(scene_features, scene_features, ratio=0.9)
+        assert len(matches) == len(scene_features)
+        assert all(q == r for q, r in matches)
+
+    def test_empty_inputs(self, scene_features):
+        assert match_features([], scene_features) == []
+        assert match_features(scene_features, []) == []
+
+    def test_unrelated_images_match_little(self, scene_corpus):
+        a = detect_and_describe(scene_corpus[0])
+        b = detect_and_describe(scene_corpus[1])
+        if not a or not b:
+            pytest.skip("no features detected")
+        matches = match_features(a, b, ratio=0.6)
+        assert len(matches) < 0.3 * len(a)
+
+    def test_brightness_shift_preserves_matches(self, scene_corpus):
+        """Descriptors are gradient-based: a global brightness shift
+        must preserve most matches."""
+        image = scene_corpus[0]
+        shifted = np.clip(image.astype(np.int16) + 25, 0, 255).astype(
+            np.uint8
+        )
+        original = detect_and_describe(image)
+        transformed = detect_and_describe(shifted)
+        preserved = count_preserved_features(transformed, original, 0.7)
+        assert preserved >= 0.4 * len(original)
+
+    def test_ratio_parameter_monotone(self, scene_corpus):
+        a = detect_and_describe(scene_corpus[0])
+        b = detect_and_describe(scene_corpus[2])
+        strict = match_features(a, b, ratio=0.4)
+        loose = match_features(a, b, ratio=0.9)
+        assert len(strict) <= len(loose)
+
+
+class TestFeatureDataclass:
+    def test_fields(self):
+        feature = SiftFeature(
+            y=1.0, x=2.0, scale=1.6, orientation=0.5,
+            descriptor=np.zeros(128, dtype=np.float32),
+        )
+        assert feature.scale == 1.6
