@@ -1,0 +1,129 @@
+"""Codec throughput trajectory: fast engine vs scalar reference.
+
+Times encode and decode (coefficient-level, the P3 hot path) for
+baseline and progressive streams at several image sizes, and writes
+``BENCH_codec_throughput.json`` with images/sec plus the fast-vs-scalar
+decode speedup.  The scalar reference is only timed up to
+``--reference-max-size`` (default 512 — the per-bit decoder needs ~10s
+per 512px image, minutes at 1024).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py --sizes 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.jpeg.codec import gray_to_coefficients
+from repro.jpeg.decoder import decode_to_coefficients
+from repro.jpeg.encoder import encode_baseline, encode_progressive
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def _test_image(size: int) -> np.ndarray:
+    """Textured image with realistic coefficient density at quality 75."""
+    rng = np.random.default_rng(size)
+    ramp = np.linspace(0, size / 12.8, size)
+    image = np.add.outer(np.sin(ramp) * 60, np.cos(ramp * 1.7) * 60)
+    return np.clip(image + 128 + rng.normal(0, 25, (size, size)), 0, 255)
+
+
+def _time_call(function, repeats: int) -> float:
+    """Best-of-N wall-clock seconds for one call."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(
+    sizes: list[int],
+    quality: int,
+    repeats: int,
+    reference_max_size: int,
+) -> dict:
+    trajectory = []
+    for size in sizes:
+        image = gray_to_coefficients(_test_image(size), quality=quality)
+        for mode, encode in (
+            ("baseline", lambda im: encode_baseline(im, fast=True)),
+            ("progressive", lambda im: encode_progressive(im, fast=True)),
+        ):
+            data = encode(image)
+            entry = {
+                "size": size,
+                "mode": mode,
+                "quality": quality,
+                "stream_bytes": len(data),
+                "nonzero_coefficients": image.total_nonzero(),
+            }
+            entry["encode_fast_s"] = _time_call(
+                lambda: encode(image), repeats
+            )
+            entry["decode_fast_s"] = _time_call(
+                lambda: decode_to_coefficients(data, fast=True), repeats
+            )
+            entry["encode_images_per_s"] = 1.0 / entry["encode_fast_s"]
+            entry["decode_images_per_s"] = 1.0 / entry["decode_fast_s"]
+            if size <= reference_max_size:
+                entry["decode_scalar_s"] = _time_call(
+                    lambda: decode_to_coefficients(data, fast=False), 1
+                )
+                entry["decode_speedup"] = (
+                    entry["decode_scalar_s"] / entry["decode_fast_s"]
+                )
+            trajectory.append(entry)
+            speedup = entry.get("decode_speedup")
+            print(
+                f"{size:5d}px {mode:11s} "
+                f"encode {entry['encode_images_per_s']:8.1f} img/s  "
+                f"decode {entry['decode_images_per_s']:8.1f} img/s"
+                + (f"  ({speedup:.0f}x vs scalar)" if speedup else "")
+            )
+    return {
+        "benchmark": "codec_throughput",
+        "description": (
+            "JPEG entropy codec throughput, vectorized engine; "
+            "decode_speedup compares against the scalar T.81 reference"
+        ),
+        "quality": quality,
+        "trajectory": trajectory,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[256, 512, 1024]
+    )
+    parser.add_argument("--quality", type=int, default=75)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--reference-max-size",
+        type=int,
+        default=512,
+        help="largest size at which the slow scalar decoder is timed",
+    )
+    args = parser.parse_args()
+    result = run(
+        args.sizes, args.quality, args.repeats, args.reference_max_size
+    )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_codec_throughput.json"
+    path.write_text(json.dumps(result, indent=2))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

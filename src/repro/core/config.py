@@ -28,12 +28,18 @@ class P3Config:
     entropy-coding optimization, which the paper implicitly uses (it
     reports that splitting *decreases* entropy in both parts, "resulting
     in better compressibility").
+
+    ``fast_codec`` selects the vectorized entropy-coding engine for the
+    proxies' encode/decode hot path; the scalar reference engine
+    (``False``) produces byte-identical output ~50x slower and exists
+    for differential testing.
     """
 
     threshold: int = DEFAULT_THRESHOLD
     quality: int = 85
     subsampling: str = "4:4:4"
     optimize_huffman: bool = True
+    fast_codec: bool = True
 
     def __post_init__(self) -> None:
         if self.threshold < 1:

@@ -68,7 +68,9 @@ class P3Encryptor:
 
     def split_jpeg(self, jpeg_bytes: bytes) -> SplitResult:
         """Split an existing JPEG file losslessly (transcode path)."""
-        coefficients = decode_coefficients(jpeg_bytes)
+        coefficients = decode_coefficients(
+            jpeg_bytes, fast=self.config.fast_codec
+        )
         return split_image(coefficients, self.config.threshold)
 
     # -- full sender-side operation --
@@ -87,6 +89,7 @@ class P3Encryptor:
             split.public,
             progressive=False,
             optimize_huffman=self.config.optimize_huffman,
+            fast=self.config.fast_codec,
         )
 
     def _pixels_to_coefficients(

@@ -107,11 +107,15 @@ def encode_rgb(
     subsampling: str = "4:4:4",
     progressive: bool = False,
     optimize_huffman: bool = True,
+    fast: bool = True,
 ) -> bytes:
     """Encode an ``(h, w, 3)`` uint8 RGB image to JPEG bytes."""
     image = rgb_to_coefficients(rgb, quality=quality, subsampling=subsampling)
     return encode_coefficients(
-        image, progressive=progressive, optimize_huffman=optimize_huffman
+        image,
+        progressive=progressive,
+        optimize_huffman=optimize_huffman,
+        fast=fast,
     )
 
 
@@ -120,11 +124,15 @@ def encode_gray(
     quality: int = 85,
     progressive: bool = False,
     optimize_huffman: bool = True,
+    fast: bool = True,
 ) -> bytes:
     """Encode an ``(h, w)`` grayscale image to JPEG bytes."""
     image = gray_to_coefficients(plane, quality=quality)
     return encode_coefficients(
-        image, progressive=progressive, optimize_huffman=optimize_huffman
+        image,
+        progressive=progressive,
+        optimize_huffman=optimize_huffman,
+        fast=fast,
     )
 
 
@@ -133,6 +141,7 @@ def encode_coefficients(
     progressive: bool | str | None = None,
     optimize_huffman: bool = True,
     restart_interval: int = 0,
+    fast: bool = True,
 ) -> bytes:
     """Entropy-encode a coefficient image (lossless transcoding step).
 
@@ -140,42 +149,45 @@ def encode_coefficients(
     image), ``False`` (baseline), ``True`` (progressive with spectral
     selection) or ``"sa"`` (progressive with successive approximation,
     the full libjpeg-style script).  ``restart_interval`` applies to
-    baseline output only.
+    baseline output only.  ``fast`` (the default) runs the vectorized
+    entropy engine; ``fast=False`` the scalar reference — output is
+    byte-identical either way.
     """
     if progressive is None:
         progressive = image.progressive
     if progressive == "sa":
-        return encode_progressive_sa(image)
+        return encode_progressive_sa(image, fast=fast)
     if progressive:
-        return encode_progressive(image)
+        return encode_progressive(image, fast=fast)
     return encode_baseline(
         image,
         optimize_huffman=optimize_huffman,
         restart_interval=restart_interval,
+        fast=fast,
     )
 
 
-def decode_coefficients(data: bytes) -> CoefficientImage:
+def decode_coefficients(data: bytes, fast: bool = True) -> CoefficientImage:
     """Decode JPEG bytes to quantized DCT coefficients (no pixel work)."""
-    return decode_to_coefficients(data)
+    return decode_to_coefficients(data, fast=fast)
 
 
-def decode(data: bytes) -> np.ndarray:
+def decode(data: bytes, fast: bool = True) -> np.ndarray:
     """Decode JPEG bytes to pixels.
 
     Returns ``(h, w, 3)`` uint8 RGB for color files and ``(h, w)``
     float64 luma for grayscale files.
     """
-    return coefficients_to_pixels(decode_to_coefficients(data))
+    return coefficients_to_pixels(decode_to_coefficients(data, fast=fast))
 
 
-def decode_gray(data: bytes) -> np.ndarray:
+def decode_gray(data: bytes, fast: bool = True) -> np.ndarray:
     """Decode JPEG bytes and return the luma plane as float64.
 
     Color images are converted by decoding fully and re-deriving luma;
     grayscale images decode directly.
     """
-    image = decode_to_coefficients(data)
+    image = decode_to_coefficients(data, fast=fast)
     pixels = coefficients_to_pixels(image)
     if pixels.ndim == 2:
         return pixels

@@ -15,7 +15,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.jpeg import markers
-from repro.jpeg.bitstream import BitReader, EndOfData, MarkerFound
+from repro.jpeg.bitstream import (
+    BitReader,
+    EndOfData,
+    FastBitReader,
+    MarkerFound,
+    destuff,
+    split_restart_segments,
+)
 from repro.jpeg.blocks import blocks_to_plane
 from repro.jpeg.color import upsample_plane, ycbcr_to_rgb
 from repro.jpeg.dct import inverse_dct
@@ -23,6 +30,8 @@ from repro.jpeg.huffman import (
     HuffmanDecoder,
     HuffmanTable,
     decode_magnitude_bits,
+    interleaved_visit_arrays,
+    lookup_table,
 )
 from repro.jpeg.markers import JpegFormatError, Segment
 from repro.jpeg.quantization import dequantize
@@ -52,6 +61,8 @@ class _DecoderState:
     quant_tables: dict[int, np.ndarray] = field(default_factory=dict)
     dc_decoders: dict[int, HuffmanDecoder] = field(default_factory=dict)
     ac_decoders: dict[int, HuffmanDecoder] = field(default_factory=dict)
+    dc_tables: dict[int, HuffmanTable] = field(default_factory=dict)
+    ac_tables: dict[int, HuffmanTable] = field(default_factory=dict)
     restart_interval: int = 0
     app_segments: list[tuple[int, bytes]] = field(default_factory=list)
     comment: bytes | None = None
@@ -98,15 +109,21 @@ def _parse_dht(state: _DecoderState, payload: bytes) -> None:
         decoder = HuffmanDecoder(table)
         if table_class == 0:
             state.dc_decoders[table_id] = decoder
+            state.dc_tables[table_id] = table
         else:
             state.ac_decoders[table_id] = decoder
+            state.ac_tables[table_id] = table
 
 
 def _parse_sof(state: _DecoderState, segment: Segment) -> None:
     payload = segment.payload
+    if len(payload) < 6:
+        raise JpegFormatError("truncated SOF payload")
     precision, height, width, num_components = struct.unpack(
         ">BHHB", payload[:6]
     )
+    if len(payload) < 6 + 3 * num_components:
+        raise JpegFormatError("truncated SOF payload")
     if precision != 8:
         raise JpegFormatError(f"unsupported sample precision {precision}")
     state.height = height
@@ -151,6 +168,8 @@ class _ScanSpec:
     spectral_end: int
     approx_high: int
     approx_low: int
+    dc_tables: list[HuffmanTable | None] = field(default_factory=list)
+    ac_tables: list[HuffmanTable | None] = field(default_factory=list)
 
 
 def _parse_sos(state: _DecoderState, payload: bytes) -> _ScanSpec:
@@ -158,6 +177,8 @@ def _parse_sos(state: _DecoderState, payload: bytes) -> _ScanSpec:
     components = []
     dc_decoders: list[HuffmanDecoder | None] = []
     ac_decoders: list[HuffmanDecoder | None] = []
+    dc_tables: list[HuffmanTable | None] = []
+    ac_tables: list[HuffmanTable | None] = []
     position = 1
     if len(payload) < 1 + 2 * num_components + 3:
         raise JpegFormatError("truncated SOS payload")
@@ -176,6 +197,8 @@ def _parse_sos(state: _DecoderState, payload: bytes) -> _ScanSpec:
         components.append(component)
         dc_decoders.append(state.dc_decoders.get(table_ids >> 4))
         ac_decoders.append(state.ac_decoders.get(table_ids & 0x0F))
+        dc_tables.append(state.dc_tables.get(table_ids >> 4))
+        ac_tables.append(state.ac_tables.get(table_ids & 0x0F))
     spectral_start = payload[position]
     spectral_end = payload[position + 1]
     approx = payload[position + 2]
@@ -187,6 +210,8 @@ def _parse_sos(state: _DecoderState, payload: bytes) -> _ScanSpec:
         spectral_end=spectral_end,
         approx_high=approx >> 4,
         approx_low=approx & 0x0F,
+        dc_tables=dc_tables,
+        ac_tables=ac_tables,
     )
 
 
@@ -378,6 +403,8 @@ def _decode_progressive_dc_scan(
                             ] = dc << shift
     except (MarkerFound, EndOfData):
         raise JpegFormatError("entropy data ended before DC scan completed")
+    except ValueError as error:
+        raise JpegFormatError(str(error))
 
 
 def _decode_progressive_ac_refinement(
@@ -447,6 +474,8 @@ def _decode_progressive_ac_refinement(
         raise JpegFormatError(
             "entropy data ended before AC refinement completed"
         )
+    except ValueError as error:
+        raise JpegFormatError(str(error))
 
 
 def _decode_progressive_ac_scan(
@@ -490,13 +519,376 @@ def _decode_progressive_ac_scan(
                     k += 1
     except (MarkerFound, EndOfData):
         raise JpegFormatError("entropy data ended before AC scan completed")
+    except ValueError as error:
+        raise JpegFormatError(str(error))
 
 
-def decode_to_coefficients(data: bytes) -> CoefficientImage:
+# ---------------------------------------------------------------------------
+# Fast engine: table-driven scan decoding over destuffed bulk readers.
+#
+# Same bitstream semantics as the scalar functions above (which remain
+# the differential-testing reference), but each Huffman symbol costs one
+# flat-table probe on a 16-bit peek instead of a per-bit tree walk, and
+# byte-stuffing is stripped once per restart segment up front.
+# ---------------------------------------------------------------------------
+
+
+def _mcu_visit_plan(
+    state: _DecoderState,
+    spec: _ScanSpec,
+    force_interleaved: bool = False,
+) -> tuple[list[tuple[int, np.ndarray, int]], int, int]:
+    """Flattened block visit order for an (interleaved) MCU traversal.
+
+    Returns ``(plan, total_mcus, blocks_per_mcu)`` where each plan entry
+    is ``(component_slot, component_blocks_2d, flat_block_index)`` —
+    ``component_blocks_2d`` being the padded coefficient array viewed as
+    (num_blocks, 64).  Single-component *baseline* scans are never
+    interleaved and traverse the true block grid, one block per MCU
+    (T.81 A.2.2); progressive DC scans pass ``force_interleaved`` to
+    match the scalar decoder (and both encoders), which always walk the
+    MCU-padded grid for DC scans regardless of component count.
+    """
+    if len(spec.components) == 1 and not force_interleaved:
+        component = spec.components[0]
+        view = component.coefficients.reshape(-1, 64)
+        padded_x = component.padded_x
+        plan = [
+            (0, view, y * padded_x + x)
+            for y in range(component.blocks_y)
+            for x in range(component.blocks_x)
+        ]
+        return plan, len(plan), 1
+    max_h = max(c.h_sampling for c in state.components)
+    max_v = max(c.v_sampling for c in state.components)
+    mcus_x = -(-state.width // (8 * max_h))
+    mcus_y = -(-state.height // (8 * max_v))
+    views = [c.coefficients.reshape(-1, 64) for c in spec.components]
+    # One source of truth for the T.81 A.2.3 interleave: merge the
+    # encoder helper's per-component (flat, g) arrays by visit rank g.
+    visits = interleaved_visit_arrays(
+        [(c.h_sampling, c.v_sampling) for c in spec.components],
+        (mcus_y, mcus_x),
+    )
+    slots = np.concatenate(
+        [np.full(flat.size, slot) for slot, (flat, _, _) in enumerate(visits)]
+    )
+    flats = np.concatenate([flat for flat, _, _ in visits])
+    ranks = np.concatenate([g for _, g, _ in visits])
+    order = np.argsort(ranks)
+    plan = [
+        (slot, views[slot], flat)
+        for slot, flat in zip(slots[order].tolist(), flats[order].tolist())
+    ]
+    blocks_per_mcu = sum(
+        c.h_sampling * c.v_sampling for c in spec.components
+    )
+    return plan, mcus_x * mcus_y, blocks_per_mcu
+
+
+def _scan_luts(
+    tables: list[HuffmanTable | None],
+) -> list[list[int] | None]:
+    return [
+        lookup_table(table).entries if table is not None else None
+        for table in tables
+    ]
+
+
+def _decode_baseline_scan_fast(
+    state: _DecoderState, spec: _ScanSpec, data: bytes
+) -> None:
+    segments, _ = split_restart_segments(data)
+    plan, total_mcus, blocks_per_mcu = _mcu_visit_plan(state, spec)
+    dc_luts = _scan_luts(spec.dc_tables)
+    ac_luts = _scan_luts(spec.ac_tables)
+    interval = state.restart_interval
+    num_components = len(spec.components)
+    prev_dc = [0] * num_components
+    reader = FastBitReader(destuff(segments[0]))
+    segment_index = 0
+    position = 0
+    try:
+        for mcu_index in range(total_mcus):
+            if interval and mcu_index and mcu_index % interval == 0:
+                # Parity with the scalar reader: a conforming segment is
+                # fully consumed up to its <8 padding bits when the RSTn
+                # arrives; a full unread byte means the entropy data
+                # desynced and the scalar engine would fail to find the
+                # marker at its cursor.
+                if reader.bits_remaining >= 8:
+                    raise JpegFormatError(
+                        "expected restart marker mid-scan"
+                    )
+                segment_index += 1
+                if segment_index >= len(segments):
+                    raise JpegFormatError(
+                        "expected restart marker mid-scan"
+                    )
+                reader = FastBitReader(destuff(segments[segment_index]))
+                prev_dc = [0] * num_components
+            for _ in range(blocks_per_mcu):
+                slot, view, flat = plan[position]
+                position += 1
+                entry = dc_luts[slot][reader.peek16()]
+                if not entry:
+                    raise JpegFormatError("corrupt Huffman code")
+                reader.consume(entry >> 8)
+                category = entry & 0xFF
+                if category:
+                    bits = reader.read(category)
+                    if bits >> (category - 1):
+                        diff = bits
+                    else:
+                        diff = bits - (1 << category) + 1
+                else:
+                    diff = 0
+                dc = prev_dc[slot] + diff
+                if not -(1 << 20) <= dc <= (1 << 20):
+                    raise JpegFormatError(
+                        "DC prediction out of range (corrupt scan)"
+                    )
+                prev_dc[slot] = dc
+                view[flat, 0] = dc
+                ac_lut = ac_luts[slot]
+                k = 1
+                while k <= 63:
+                    entry = ac_lut[reader.peek16()]
+                    if not entry:
+                        raise JpegFormatError("corrupt Huffman code")
+                    reader.consume(entry >> 8)
+                    symbol = entry & 0xFF
+                    size = symbol & 0x0F
+                    if size == 0:
+                        if symbol == 0xF0:
+                            k += 16  # ZRL
+                            continue
+                        break  # EOB
+                    k += symbol >> 4
+                    if k > 63:
+                        raise JpegFormatError("AC run exceeds block bounds")
+                    bits = reader.read(size)
+                    if bits >> (size - 1):
+                        view[flat, k] = bits
+                    else:
+                        view[flat, k] = bits - (1 << size) + 1
+                    k += 1
+    except EndOfData:
+        raise JpegFormatError("entropy data ended before scan completed")
+    except ValueError as error:
+        raise JpegFormatError(str(error))
+
+
+def _decode_progressive_dc_refinement_fast(
+    state: _DecoderState, spec: _ScanSpec, data: bytes
+) -> None:
+    segments, _ = split_restart_segments(data)
+    plan, _, _ = _mcu_visit_plan(state, spec, force_interleaved=True)
+    reader = FastBitReader(destuff(segments[0]))
+    bit_value = int(1 << spec.approx_low)
+    try:
+        for _, view, flat in plan:
+            if reader.peek16() >> 15:
+                view[flat, 0] |= bit_value
+            reader.consume(1)
+    except EndOfData:
+        raise JpegFormatError(
+            "entropy data ended before DC refinement completed"
+        )
+
+
+def _decode_progressive_dc_scan_fast(
+    state: _DecoderState, spec: _ScanSpec, data: bytes
+) -> None:
+    if spec.approx_high != 0:
+        _decode_progressive_dc_refinement_fast(state, spec, data)
+        return
+    segments, _ = split_restart_segments(data)
+    plan, _, _ = _mcu_visit_plan(state, spec, force_interleaved=True)
+    dc_luts = _scan_luts(spec.dc_tables)
+    reader = FastBitReader(destuff(segments[0]))
+    prev_dc = [0] * len(spec.components)
+    shift = spec.approx_low
+    try:
+        for slot, view, flat in plan:
+            entry = dc_luts[slot][reader.peek16()]
+            if not entry:
+                raise JpegFormatError("corrupt Huffman code")
+            reader.consume(entry >> 8)
+            category = entry & 0xFF
+            if category:
+                bits = reader.read(category)
+                if bits >> (category - 1):
+                    diff = bits
+                else:
+                    diff = bits - (1 << category) + 1
+            else:
+                diff = 0
+            dc = prev_dc[slot] + diff
+            if not -(1 << 20) <= dc <= (1 << 20):
+                raise JpegFormatError(
+                    "DC prediction out of range (corrupt scan)"
+                )
+            prev_dc[slot] = dc
+            view[flat, 0] = dc << shift
+    except EndOfData:
+        raise JpegFormatError("entropy data ended before DC scan completed")
+    except ValueError as error:
+        raise JpegFormatError(str(error))
+
+
+def _decode_progressive_ac_scan_fast(spec: _ScanSpec, data: bytes) -> None:
+    if spec.approx_high != 0:
+        _decode_progressive_ac_refinement_fast(spec, data)
+        return
+    if len(spec.components) != 1:
+        raise JpegFormatError("progressive AC scans must be non-interleaved")
+    component = spec.components[0]
+    ac_lut = lookup_table(spec.ac_tables[0]).entries
+    segments, _ = split_restart_segments(data)
+    reader = FastBitReader(destuff(segments[0]))
+    view = component.coefficients.reshape(-1, 64)
+    padded_x = component.padded_x
+    spectral_start = spec.spectral_start
+    spectral_end = spec.spectral_end
+    shift = spec.approx_low
+    eob_run = 0
+    try:
+        for y in range(component.blocks_y):
+            row = y * padded_x
+            for x in range(component.blocks_x):
+                if eob_run > 0:
+                    eob_run -= 1
+                    continue
+                flat = row + x
+                k = spectral_start
+                while k <= spectral_end:
+                    entry = ac_lut[reader.peek16()]
+                    if not entry:
+                        raise JpegFormatError("corrupt Huffman code")
+                    reader.consume(entry >> 8)
+                    symbol = entry & 0xFF
+                    run = symbol >> 4
+                    size = symbol & 0x0F
+                    if size == 0:
+                        if run == 15:
+                            k += 16
+                            continue
+                        eob_run = (1 << run) - 1
+                        if run:
+                            eob_run += reader.read(run)
+                        break
+                    k += run
+                    if k > spectral_end:
+                        raise JpegFormatError("AC run exceeds spectral band")
+                    bits = reader.read(size)
+                    if bits >> (size - 1):
+                        view[flat, k] = bits << shift
+                    else:
+                        view[flat, k] = (bits - (1 << size) + 1) << shift
+                    k += 1
+    except EndOfData:
+        raise JpegFormatError("entropy data ended before AC scan completed")
+    except ValueError as error:
+        raise JpegFormatError(str(error))
+
+
+def _decode_progressive_ac_refinement_fast(
+    spec: _ScanSpec, data: bytes
+) -> None:
+    """Fast AC refinement (T.81 G.1.2.3), mirroring the scalar port."""
+    component = spec.components[0]
+    ac_lut = lookup_table(spec.ac_tables[0]).entries
+    segments, _ = split_restart_segments(data)
+    reader = FastBitReader(destuff(segments[0]))
+    view = component.coefficients.reshape(-1, 64)
+    padded_x = component.padded_x
+    spectral_start = spec.spectral_start
+    spectral_end = spec.spectral_end
+    positive = 1 << spec.approx_low
+    negative = -positive
+    eob_run = 0
+    try:
+        for y in range(component.blocks_y):
+            row = y * padded_x
+            for x in range(component.blocks_x):
+                flat = row + x
+                block = view[flat]
+                k = spectral_start
+                if eob_run == 0:
+                    while k <= spectral_end:
+                        entry = ac_lut[reader.peek16()]
+                        if not entry:
+                            raise JpegFormatError("corrupt Huffman code")
+                        reader.consume(entry >> 8)
+                        symbol = entry & 0xFF
+                        run = symbol >> 4
+                        size = symbol & 0x0F
+                        new_value = 0
+                        if size == 0:
+                            if run != 15:
+                                eob_run = 1 << run
+                                if run:
+                                    eob_run += reader.read(run)
+                                break
+                            # run == 15 (ZRL): 16 zero-history slots.
+                        else:
+                            if size != 1:
+                                raise JpegFormatError(
+                                    "refinement scan symbol with size > 1"
+                                )
+                            if reader.peek16() >> 15:
+                                new_value = positive
+                            else:
+                                new_value = negative
+                            reader.consume(1)
+                        while k <= spectral_end:
+                            coefficient = int(block[k])
+                            if coefficient != 0:
+                                if reader.peek16() >> 15:
+                                    if (coefficient & positive) == 0:
+                                        if coefficient >= 0:
+                                            block[k] = coefficient + positive
+                                        else:
+                                            block[k] = coefficient + negative
+                                reader.consume(1)
+                            else:
+                                if run == 0:
+                                    break
+                                run -= 1
+                            k += 1
+                        if new_value and k <= spectral_end:
+                            block[k] = new_value
+                        k += 1
+                if eob_run > 0:
+                    while k <= spectral_end:
+                        coefficient = int(block[k])
+                        if coefficient != 0:
+                            if reader.peek16() >> 15:
+                                if (coefficient & positive) == 0:
+                                    if coefficient >= 0:
+                                        block[k] = coefficient + positive
+                                    else:
+                                        block[k] = coefficient + negative
+                            reader.consume(1)
+                        k += 1
+                    eob_run -= 1
+    except EndOfData:
+        raise JpegFormatError(
+            "entropy data ended before AC refinement completed"
+        )
+    except ValueError as error:
+        raise JpegFormatError(str(error))
+
+
+def decode_to_coefficients(data: bytes, fast: bool = True) -> CoefficientImage:
     """Decode a JPEG byte stream to quantized coefficients.
 
     This is the ``jpegio``-style entry point used by the P3 splitter and
-    reconstructor: no dequantization or IDCT is performed.
+    reconstructor: no dequantization or IDCT is performed.  With
+    ``fast`` (the default) the table-driven vectorized entropy engine
+    runs; ``fast=False`` selects the scalar T.81 reference
+    implementation, which produces bit-identical results.
     """
     state = _DecoderState()
     segments = markers.parse_segments(data)
@@ -521,9 +913,19 @@ def decode_to_coefficients(data: bytes) -> CoefficientImage:
             spec = _parse_sos(state, segment.payload)
             _check_scan_tables(state, spec)
             if not state.progressive:
-                _decode_baseline_scan(state, spec, segment.entropy_data)
+                decode_scan = (
+                    _decode_baseline_scan_fast if fast
+                    else _decode_baseline_scan
+                )
+                decode_scan(state, spec, segment.entropy_data)
             elif spec.spectral_start == 0:
-                _decode_progressive_dc_scan(state, spec, segment.entropy_data)
+                decode_scan = (
+                    _decode_progressive_dc_scan_fast if fast
+                    else _decode_progressive_dc_scan
+                )
+                decode_scan(state, spec, segment.entropy_data)
+            elif fast:
+                _decode_progressive_ac_scan_fast(spec, segment.entropy_data)
             else:
                 _decode_progressive_ac_scan(spec, segment.entropy_data)
     if not state.components:

@@ -18,8 +18,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.jpeg import markers
-from repro.jpeg.bitstream import BitWriter
+from repro.jpeg.bitstream import (
+    BitWriter,
+    VectorBitWriter,
+    pack_entropy_bits,
+)
 from repro.jpeg.huffman import (
+    AcTokenBatch,
     HuffmanEncoder,
     HuffmanTable,
     STANDARD_AC_CHROMINANCE,
@@ -27,8 +32,17 @@ from repro.jpeg.huffman import (
     STANDARD_DC_CHROMINANCE,
     STANDARD_DC_LUMINANCE,
     build_optimized_table,
+    codes_for_symbols,
+    dc_scan_token_bundles,
+    encode_ac_first_scan,
+    encode_block_symbols,
+    encode_dc_symbols,
     encode_magnitude_bits,
+    interleave_code_pairs,
+    interleaved_visit_arrays,
     magnitude_category,
+    merge_frequencies,
+    pack_dc_scan_tokens,
 )
 from repro.jpeg.markers import Segment
 from repro.jpeg.structures import CoefficientImage
@@ -413,6 +427,207 @@ def _run_baseline_scan(
         )
 
 
+# ---------------------------------------------------------------------------
+# Fast engine: whole-scan token generation and vectorized packing.
+#
+# The scalar per-coefficient loops above are the differential-testing
+# reference; the functions below produce bit-identical scans by batching
+# symbol generation with numpy (repro.jpeg.huffman) and packing whole
+# token arrays at once (repro.jpeg.bitstream.pack_entropy_bits).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ComponentTokens:
+    """One component's baseline-scan tokens, in visit order metadata."""
+
+    g: np.ndarray  # global visit rank of the token's block
+    rank: np.ndarray  # order within the block
+    symbol: np.ndarray  # Huffman symbol (DC category or AC run|size)
+    extra: np.ndarray  # magnitude payload
+    extra_length: np.ndarray  # payload width
+    mcu: np.ndarray  # linear MCU index (restart segmentation)
+    is_dc: np.ndarray  # True -> DC table, False -> AC table
+
+
+def _baseline_component_tokens(
+    image: CoefficientImage, restart_interval: int = 0
+) -> tuple[list[_ComponentTokens], int]:
+    """Batch the full baseline-scan symbol stream, per component.
+
+    Token multisets (and their ``(g, rank)`` order) reproduce exactly
+    what the scalar ``_run_baseline_scan`` feeds its sinks, including
+    restart-boundary DC predictor resets; the same bundles drive both
+    the frequency-counting and the code-writing pass.
+    """
+    if len(image.components) == 1:
+        component = image.components[0]
+        blocks = _zigzag_blocks(component.coefficients).reshape(-1, 64)
+        num_blocks = blocks.shape[0]
+        indices = np.arange(num_blocks)
+        visits = [(indices, indices, indices)]
+        blocks_list = [blocks]
+        total_mcus = num_blocks
+    else:
+        mcus_y, mcus_x = _mcu_grid(image)
+        samplings = [
+            (c.h_sampling, c.v_sampling) for c in image.components
+        ]
+        visits = interleaved_visit_arrays(samplings, (mcus_y, mcus_x))
+        blocks_list = [
+            _pad_blocks_to_mcu(
+                _zigzag_blocks(c.coefficients),
+                mcus_y,
+                mcus_x,
+                c.v_sampling,
+                c.h_sampling,
+            ).reshape(-1, 64)
+            for c in image.components
+        ]
+        total_mcus = mcus_y * mcus_x
+
+    result = []
+    for (flat, g, mcu), blocks in zip(visits, blocks_list):
+        ordered = blocks[flat]
+        reset = None
+        if restart_interval:
+            segment = mcu // restart_interval
+            reset = np.zeros(segment.size, dtype=bool)
+            reset[1:] = segment[1:] != segment[:-1]
+        dc_categories, dc_extras = encode_dc_symbols(ordered[:, 0], reset)
+        batch = encode_block_symbols(ordered)
+        eob_blocks = np.nonzero(
+            batch.last_nonzero < batch.band_length - 1
+        )[0]
+        num_dc = g.size
+        num_eob = eob_blocks.size
+        result.append(
+            _ComponentTokens(
+                g=np.concatenate([g, g[batch.block], g[eob_blocks]]),
+                rank=np.concatenate(
+                    [
+                        np.zeros(num_dc, dtype=np.int64),
+                        batch.rank,
+                        np.full(
+                            num_eob, AcTokenBatch.END_RANK, dtype=np.int64
+                        ),
+                    ]
+                ),
+                symbol=np.concatenate(
+                    [
+                        dc_categories,
+                        batch.symbol,
+                        np.zeros(num_eob, dtype=np.int64),
+                    ]
+                ),
+                extra=np.concatenate(
+                    [
+                        dc_extras,
+                        batch.extra,
+                        np.zeros(num_eob, dtype=np.int64),
+                    ]
+                ),
+                extra_length=np.concatenate(
+                    [
+                        dc_categories,
+                        batch.extra_length,
+                        np.zeros(num_eob, dtype=np.int64),
+                    ]
+                ),
+                mcu=np.concatenate(
+                    [mcu, mcu[batch.block], mcu[eob_blocks]]
+                ),
+                is_dc=np.concatenate(
+                    [
+                        np.ones(num_dc, dtype=bool),
+                        np.zeros(
+                            batch.block.size + num_eob, dtype=bool
+                        ),
+                    ]
+                ),
+            )
+        )
+    return result, total_mcus
+
+
+def _frequencies_from_tokens(
+    tokens: list[_ComponentTokens], table_ids: list[int]
+) -> tuple[list[dict[int, int]], list[dict[int, int]]]:
+    """Per-table symbol histograms, matching the scalar counting pass."""
+    dc_freqs: list[dict[int, int]] = [{}, {}]
+    ac_freqs: list[dict[int, int]] = [{}, {}]
+    for bundle, table_id in zip(tokens, table_ids):
+        merge_frequencies(dc_freqs[table_id], bundle.symbol[bundle.is_dc])
+        merge_frequencies(ac_freqs[table_id], bundle.symbol[~bundle.is_dc])
+    return dc_freqs, ac_freqs
+
+
+def _pack_baseline_tokens(
+    tokens: list[_ComponentTokens],
+    dc_tables: list[HuffmanTable],
+    ac_tables: list[HuffmanTable],
+    table_ids: list[int],
+    restart_interval: int,
+    total_mcus: int,
+) -> bytes:
+    """Map tokens through their tables, order, and pack the scan."""
+    all_g = []
+    all_rank = []
+    all_codes = []
+    all_code_lengths = []
+    all_extras = []
+    all_extra_lengths = []
+    all_mcu = []
+    for bundle, table_id in zip(tokens, table_ids):
+        symbols = bundle.symbol
+        dc_mask = bundle.is_dc
+        codes = np.empty(symbols.size, dtype=np.uint64)
+        code_lengths = np.empty(symbols.size, dtype=np.int64)
+        codes[dc_mask], code_lengths[dc_mask] = codes_for_symbols(
+            symbols[dc_mask], dc_tables[table_id]
+        )
+        codes[~dc_mask], code_lengths[~dc_mask] = codes_for_symbols(
+            symbols[~dc_mask], ac_tables[table_id]
+        )
+        all_g.append(bundle.g)
+        all_rank.append(bundle.rank)
+        all_codes.append(codes)
+        all_code_lengths.append(code_lengths)
+        all_extras.append(bundle.extra)
+        all_extra_lengths.append(bundle.extra_length)
+        all_mcu.append(bundle.mcu)
+
+    g = np.concatenate(all_g)
+    order = np.lexsort((np.concatenate(all_rank), g))
+    values, lengths = interleave_code_pairs(
+        np.concatenate(all_codes)[order],
+        np.concatenate(all_code_lengths)[order],
+        np.concatenate(all_extras)[order],
+        np.concatenate(all_extra_lengths)[order],
+    )
+
+    if not restart_interval:
+        return pack_entropy_bits(values, lengths)
+
+    # Pack each restart segment separately; RSTn between segments.
+    mcu_sorted = np.concatenate(all_mcu)[order]
+    num_segments = -(-total_mcus // restart_interval)
+    boundaries = np.searchsorted(
+        mcu_sorted, np.arange(1, num_segments) * restart_interval
+    ).tolist()
+    writer = VectorBitWriter()
+    start = 0
+    for index, boundary in enumerate(boundaries + [mcu_sorted.size]):
+        writer.extend(
+            values[2 * start : 2 * boundary],
+            lengths[2 * start : 2 * boundary],
+        )
+        if index < len(boundaries):
+            writer.write_restart_marker(index % 8)
+        start = boundary
+    return writer.getvalue()
+
+
 def _collect_frequencies_baseline(
     image: CoefficientImage, restart_interval: int = 0
 ) -> tuple[list[dict[int, int]], list[dict[int, int]]]:
@@ -456,29 +671,65 @@ def encode_baseline(
     image: CoefficientImage,
     optimize_huffman: bool = True,
     restart_interval: int = 0,
+    fast: bool = True,
 ) -> bytes:
     """Encode a coefficient image as a baseline sequential JPEG.
 
     ``restart_interval`` > 0 emits a DRI segment and RSTn markers every
     that many MCUs (resilience against corrupt scans, at a small size
-    cost).
+    cost).  ``fast`` (the default) batches symbol generation and bit
+    packing with numpy; ``fast=False`` runs the scalar reference
+    encoder — both produce byte-identical streams.
     """
     if restart_interval < 0 or restart_interval > 0xFFFF:
         raise ValueError(f"invalid restart interval {restart_interval}")
     quant_tables, quant_ids = _assign_quant_tables(image)
     table_ids = _huffman_table_ids(len(image.components))
     num_tables = max(table_ids) + 1
-    dc_tables, ac_tables = _select_tables(
-        image, optimize_huffman, restart_interval
-    )
 
-    writer = BitWriter()
-    dc_encoders = [HuffmanEncoder(dc_tables[t]) for t in range(num_tables)]
-    ac_encoders = [HuffmanEncoder(ac_tables[t]) for t in range(num_tables)]
-    dc_sinks = [_WritingSink(writer, dc_encoders[t]) for t in table_ids]
-    ac_sinks = [_WritingSink(writer, ac_encoders[t]) for t in table_ids]
-    _run_baseline_scan(image, dc_sinks, ac_sinks, restart_interval, writer)
-    writer.flush()
+    if fast:
+        tokens, total_mcus = _baseline_component_tokens(
+            image, restart_interval
+        )
+        if optimize_huffman:
+            dc_freqs, ac_freqs = _frequencies_from_tokens(tokens, table_ids)
+            dc_tables = [
+                build_optimized_table(freq) if freq else STANDARD_DC_LUMINANCE
+                for freq in dc_freqs
+            ]
+            ac_tables = [
+                build_optimized_table(freq) if freq else STANDARD_AC_LUMINANCE
+                for freq in ac_freqs
+            ]
+        else:
+            dc_tables = [STANDARD_DC_LUMINANCE, STANDARD_DC_CHROMINANCE]
+            ac_tables = [STANDARD_AC_LUMINANCE, STANDARD_AC_CHROMINANCE]
+        entropy = _pack_baseline_tokens(
+            tokens,
+            dc_tables,
+            ac_tables,
+            table_ids,
+            restart_interval,
+            total_mcus,
+        )
+    else:
+        dc_tables, ac_tables = _select_tables(
+            image, optimize_huffman, restart_interval
+        )
+        writer = BitWriter()
+        dc_encoders = [
+            HuffmanEncoder(dc_tables[t]) for t in range(num_tables)
+        ]
+        ac_encoders = [
+            HuffmanEncoder(ac_tables[t]) for t in range(num_tables)
+        ]
+        dc_sinks = [_WritingSink(writer, dc_encoders[t]) for t in table_ids]
+        ac_sinks = [_WritingSink(writer, ac_encoders[t]) for t in table_ids]
+        _run_baseline_scan(
+            image, dc_sinks, ac_sinks, restart_interval, writer
+        )
+        writer.flush()
+        entropy = writer.getvalue()
 
     segments = [Segment(marker=markers.SOI)]
     segments.append(
@@ -504,19 +755,20 @@ def encode_baseline(
         (component.identifier, table_ids[index], table_ids[index])
         for index, component in enumerate(image.components)
     ]
-    segments.append(_sos_segment(specs, 0, 63, writer.getvalue()))
+    segments.append(_sos_segment(specs, 0, 63, entropy))
     segments.append(Segment(marker=markers.EOI))
     return markers.serialize_segments(segments)
 
 
 def encode_progressive_sa(
-    image: CoefficientImage, script=None
+    image: CoefficientImage, script=None, fast: bool = True
 ) -> bytes:
     """Progressive encoding with successive approximation (T.81 G.1.2).
 
     ``script`` is a list of :class:`repro.jpeg.scans.ScanSpec`; the
     default is the libjpeg-style two-level script of
-    :func:`repro.jpeg.scans.default_sa_script`.
+    :func:`repro.jpeg.scans.default_sa_script`.  ``fast`` batches the
+    non-refinement scans (AC refinement always runs the scalar path).
     """
     from repro.jpeg.scans import default_sa_script, run_scan
 
@@ -553,7 +805,12 @@ def encode_progressive_sa(
     segments.append(_sof_segment(image, quant_ids, progressive=True))
     for spec in script:
         table, entropy = run_scan(
-            spec, blocks_per_component, padded_blocks, samplings, mcus
+            spec,
+            blocks_per_component,
+            padded_blocks,
+            samplings,
+            mcus,
+            fast=fast,
         )
         if table is not None:
             table_class = 0 if spec.is_dc else 1
@@ -579,12 +836,14 @@ def encode_progressive_sa(
 def encode_progressive(
     image: CoefficientImage,
     bands: tuple[tuple[int, int], ...] = DEFAULT_PROGRESSIVE_BANDS,
+    fast: bool = True,
 ) -> bytes:
     """Encode as a progressive JPEG: one DC scan, then AC band scans.
 
     AC scans are emitted per band, per component (progressive AC scans
     are never interleaved).  Huffman tables are optimized per scan group,
-    matching libjpeg behaviour for progressive files.
+    matching libjpeg behaviour for progressive files.  ``fast`` selects
+    the batch engine (byte-identical to the scalar reference).
     """
     for start, end in bands:
         if not 1 <= start <= end <= 63:
@@ -595,59 +854,98 @@ def encode_progressive(
     num_tables = max(table_ids) + 1
     mcus_y, mcus_x = _mcu_grid(image)
 
-    # --- DC scan (interleaved, optimized table) ---
-    dc_freqs: list[dict[int, int]] = [{} for _ in range(num_tables)]
-    counting = _build_scan_components(
-        image,
-        [_CountingSink(dc_freqs[t]) for t in table_ids],
-        [_CountingSink({}) for _ in table_ids],
-        pad_to_mcu=True,
-    )
-    _encode_dc_scan_progressive(counting, mcus_y, mcus_x)
-    dc_tables = [
-        build_optimized_table(freq) if freq else STANDARD_DC_LUMINANCE
-        for freq in dc_freqs
-    ]
-    dc_writer = BitWriter()
-    writing = _build_scan_components(
-        image,
-        [
-            _WritingSink(dc_writer, HuffmanEncoder(dc_tables[t]))
-            for t in table_ids
-        ],
-        [_CountingSink({}) for _ in table_ids],
-        pad_to_mcu=True,
-    )
-    _encode_dc_scan_progressive(writing, mcus_y, mcus_x)
-    dc_writer.flush()
+    if fast:
+        samplings = [
+            (c.h_sampling, c.v_sampling) for c in image.components
+        ]
+        zigzag = [
+            _zigzag_blocks(c.coefficients) for c in image.components
+        ]
+        padded = [
+            _pad_blocks_to_mcu(
+                blocks, mcus_y, mcus_x, c.v_sampling, c.h_sampling
+            )
+            for blocks, c in zip(zigzag, image.components)
+        ]
+        bundles = dc_scan_token_bundles(padded, samplings, (mcus_y, mcus_x))
+        dc_freqs = [{} for _ in range(num_tables)]
+        for (_, categories, _), table_id in zip(bundles, table_ids):
+            merge_frequencies(dc_freqs[table_id], categories)
+        dc_tables = [
+            build_optimized_table(freq) if freq else STANDARD_DC_LUMINANCE
+            for freq in dc_freqs
+        ]
+        dc_entropy = pack_dc_scan_tokens(
+            bundles, [dc_tables[t] for t in table_ids]
+        )
 
-    # --- AC scans: (band, component) -> own optimized table ---
-    ac_scan_plans = []  # (component_index, band, table, entropy_bytes)
-    for band in bands:
-        for index, component in enumerate(image.components):
-            freq: dict[int, int] = {}
-            scan_component = _ScanComponent(
-                zigzag_blocks=_zigzag_blocks(component.coefficients),
-                h_sampling=component.h_sampling,
-                v_sampling=component.v_sampling,
-                dc_sink=_CountingSink({}),
-                ac_sink=_CountingSink(freq),
-            )
-            _encode_ac_scan_progressive(scan_component, band[0], band[1])
-            table = (
-                build_optimized_table(freq) if freq else STANDARD_AC_LUMINANCE
-            )
-            ac_writer = BitWriter()
-            scan_component = _ScanComponent(
-                zigzag_blocks=scan_component.zigzag_blocks,
-                h_sampling=component.h_sampling,
-                v_sampling=component.v_sampling,
-                dc_sink=_CountingSink({}),
-                ac_sink=_WritingSink(ac_writer, HuffmanEncoder(table)),
-            )
-            _encode_ac_scan_progressive(scan_component, band[0], band[1])
-            ac_writer.flush()
-            ac_scan_plans.append((index, band, table, ac_writer.getvalue()))
+        unpadded = [blocks.reshape(-1, 64) for blocks in zigzag]
+        ac_scan_plans = []  # (component_index, band, table, entropy_bytes)
+        for band in bands:
+            for index in range(len(image.components)):
+                table, entropy = encode_ac_first_scan(
+                    unpadded[index], band[0], band[1]
+                )
+                ac_scan_plans.append((index, band, table, entropy))
+    else:
+        # --- DC scan (interleaved, optimized table) ---
+        dc_freqs = [{} for _ in range(num_tables)]
+        counting = _build_scan_components(
+            image,
+            [_CountingSink(dc_freqs[t]) for t in table_ids],
+            [_CountingSink({}) for _ in table_ids],
+            pad_to_mcu=True,
+        )
+        _encode_dc_scan_progressive(counting, mcus_y, mcus_x)
+        dc_tables = [
+            build_optimized_table(freq) if freq else STANDARD_DC_LUMINANCE
+            for freq in dc_freqs
+        ]
+        dc_writer = BitWriter()
+        writing = _build_scan_components(
+            image,
+            [
+                _WritingSink(dc_writer, HuffmanEncoder(dc_tables[t]))
+                for t in table_ids
+            ],
+            [_CountingSink({}) for _ in table_ids],
+            pad_to_mcu=True,
+        )
+        _encode_dc_scan_progressive(writing, mcus_y, mcus_x)
+        dc_writer.flush()
+        dc_entropy = dc_writer.getvalue()
+
+        # --- AC scans: (band, component) -> own optimized table ---
+        ac_scan_plans = []
+        for band in bands:
+            for index, component in enumerate(image.components):
+                freq: dict[int, int] = {}
+                scan_component = _ScanComponent(
+                    zigzag_blocks=_zigzag_blocks(component.coefficients),
+                    h_sampling=component.h_sampling,
+                    v_sampling=component.v_sampling,
+                    dc_sink=_CountingSink({}),
+                    ac_sink=_CountingSink(freq),
+                )
+                _encode_ac_scan_progressive(scan_component, band[0], band[1])
+                table = (
+                    build_optimized_table(freq)
+                    if freq
+                    else STANDARD_AC_LUMINANCE
+                )
+                ac_writer = BitWriter()
+                scan_component = _ScanComponent(
+                    zigzag_blocks=scan_component.zigzag_blocks,
+                    h_sampling=component.h_sampling,
+                    v_sampling=component.v_sampling,
+                    dc_sink=_CountingSink({}),
+                    ac_sink=_WritingSink(ac_writer, HuffmanEncoder(table)),
+                )
+                _encode_ac_scan_progressive(scan_component, band[0], band[1])
+                ac_writer.flush()
+                ac_scan_plans.append(
+                    (index, band, table, ac_writer.getvalue())
+                )
 
     # --- assemble segments ---
     segments = [Segment(marker=markers.SOI)]
@@ -666,7 +964,7 @@ def encode_progressive(
         (component.identifier, table_ids[index], 0)
         for index, component in enumerate(image.components)
     ]
-    segments.append(_sos_segment(dc_specs, 0, 0, dc_writer.getvalue()))
+    segments.append(_sos_segment(dc_specs, 0, 0, dc_entropy))
     for index, band, table, entropy in ac_scan_plans:
         # AC tables are re-sent before each scan under table id 0.
         segments.append(_dht_segment(1, 0, table))

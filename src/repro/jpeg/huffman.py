@@ -9,7 +9,11 @@ symbol frequencies (the equivalent of libjpeg's two-pass optimal coding).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.jpeg.bitstream import BitReader, BitWriter
 
@@ -290,3 +294,479 @@ def decode_magnitude_bits(bits: int, category: int) -> int:
     if bits < (1 << (category - 1)):
         return bits - (1 << category) + 1
     return bits
+
+
+# ---------------------------------------------------------------------------
+# Fast engine: flat lookup decoding and batch symbol generation.
+# ---------------------------------------------------------------------------
+
+
+class HuffmanLookupTable:
+    """Flat peek-16 decoding table: one probe per symbol.
+
+    ``entries[p]`` for any 16-bit lookahead ``p`` is
+    ``(code_length << 8) | symbol`` when the prefix of ``p`` is a valid
+    code, else 0 (no code is length 0, and symbol 0 always carries a
+    nonzero length, so 0 is unambiguous).  Decode loop::
+
+        entry = lut.entries[reader.peek16()]
+        if not entry: raise ...
+        reader.consume(entry >> 8)
+        symbol = entry & 0xFF
+
+    Entries are held in an ``array('i')`` (256 KB per table): indexing
+    yields plain Python ints like a list, without a list's ~10x boxing
+    overhead in the :func:`lookup_table` cache.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, table: HuffmanTable) -> None:
+        entries = np.zeros(1 << 16, dtype=np.int32)
+        code = 0
+        index = 0
+        for length_minus_1, count in enumerate(table.bits):
+            length = length_minus_1 + 1
+            for _ in range(count):
+                start = code << (16 - length)
+                span = 1 << (16 - length)
+                entries[start : start + span] = (
+                    (length << 8) | table.values[index]
+                )
+                code += 1
+                index += 1
+            code <<= 1
+        self.entries = array("i")
+        self.entries.frombytes(entries.tobytes())
+
+
+@lru_cache(maxsize=64)
+def lookup_table(table: HuffmanTable) -> HuffmanLookupTable:
+    """Cached :class:`HuffmanLookupTable` for a (hashable) table."""
+    return HuffmanLookupTable(table)
+
+
+@lru_cache(maxsize=64)
+def encoder_code_arrays(table: HuffmanTable) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical codes as symbol-indexed arrays ``(codes, lengths)``.
+
+    ``lengths[s] == 0`` marks a symbol absent from the table; both
+    arrays have 256 entries so any uint8 symbol array can fancy-index
+    them directly.
+    """
+    codes = np.zeros(256, dtype=np.uint64)
+    lengths = np.zeros(256, dtype=np.int64)
+    code = 0
+    index = 0
+    for length_minus_1, count in enumerate(table.bits):
+        length = length_minus_1 + 1
+        for _ in range(count):
+            symbol = table.values[index]
+            codes[symbol] = code
+            lengths[symbol] = length
+            code += 1
+            index += 1
+        code <<= 1
+    codes.setflags(write=False)
+    lengths.setflags(write=False)
+    return codes, lengths
+
+
+def magnitude_categories(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_category`: bit length of ``|value|``.
+
+    Exact for ``|value| < 2**53`` (frexp on float64); JPEG coefficients
+    and DC differences are far below that.
+    """
+    return np.frexp(np.abs(values).astype(np.float64))[1].astype(np.int64)
+
+
+def encode_magnitude_bits_batch(
+    values: np.ndarray, categories: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`encode_magnitude_bits` (one's complement)."""
+    values = values.astype(np.int64)
+    return np.where(
+        values >= 0,
+        values,
+        values + (np.int64(1) << categories) - 1,
+    )
+
+
+def encode_dc_symbols(
+    dc_values: np.ndarray,
+    reset_before: np.ndarray | None = None,
+    al: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Difference-code a visit-ordered DC sequence.
+
+    ``dc_values`` are the component's DC coefficients in scan visit
+    order; ``reset_before[i]`` True restarts the predictor at block
+    ``i`` (restart-marker boundaries).  Returns ``(categories,
+    extra_bits)`` — the Huffman symbols and their magnitude payloads.
+    ``al`` applies the progressive point transform (arithmetic shift).
+    """
+    shifted = dc_values.astype(np.int64) >> al
+    previous = np.empty_like(shifted)
+    if shifted.size:
+        previous[0] = 0
+        previous[1:] = shifted[:-1]
+        if reset_before is not None:
+            previous[reset_before] = 0
+    diffs = shifted - previous
+    categories = magnitude_categories(diffs)
+    extras = encode_magnitude_bits_batch(diffs, categories)
+    return categories, extras
+
+
+@dataclass
+class AcTokenBatch:
+    """Run-length tokens for a stack of blocks, ready to order and pack.
+
+    Token arrays are parallel; ``rank`` orders tokens *within* a block:
+    the value token for band position ``k`` has rank ``(k + 1) * 8 + 7``
+    and its preceding ZRLs ranks ``(k + 1) * 8 + j`` — so callers can
+    splice in extra tokens (DC pairs at rank 0, EOB markers at rank
+    ``END_RANK``, EOB-runs at negative ranks) and sort once by
+    ``(block, rank)``.  ``last_nonzero`` is per-block, -1 for blocks
+    with no nonzero coefficient in the (point-transformed) band.
+    """
+
+    block: np.ndarray  # token -> block index
+    rank: np.ndarray  # token order within its block
+    symbol: np.ndarray  # (run << 4) | size Huffman symbols
+    extra: np.ndarray  # magnitude payload bits
+    extra_length: np.ndarray  # payload widths (0 for ZRL)
+    last_nonzero: np.ndarray  # per block, band-relative, -1 if empty
+    band_length: int
+    num_blocks: int
+
+    #: Rank placing a token after every in-band token of its block.
+    END_RANK = 10**6
+
+
+def encode_block_symbols(
+    blocks: np.ndarray,
+    spectral_start: int = 1,
+    spectral_end: int = 63,
+    al: int = 0,
+) -> AcTokenBatch:
+    """Batch the AC run-length/magnitude symbols for a block stack.
+
+    ``blocks`` is an (N, 64) array of zigzag blocks.  Computes, for the
+    whole stack at once, the (ZRL*, (run|size), magnitude-bits) token
+    sequences of T.81 F.1.2.2 restricted to the band
+    ``[spectral_start, spectral_end]``, after the progressive point
+    transform ``sign(v) * (|v| >> al)``.  End-of-block/EOB-run tokens
+    are the caller's: baseline and progressive treat them differently.
+    """
+    band = blocks[:, spectral_start : spectral_end + 1].astype(np.int64)
+    if al:
+        band = np.sign(band) * (np.abs(band) >> al)
+    num_blocks, band_length = band.shape
+
+    block_ids, positions = np.nonzero(band)
+    values = band[block_ids, positions]
+
+    # Zero-run before each nonzero: distance to the previous nonzero in
+    # the same block (np.nonzero returns row-major order, so previous
+    # entry is the previous nonzero unless the block changes).
+    previous = np.concatenate(([-1], positions[:-1]))
+    first_in_block = np.empty(block_ids.size, dtype=bool)
+    if block_ids.size:
+        first_in_block[0] = True
+        first_in_block[1:] = block_ids[1:] != block_ids[:-1]
+    previous = np.where(first_in_block, -1, previous)
+    runs = positions - previous - 1
+
+    zrl_counts = runs >> 4
+    final_runs = runs & 15
+    categories = magnitude_categories(values)
+    extras = encode_magnitude_bits_batch(values, categories)
+    value_symbols = (final_runs << 4) | categories
+    value_ranks = (positions + 1) * 8 + 7
+
+    total_zrl = int(zrl_counts.sum())
+    if total_zrl:
+        zrl_blocks = np.repeat(block_ids, zrl_counts)
+        starts = np.cumsum(zrl_counts) - zrl_counts
+        within = np.arange(total_zrl) - np.repeat(starts, zrl_counts)
+        zrl_ranks = np.repeat((positions + 1) * 8, zrl_counts) + within
+        token_block = np.concatenate([block_ids, zrl_blocks])
+        token_rank = np.concatenate([value_ranks, zrl_ranks])
+        token_symbol = np.concatenate(
+            [value_symbols, np.full(total_zrl, 0xF0, dtype=np.int64)]
+        )
+        token_extra = np.concatenate(
+            [extras, np.zeros(total_zrl, dtype=np.int64)]
+        )
+        token_extra_length = np.concatenate(
+            [categories, np.zeros(total_zrl, dtype=np.int64)]
+        )
+    else:
+        token_block = block_ids
+        token_rank = value_ranks
+        token_symbol = value_symbols
+        token_extra = extras
+        token_extra_length = categories
+
+    last_nonzero = np.full(num_blocks, -1, dtype=np.int64)
+    if block_ids.size:
+        np.maximum.at(last_nonzero, block_ids, positions)
+
+    return AcTokenBatch(
+        block=token_block,
+        rank=token_rank,
+        symbol=token_symbol,
+        extra=token_extra,
+        extra_length=token_extra_length,
+        last_nonzero=last_nonzero,
+        band_length=band_length,
+        num_blocks=num_blocks,
+    )
+
+
+def interleaved_visit_arrays(
+    samplings: list[tuple[int, int]], mcus: tuple[int, int]
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Vectorized MCU traversal order for an interleaved scan.
+
+    For each component (given as ``(h, v)`` sampling factors) returns
+    ``(flat, g, mcu)`` arrays over that component's blocks in scan visit
+    order: ``flat`` indexes the MCU-padded block grid viewed as
+    ``(num_blocks, 64)``, ``g`` is the global visit rank (shared across
+    components — sorting any token stream by ``g`` reproduces the T.81
+    A.2.3 interleave), and ``mcu`` the linear MCU index (for
+    restart-interval segmentation).
+    """
+    mcus_y, mcus_x = mcus
+    blocks_per_mcu = sum(h * v for h, v in samplings)
+    offset = 0
+    result = []
+    for h, v in samplings:
+        padded_x = mcus_x * h
+        my = np.arange(mcus_y).reshape(-1, 1, 1, 1)
+        mx = np.arange(mcus_x).reshape(1, -1, 1, 1)
+        dy = np.arange(v).reshape(1, 1, -1, 1)
+        dx = np.arange(h).reshape(1, 1, 1, -1)
+        shape = (mcus_y, mcus_x, v, h)
+        flat = ((my * v + dy) * padded_x + mx * h + dx).reshape(-1)
+        mcu = np.broadcast_to(my * mcus_x + mx, shape).reshape(-1)
+        within = np.broadcast_to(dy * h + dx, shape).reshape(-1)
+        g = mcu * blocks_per_mcu + offset + within
+        result.append((flat, g, mcu))
+        offset += h * v
+    return result
+
+
+def bincount_frequencies(symbols: np.ndarray) -> dict[int, int]:
+    """Symbol histogram as the dict :func:`build_optimized_table` takes."""
+    if symbols.size == 0:
+        return {}
+    counts = np.bincount(symbols.astype(np.int64))
+    return {
+        int(symbol): int(count)
+        for symbol, count in enumerate(counts)
+        if count
+    }
+
+
+def merge_frequencies(
+    accumulator: dict[int, int], symbols: np.ndarray
+) -> None:
+    """Add a symbol array's histogram into ``accumulator`` in place."""
+    for symbol, count in bincount_frequencies(symbols).items():
+        accumulator[symbol] = accumulator.get(symbol, 0) + count
+
+
+def interleave_code_pairs(
+    codes: np.ndarray,
+    code_lengths: np.ndarray,
+    extras: np.ndarray,
+    extra_lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zip (code, extra-bits) token pairs into one packable sequence."""
+    values = np.empty(2 * codes.size, dtype=np.uint64)
+    lengths = np.empty(2 * codes.size, dtype=np.int64)
+    values[0::2] = codes
+    values[1::2] = extras.astype(np.uint64)
+    lengths[0::2] = code_lengths
+    lengths[1::2] = extra_lengths
+    return values, lengths
+
+
+def codes_for_symbols(
+    symbols: np.ndarray, table: HuffmanTable
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map a symbol array to ``(codes, code_lengths)``, validating."""
+    codes_by_symbol, lengths_by_symbol = encoder_code_arrays(table)
+    codes = codes_by_symbol[symbols]
+    lengths = lengths_by_symbol[symbols]
+    if symbols.size and not lengths.all():
+        missing = int(symbols[np.nonzero(lengths == 0)[0][0]])
+        raise ValueError(f"symbol {missing:#x} not in Huffman table")
+    return codes, lengths
+
+
+def pack_tokens_with_table(
+    g: np.ndarray,
+    rank: np.ndarray,
+    symbols: np.ndarray,
+    extras: np.ndarray,
+    extra_lengths: np.ndarray,
+    table: HuffmanTable,
+) -> bytes:
+    """Order a single-table token stream by (g, rank) and pack it."""
+    from repro.jpeg.bitstream import pack_entropy_bits
+
+    codes, code_lengths = codes_for_symbols(symbols, table)
+    order = np.lexsort((rank, g))
+    values, lengths = interleave_code_pairs(
+        codes[order],
+        code_lengths[order],
+        extras[order],
+        extra_lengths[order],
+    )
+    return pack_entropy_bits(values, lengths)
+
+
+def dc_scan_token_bundles(
+    blocks_per_component: list[np.ndarray],
+    samplings: list[tuple[int, int]],
+    mcus: tuple[int, int],
+    al: int = 0,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Batch-difference-code an interleaved DC scan.
+
+    ``blocks_per_component`` holds the MCU-padded zigzag arrays of the
+    scan's components.  Returns per-component ``(g, categories,
+    extra_bits)`` bundles in visit order.
+    """
+    visits = interleaved_visit_arrays(samplings, mcus)
+    bundles = []
+    for (flat, g, _), blocks in zip(visits, blocks_per_component):
+        flattened = blocks.reshape(-1, 64)
+        categories, extras = encode_dc_symbols(flattened[flat, 0], None, al)
+        bundles.append((g, categories, extras))
+    return bundles
+
+
+def pack_dc_scan_tokens(
+    bundles: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    tables: list[HuffmanTable],
+) -> bytes:
+    """Map per-component DC bundles through their tables and pack."""
+    from repro.jpeg.bitstream import pack_entropy_bits
+
+    all_g = []
+    all_codes = []
+    all_code_lengths = []
+    all_extras = []
+    all_extra_lengths = []
+    for (g, categories, extras), table in zip(bundles, tables):
+        codes, code_lengths = codes_for_symbols(categories, table)
+        all_g.append(g)
+        all_codes.append(codes)
+        all_code_lengths.append(code_lengths)
+        all_extras.append(extras)
+        all_extra_lengths.append(categories)
+    g = np.concatenate(all_g)
+    order = np.argsort(g, kind="stable")
+    values, lengths = interleave_code_pairs(
+        np.concatenate(all_codes)[order],
+        np.concatenate(all_code_lengths)[order],
+        np.concatenate(all_extras)[order],
+        np.concatenate(all_extra_lengths)[order],
+    )
+    return pack_entropy_bits(values, lengths)
+
+
+#: Rank offset placing progressive EOB-run tokens before a block's own
+#: in-band tokens (which start at rank 8).
+_EOB_RUN_RANK = -(1 << 30)
+
+#: Largest EOB run one symbol can carry (T.81 G.1.2.2, jcphuff cap).
+MAX_EOB_RUN = 0x7FFF
+
+
+def progressive_ac_tokens(
+    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Token stream of one progressive AC first scan, EOB-runs included.
+
+    ``blocks`` is the component's (N, 64) zigzag stack in scan order.
+    Empty bands join end-of-band runs; a block whose last nonzero falls
+    short of ``spectral_end`` contributes its trailing EOB to the run;
+    runs flush before the next non-empty block (or at scan end), split
+    at :data:`MAX_EOB_RUN` exactly like the scalar ``_EobRun``.
+    Returns ``(g, rank, symbols, extras, extra_lengths)`` ready for
+    :func:`pack_tokens_with_table`.
+    """
+    batch = encode_block_symbols(blocks, spectral_start, spectral_end, al)
+    empty = batch.last_nonzero < 0
+    trailing = (~empty) & (batch.last_nonzero < batch.band_length - 1)
+    contributions = (empty | trailing).astype(np.int64)
+    cumulative = np.concatenate(([0], np.cumsum(contributions)))
+    barriers = np.nonzero(~empty)[0]
+    bounds = np.concatenate([barriers, [batch.num_blocks]])
+    previous = np.concatenate(([0], cumulative[barriers]))
+    runs = cumulative[bounds] - previous
+
+    has_run = runs > 0
+    run_positions = bounds[has_run]
+    run_values = runs[has_run]
+    full_chunks = run_values // MAX_EOB_RUN
+    remainders = run_values % MAX_EOB_RUN
+    chunk_counts = full_chunks + (remainders > 0)
+    total_chunks = int(chunk_counts.sum())
+    if not total_chunks:
+        return (
+            batch.block,
+            batch.rank,
+            batch.symbol,
+            batch.extra,
+            batch.extra_length,
+        )
+
+    positions = np.repeat(run_positions, chunk_counts)
+    starts = np.cumsum(chunk_counts) - chunk_counts
+    within = np.arange(total_chunks) - np.repeat(starts, chunk_counts)
+    chunk_runs = np.where(
+        within < np.repeat(full_chunks, chunk_counts),
+        MAX_EOB_RUN,
+        np.repeat(remainders, chunk_counts),
+    )
+    categories = magnitude_categories(chunk_runs) - 1
+    eob_symbols = categories << 4
+    eob_extras = chunk_runs - (np.int64(1) << categories)
+    eob_ranks = _EOB_RUN_RANK + within
+
+    return (
+        np.concatenate([batch.block, positions]),
+        np.concatenate([batch.rank, eob_ranks]),
+        np.concatenate([batch.symbol, eob_symbols]),
+        np.concatenate([batch.extra, eob_extras]),
+        np.concatenate([batch.extra_length, categories]),
+    )
+
+
+def encode_ac_first_scan(
+    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int = 0
+) -> tuple[HuffmanTable, bytes]:
+    """Encode one progressive AC first scan with an optimized table.
+
+    The single recipe shared by ``encode_progressive`` (encoder.py) and
+    the SA ``run_scan`` driver (scans.py): batch the token stream, pick
+    the optimal table from its histogram (standard-luminance fallback
+    for an empty scan), and pack.  Returns ``(table, entropy_bytes)``.
+    """
+    token_stream = progressive_ac_tokens(
+        blocks, spectral_start, spectral_end, al
+    )
+    frequencies = bincount_frequencies(token_stream[2])
+    table = (
+        build_optimized_table(frequencies)
+        if frequencies
+        else STANDARD_AC_LUMINANCE
+    )
+    return table, pack_tokens_with_table(*token_stream, table)

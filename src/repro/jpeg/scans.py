@@ -23,14 +23,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.jpeg.bitstream import BitWriter
+from repro.jpeg.bitstream import BitWriter, pack_entropy_bits
 from repro.jpeg.huffman import (
     HuffmanEncoder,
     STANDARD_AC_LUMINANCE,
     STANDARD_DC_LUMINANCE,
     build_optimized_table,
+    dc_scan_token_bundles,
+    encode_ac_first_scan,
     encode_magnitude_bits,
+    interleaved_visit_arrays,
     magnitude_category,
+    merge_frequencies,
+    pack_dc_scan_tokens,
 )
 
 
@@ -247,6 +252,28 @@ def encode_ac_refinement(
     eob.flush()
 
 
+def _run_dc_refinement_fast(
+    spec: ScanSpec,
+    padded_blocks: list[np.ndarray],
+    samplings: list[tuple[int, int]],
+    mcus: tuple[int, int],
+) -> bytes:
+    """Vectorized DC refinement: gather bit ``al`` of every DC in MCU
+    visit order and pack them as raw 1-bit writes."""
+    visits = interleaved_visit_arrays(
+        [samplings[i] for i in spec.component_indices], mcus
+    )
+    all_g = []
+    all_bits = []
+    for (flat, g, _), index in zip(visits, spec.component_indices):
+        dc = padded_blocks[index].reshape(-1, 64)[flat, 0]
+        all_g.append(g)
+        all_bits.append((dc.astype(np.int64) >> spec.al) & 1)
+    order = np.argsort(np.concatenate(all_g), kind="stable")
+    bits = np.concatenate(all_bits)[order]
+    return pack_entropy_bits(bits, np.ones(bits.size, dtype=np.int64))
+
+
 # -- scan-level drivers --------------------------------------------------------
 
 
@@ -279,14 +306,22 @@ def run_scan(
     padded_blocks: list[np.ndarray],
     samplings: list[tuple[int, int]],
     mcus: tuple[int, int],
+    fast: bool = True,
 ):
     """Encode one scan; returns (huffman_table | None, entropy_bytes).
 
     ``blocks_per_component`` are the true (unpadded) zigzag arrays used
     for AC scans; ``padded_blocks`` the MCU-padded ones for DC scans.
-    DC refinement scans carry no Huffman table (raw bits only).
+    DC refinement scans carry no Huffman table (raw bits only).  With
+    ``fast`` the DC and AC first passes and the DC refinement run on
+    the batch engine (byte-identical output); AC refinement keeps the
+    scalar path in both modes.
     """
     if spec.is_dc and spec.is_refinement:
+        if fast:
+            return None, _run_dc_refinement_fast(
+                spec, padded_blocks, samplings, mcus
+            )
         writer = BitWriter()
         encode_dc_refinement(
             [padded_blocks[i] for i in spec.component_indices],
@@ -297,6 +332,29 @@ def run_scan(
         )
         writer.flush()
         return None, writer.getvalue()
+
+    if fast and spec.is_dc:
+        bundles = dc_scan_token_bundles(
+            [padded_blocks[i] for i in spec.component_indices],
+            [samplings[i] for i in spec.component_indices],
+            mcus,
+            spec.al,
+        )
+        frequencies: dict[int, int] = {}
+        for _, categories, _ in bundles:
+            merge_frequencies(frequencies, categories)
+        table = (
+            build_optimized_table(frequencies)
+            if frequencies
+            else STANDARD_DC_LUMINANCE
+        )
+        return table, pack_dc_scan_tokens(bundles, [table] * len(bundles))
+
+    if fast and not spec.is_refinement:
+        blocks = blocks_per_component[spec.component_indices[0]]
+        return encode_ac_first_scan(
+            blocks.reshape(-1, 64), spec.ss, spec.se, spec.al
+        )
 
     def run_with(sink_or_factory):
         if spec.is_dc:

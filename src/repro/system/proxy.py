@@ -120,11 +120,13 @@ class RecipientProxy:
         psp: PhotoSharingProvider,
         storage: CloudStorage,
         transform_estimate: TransformEstimate | None = None,
+        fast: bool = True,
     ) -> None:
         self.keyring = keyring
         self.psp = psp
         self.storage = storage
         self.transform_estimate = transform_estimate
+        self.fast = fast  # vectorized entropy decode on the hot path
         self._secret_cache: dict[str, SecretPart] = {}
         self.cache_stats = _CacheStats()
 
@@ -157,7 +159,9 @@ class RecipientProxy:
         public_jpeg = self.psp.download(
             photo_id, requester=self.keyring.owner, resolution=resolution
         )
-        return coefficients_to_pixels(decode_coefficients(public_jpeg))
+        return coefficients_to_pixels(
+            decode_coefficients(public_jpeg, fast=self.fast)
+        )
 
     # -- internals ------------------------------------------------------------
 
@@ -179,7 +183,7 @@ class RecipientProxy:
         resolution: int | None,
         crop_box: tuple[int, int, int, int] | None,
     ) -> np.ndarray:
-        public = decode_coefficients(public_jpeg)
+        public = decode_coefficients(public_jpeg, fast=self.fast)
         untouched = public.same_geometry(
             secret_part.image
         ) and public.same_quantization(secret_part.image)

@@ -1,0 +1,404 @@
+"""Differential tests: fast entropy engine vs scalar T.81 reference.
+
+The vectorized table-driven engine (the default) and the retained
+scalar implementation must be interchangeable at the byte level: the
+encoders produce identical streams, the decoders identical coefficient
+arrays, across baseline, progressive spectral-selection and successive-
+approximation modes, restart markers, and 0xFF byte-stuffing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jpeg.bitstream import (
+    BitReader,
+    BitWriter,
+    EndOfData,
+    FastBitReader,
+    VectorBitWriter,
+    destuff,
+    pack_entropy_bits,
+    split_restart_segments,
+)
+from repro.jpeg.codec import gray_to_coefficients, rgb_to_coefficients
+from repro.jpeg.decoder import decode_to_coefficients
+from repro.jpeg.encoder import (
+    encode_baseline,
+    encode_progressive,
+    encode_progressive_sa,
+)
+from repro.jpeg.huffman import (
+    HuffmanEncoder,
+    STANDARD_AC_CHROMINANCE,
+    STANDARD_AC_LUMINANCE,
+    STANDARD_DC_CHROMINANCE,
+    STANDARD_DC_LUMINANCE,
+    build_optimized_table,
+    encode_magnitude_bits,
+    encode_magnitude_bits_batch,
+    encoder_code_arrays,
+    lookup_table,
+    magnitude_categories,
+    magnitude_category,
+)
+from repro.jpeg.markers import JpegFormatError
+
+
+# -- bit-level primitives -----------------------------------------------------
+
+
+token_lists = st.lists(
+    st.integers(1, 16).flatmap(
+        lambda length: st.tuples(
+            st.integers(0, (1 << length) - 1), st.just(length)
+        )
+    ),
+    max_size=200,
+)
+
+
+class TestBitPacking:
+    @given(token_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_pack_matches_scalar_writer(self, tokens):
+        writer = BitWriter()
+        for value, length in tokens:
+            writer.write(value, length)
+        writer.flush()
+        values = np.array([v for v, _ in tokens], dtype=np.uint64)
+        lengths = np.array([l for _, l in tokens], dtype=np.int64)
+        assert pack_entropy_bits(values, lengths) == writer.getvalue()
+
+    def test_pack_stuffs_padding_ff(self):
+        # Seven 1-bits pad to 0xFF, which must get a stuffed zero.
+        assert pack_entropy_bits([1], [1]) == b"\xff\x00"
+
+    def test_pack_does_not_mutate_caller_arrays(self):
+        values = np.array([0xFFFF, 3], dtype=np.uint64)
+        lengths = np.array([4, 2], dtype=np.int64)
+        first = pack_entropy_bits(values, lengths)
+        assert values.tolist() == [0xFFFF, 3]  # width-masking not in place
+        assert pack_entropy_bits(values, lengths) == first
+
+    def test_pack_skips_zero_lengths(self):
+        assert pack_entropy_bits([7, 0, 2], [3, 0, 2]) == pack_entropy_bits(
+            [7, 2], [3, 2]
+        )
+
+    @given(token_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_reader_round_trip(self, tokens):
+        values = np.array([v for v, _ in tokens], dtype=np.uint64)
+        lengths = np.array([l for _, l in tokens], dtype=np.int64)
+        stuffed = pack_entropy_bits(values, lengths)
+        reader = FastBitReader(destuff(stuffed))
+        for value, length in tokens:
+            assert reader.read(length) == value
+
+    @given(st.binary(min_size=0, max_size=120), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_fast_reader_matches_scalar_reader(self, payload, data):
+        # Compare on a destuffed-equivalent stream (no 0xFF marker
+        # ambiguity): stuff the payload the way a writer would.
+        writer = BitWriter()
+        for byte in payload:
+            writer.write(byte, 8)
+        stuffed = writer.getvalue()
+        scalar = BitReader(stuffed)
+        fast = FastBitReader(destuff(stuffed))
+        remaining = 8 * len(payload)
+        while remaining:
+            width = min(data.draw(st.integers(1, 24)), remaining)
+            assert fast.read(width) == scalar.read(width)
+            remaining -= width
+
+    def test_fast_reader_raises_at_end(self):
+        reader = FastBitReader(b"\xab")
+        reader.read(8)
+        with pytest.raises(EndOfData):
+            reader.read_bit()
+
+    def test_vector_writer_restart_markers(self):
+        scalar = BitWriter()
+        scalar.write(0xFFFF, 16)
+        scalar.write_restart_marker(0)
+        scalar.write(0x5, 3)
+        scalar.flush()
+        vector = VectorBitWriter()
+        vector.extend([0xFFFF], [16])
+        vector.write_restart_marker(0)
+        vector.extend([0x5], [3])
+        assert vector.getvalue() == scalar.getvalue()
+
+    def test_split_restart_segments_round_trip(self):
+        writer = BitWriter()
+        writer.write(0xFF, 8)  # stuffed data byte, not a marker
+        writer.write_restart_marker(0)
+        writer.write(0xD7, 8)
+        writer.write_restart_marker(1)
+        writer.write(0x1, 2)
+        writer.flush()
+        segments, indices = split_restart_segments(writer.getvalue())
+        assert indices == [0, 1]
+        assert [destuff(s) for s in segments[:2]] == [b"\xff", b"\xd7"]
+
+
+# -- Huffman table machinery --------------------------------------------------
+
+
+class TestLookupTables:
+    @pytest.mark.parametrize(
+        "table",
+        [
+            STANDARD_DC_LUMINANCE,
+            STANDARD_DC_CHROMINANCE,
+            STANDARD_AC_LUMINANCE,
+            STANDARD_AC_CHROMINANCE,
+        ],
+    )
+    def test_lut_agrees_with_tree_decoder(self, table):
+        encoder = HuffmanEncoder(table)
+        entries = lookup_table(table).entries
+        codes, lengths = encoder_code_arrays(table)
+        for symbol in table.values:
+            code, length = encoder.code_for(symbol)
+            assert codes[symbol] == code and lengths[symbol] == length
+            probe = code << (16 - length)
+            entry = entries[probe]
+            assert entry == (length << 8) | symbol
+            # Every lookahead sharing the prefix decodes identically.
+            entry = entries[probe | ((1 << (16 - length)) - 1)]
+            assert entry == (length << 8) | symbol
+
+    def test_lut_on_optimized_table(self):
+        rng = np.random.default_rng(5)
+        frequencies = {
+            int(s): int(c)
+            for s, c in zip(
+                rng.choice(256, size=40, replace=False),
+                rng.integers(1, 1000, size=40),
+            )
+        }
+        table = build_optimized_table(frequencies)
+        encoder = HuffmanEncoder(table)
+        entries = lookup_table(table).entries
+        for symbol in table.values:
+            code, length = encoder.code_for(symbol)
+            assert entries[code << (16 - length)] == (length << 8) | symbol
+
+    @given(st.lists(st.integers(-32767, 32767), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_magnitude_batch_matches_scalar(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        categories = magnitude_categories(values)
+        extras = encode_magnitude_bits_batch(values, categories)
+        for value, category, extra in zip(raw, categories, extras):
+            assert magnitude_category(value) == category
+            assert encode_magnitude_bits(value, int(category)) == extra
+
+
+# -- whole-codec equivalence --------------------------------------------------
+
+
+def _coefficient_images(gray_image, rgb_image, odd_gray_image):
+    # Heavy noise at high quality maximizes nonzero coefficients and
+    # makes 0xFF output bytes (hence byte stuffing) likely.
+    rng = np.random.default_rng(11)
+    noisy = np.clip(rng.normal(128, 64, (48, 40)), 0, 255)
+    return [
+        gray_to_coefficients(gray_image, quality=75),
+        gray_to_coefficients(odd_gray_image, quality=50),
+        gray_to_coefficients(noisy, quality=95),
+        rgb_to_coefficients(rgb_image, quality=75),
+        rgb_to_coefficients(rgb_image, quality=40, subsampling="4:2:0"),
+        rgb_to_coefficients(rgb_image, quality=85, subsampling="4:2:2"),
+    ]
+
+
+def _assert_same_coefficients(first, second):
+    assert first.width == second.width
+    assert first.height == second.height
+    assert first.progressive == second.progressive
+    assert len(first.components) == len(second.components)
+    for a, b in zip(first.components, second.components):
+        assert np.array_equal(a.quant_table, b.quant_table)
+        assert np.array_equal(a.coefficients, b.coefficients)
+
+
+class TestEncoderEquivalence:
+    def test_baseline_byte_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            for optimize in (True, False):
+                for interval in (0, 1, 5):
+                    fast = encode_baseline(
+                        image,
+                        optimize_huffman=optimize,
+                        restart_interval=interval,
+                        fast=True,
+                    )
+                    scalar = encode_baseline(
+                        image,
+                        optimize_huffman=optimize,
+                        restart_interval=interval,
+                        fast=False,
+                    )
+                    assert fast == scalar
+
+    def test_progressive_byte_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            assert encode_progressive(image, fast=True) == encode_progressive(
+                image, fast=False
+            )
+
+    def test_progressive_sa_byte_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            fast = encode_progressive_sa(image, fast=True)
+            scalar = encode_progressive_sa(image, fast=False)
+            assert fast == scalar
+
+    def test_stuffed_ff_bytes_present(self):
+        # The equivalence above is vacuous for stuffing unless some
+        # stream actually contains stuffed bytes; pin that down.
+        rng = np.random.default_rng(11)
+        noisy = np.clip(rng.normal(128, 64, (48, 40)), 0, 255)
+        image = gray_to_coefficients(noisy, quality=95)
+        data = encode_baseline(image, fast=True)
+        assert b"\xff\x00" in data
+
+
+class TestDecoderEquivalence:
+    def test_baseline_decodes_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            for interval in (0, 3):
+                data = encode_baseline(image, restart_interval=interval)
+                _assert_same_coefficients(
+                    decode_to_coefficients(data, fast=True),
+                    decode_to_coefficients(data, fast=False),
+                )
+
+    def test_progressive_decodes_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            data = encode_progressive(image)
+            _assert_same_coefficients(
+                decode_to_coefficients(data, fast=True),
+                decode_to_coefficients(data, fast=False),
+            )
+
+    def test_progressive_sa_decodes_identical(
+        self, gray_image, rgb_image, odd_gray_image
+    ):
+        for image in _coefficient_images(
+            gray_image, rgb_image, odd_gray_image
+        ):
+            data = encode_progressive_sa(image)
+            _assert_same_coefficients(
+                decode_to_coefficients(data, fast=True),
+                decode_to_coefficients(data, fast=False),
+            )
+
+    def test_single_component_dc_scans_decode_identical(self, rgb_image):
+        # A custom SA script with non-interleaved DC scans: on a
+        # subsampled image the luma padded grid differs from its true
+        # grid, so the fast decoder must walk the MCU-padded grid for
+        # DC scans exactly like the scalar engine (regression test).
+        from repro.jpeg.scans import ScanSpec
+
+        image = rgb_to_coefficients(
+            rgb_image[:24, :24], quality=75, subsampling="4:2:0"
+        )
+        script = []
+        for approx_high, approx_low in ((0, 1), (1, 0)):
+            for index in range(3):
+                script.append(
+                    ScanSpec((index,), 0, 0, approx_high, approx_low)
+                )
+            for index in range(3):
+                script.append(
+                    ScanSpec((index,), 1, 63, approx_high, approx_low)
+                )
+        data = encode_progressive_sa(image, script=script)
+        decoded_fast = decode_to_coefficients(data, fast=True)
+        decoded_scalar = decode_to_coefficients(data, fast=False)
+        _assert_same_coefficients(decoded_fast, decoded_scalar)
+        for a, b in zip(decoded_fast.components, image.components):
+            assert np.array_equal(a.coefficients, b.coefficients)
+
+    def test_round_trip_through_fast_engine(self, gray_image):
+        image = gray_to_coefficients(gray_image, quality=75)
+        decoded = decode_to_coefficients(encode_baseline(image, fast=True))
+        _assert_same_coefficients(image, decoded)
+
+    def test_corrupt_streams_fail_cleanly_in_both_engines(self, gray_image):
+        data = bytearray(
+            encode_baseline(gray_to_coefficients(gray_image[:32, :32]))
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(80):
+            position = int(rng.integers(2, len(data)))
+            original = data[position]
+            data[position] ^= int(rng.integers(1, 256))
+            for fast in (True, False):
+                try:
+                    decode_to_coefficients(bytes(data), fast=fast)
+                except (JpegFormatError, ValueError):
+                    pass
+            data[position] = original
+
+    def test_truncations_fail_cleanly_in_fast_engine(self, gray_image):
+        data = encode_baseline(gray_to_coefficients(gray_image[:32, :32]))
+        for cut in range(2, len(data), max(1, len(data) // 40)):
+            try:
+                decode_to_coefficients(data[:cut], fast=True)
+            except (JpegFormatError, ValueError):
+                pass
+
+    def test_corrupt_restart_streams_agree_between_engines(self, gray_image):
+        # A desynced restart segment must not decode silently in the
+        # fast engine while the scalar engine rejects it (or vice
+        # versa): on every corruption both engines either error or
+        # produce the same coefficients.
+        image = gray_to_coefficients(gray_image[:48, :48], quality=75)
+        data = encode_baseline(image, restart_interval=3)
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            mutated = bytearray(data)
+            position = int(rng.integers(2, len(mutated)))
+            mutated[position] ^= int(rng.integers(1, 256))
+            outcomes = []
+            for fast in (True, False):
+                try:
+                    decoded = decode_to_coefficients(
+                        bytes(mutated), fast=fast
+                    )
+                    outcomes.append(
+                        tuple(
+                            c.coefficients.tobytes()
+                            for c in decoded.components
+                        )
+                    )
+                except (JpegFormatError, ValueError):
+                    outcomes.append(None)
+            assert outcomes[0] == outcomes[1]

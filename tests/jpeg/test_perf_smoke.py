@@ -1,0 +1,60 @@
+"""Opt-in perf smoke test: a regression to the per-bit path fails here.
+
+The vectorized engine decodes a dense 512x512 quality-75 image in well
+under a second; the scalar reference needs on the order of 10 seconds.
+The generous budgets below only trip when the fast path stops being
+fast (e.g. someone reroutes the default back to the scalar engine).
+
+Run with ``python -m pytest -m slow tests/jpeg/test_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.jpeg.codec import decode_coefficients, encode_gray
+
+pytestmark = pytest.mark.slow
+
+#: Wall-clock ceilings (seconds).  Fast engine: ~0.2s decode on a dev
+#: laptop; scalar reference: ~9s.  5s keeps slow CI boxes green while
+#: still failing hard on a per-bit regression.
+DECODE_BUDGET_SECONDS = 5.0
+ENCODE_BUDGET_SECONDS = 5.0
+
+
+@pytest.fixture(scope="module")
+def dense_512_jpeg() -> bytes:
+    rng = np.random.default_rng(0)
+    ramp = np.linspace(0, 40, 512)
+    image = np.add.outer(np.sin(ramp) * 60, np.cos(ramp * 1.7) * 60)
+    image = np.clip(image + 128 + rng.normal(0, 25, (512, 512)), 0, 255)
+    return encode_gray(image, quality=75)
+
+
+def test_decode_512_within_budget(dense_512_jpeg):
+    start = time.perf_counter()
+    image = decode_coefficients(dense_512_jpeg)
+    elapsed = time.perf_counter() - start
+    assert image.width == 512 and image.height == 512
+    assert elapsed < DECODE_BUDGET_SECONDS, (
+        f"512x512 decode took {elapsed:.2f}s (budget "
+        f"{DECODE_BUDGET_SECONDS}s) — did the entropy hot path regress "
+        "to the per-bit reference?"
+    )
+
+
+def test_encode_512_within_budget():
+    rng = np.random.default_rng(1)
+    image = np.clip(rng.normal(128, 40, (512, 512)), 0, 255)
+    start = time.perf_counter()
+    data = encode_gray(image, quality=75)
+    elapsed = time.perf_counter() - start
+    assert data.startswith(b"\xff\xd8")
+    assert elapsed < ENCODE_BUDGET_SECONDS, (
+        f"512x512 encode took {elapsed:.2f}s (budget "
+        f"{ENCODE_BUDGET_SECONDS}s)"
+    )
