@@ -1,0 +1,46 @@
+"""Session-layer quickstart: the whole P3 system in five lines.
+
+Where ``examples/quickstart.py`` runs the bare algorithm, this demo
+drives the :mod:`repro.api` session layer — pluggable backends, the
+trusted proxies wired up for you, and the parallel batch pipeline:
+
+    python examples/session_quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.api import P3Session
+from repro.datasets import iter_corpus_jpegs, render_scene
+from repro.jpeg.codec import encode_rgb
+
+
+def main() -> None:
+    # The five-line workflow ------------------------------------------------
+    jpeg_bytes = encode_rgb(render_scene(seed=7, height=256, width=256))
+
+    session = P3Session.create(psp="flickr", storage="dropbox", user="alice")
+    record = session.upload(jpeg_bytes, album="trip", viewers={"bob"})
+    pixels = session.download(record.photo_id, album="trip")
+    public = session.download_public_only(record.photo_id)
+
+    print(f"uploaded {record.photo_id} to {record.psp}:")
+    print(f"  public part {record.public_bytes} B (what the PSP holds)")
+    print(f"  secret part {record.secret_bytes} B (AES envelope, dropbox)")
+    print(f"  reconstructed {pixels.shape}, key-less view {public.shape}")
+
+    # Sharing: hand bob the album key out of band ---------------------------
+    bob = session.viewer("bob")
+    session.share("trip", bob)
+    print(f"  bob reconstructs {bob.download(record.photo_id, 'trip').shape}")
+
+    # Corpus-scale traffic: the parallel batch pipeline ---------------------
+    corpus = list(iter_corpus_jpegs("usc", 8, size=128))
+    report = session.batch_upload(corpus, album="trip", executor="process")
+    print(report.summary())
+    ids = [r.photo_id for r in report.results if r is not None]
+    downloads = session.batch_download(ids, album="trip", executor="process")
+    print(downloads.summary())
+
+
+if __name__ == "__main__":
+    main()

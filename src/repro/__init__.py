@@ -7,6 +7,9 @@ This package reproduces the system described in
 
 The public API re-exports the most commonly used entry points:
 
+* :mod:`repro.api` — the session layer: :class:`~repro.api.P3Session`
+  over pluggable PSP/storage backends, plus the parallel batch
+  pipeline (start here; see that module's quickstart).
 * :class:`repro.core.P3Config`, :class:`repro.core.P3Encryptor`,
   :class:`repro.core.P3Decryptor` — the P3 algorithm (paper Section 3).
 * :mod:`repro.jpeg` — a from-scratch baseline/progressive JPEG codec with
@@ -20,12 +23,21 @@ The public API re-exports the most commonly used entry points:
 
 from repro.core import P3Config, P3Decryptor, P3Encryptor, SplitResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "P3Config",
     "P3Encryptor",
     "P3Decryptor",
+    "P3Session",
     "SplitResult",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "P3Session":  # lazily — the session layer pulls in repro.system
+        from repro.api import P3Session
+
+        return P3Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,68 @@
+"""Backend protocols: the two pluggable roles of the P3 architecture.
+
+The paper's design (Section 4.1) deliberately treats both remote
+parties as interchangeable black boxes: any photo-sharing provider that
+accepts JPEG uploads can serve the public part, and any blob store can
+hold the encrypted secret part.  These :class:`~typing.Protocol` types
+capture exactly the surface the trusted proxies rely on, so a new
+backend only has to duck-type it — no inheritance from the simulator
+classes required.
+
+This module must stay import-light (no :mod:`repro.system` imports):
+the system layer annotates against these protocols, so anything pulled
+in here would become a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PSPBackend(Protocol):
+    """What the proxies need from a photo-sharing provider.
+
+    The PSP is *untrusted*: it receives only the degraded public JPEG
+    and may transform it arbitrarily between upload and download.
+    """
+
+    name: str
+
+    def upload(
+        self, data: bytes, owner: str, viewers: set[str] | None = None
+    ) -> str:
+        """Ingest a JPEG; return the provider-assigned photo ID."""
+        ...
+
+    def download(
+        self,
+        photo_id: str,
+        requester: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> bytes:
+        """Serve a stored photo, optionally resized and/or cropped."""
+        ...
+
+
+@runtime_checkable
+class BlobStore(Protocol):
+    """What the proxies need from the secret-part storage provider.
+
+    The store is also untrusted — it only ever sees AES envelopes — so
+    the protocol is a plain key-value surface with no auth semantics.
+    """
+
+    def put(self, key: str, blob: bytes) -> None:
+        """Store a blob under a key (overwrites)."""
+        ...
+
+    def get(self, key: str) -> bytes:
+        """Fetch a blob; raises ``KeyError`` when absent."""
+        ...
+
+    def exists(self, key: str) -> bool:
+        ...
+
+    def delete(self, key: str) -> None:
+        ...

@@ -1,0 +1,146 @@
+"""Execution strategies for the batch pipeline.
+
+An :class:`Executor` maps a task function over a list of work items and
+returns one :class:`TaskOutcome` per item, in input order, with any
+exception captured per item instead of aborting the batch.  Three
+strategies share that contract:
+
+* :class:`SerialExecutor` — in-process loop, the reference behaviour;
+* :class:`ThreadExecutor` — ``concurrent.futures`` thread pool (useful
+  when the work releases the GIL or waits on I/O);
+* :class:`ProcessExecutor` — process pool for the CPU-bound
+  encode/split/decode hot path.  Task functions and items must be
+  picklable (the :mod:`repro.api.pipeline` tasks are built for this).
+
+The strategy is selected by :class:`~repro.core.config.P3Config`'s
+``executor``/``workers`` fields via :func:`make_executor`.
+
+The pooled strategies build their pool per :meth:`Executor.map` call —
+a deliberate simplicity/lifecycle tradeoff: executors stay stateless
+(nothing to shut down, safe to share), and batches are corpus-sized,
+so pool startup is amortized over many items.  A long-lived pool would
+only pay off for many tiny batches; revisit if that workload appears.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one batch item: a value or a captured error, never both."""
+
+    index: int
+    value: Any = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def describe_error(error: BaseException) -> str:
+    """The one-line failure format every batch stage reports with."""
+    return f"{type(error).__name__}: {error}"
+
+
+class Executor:
+    """Base class: subclasses provide :meth:`_run_all`."""
+
+    kind = "abstract"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = max(1, workers or os.cpu_count() or 1)
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> list[TaskOutcome]:
+        """Apply ``fn`` to every item, capturing per-item failures."""
+        items = list(items)
+        if not items:
+            return []
+        return self._run_all(fn, items)
+
+    def _run_all(self, fn, items) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """One item at a time on the calling thread."""
+
+    kind = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(1)
+
+    def _run_all(self, fn, items) -> list[TaskOutcome]:
+        outcomes = []
+        for index, item in enumerate(items):
+            try:
+                outcomes.append(TaskOutcome(index, value=fn(item)))
+            except Exception as error:
+                outcomes.append(
+                    TaskOutcome(index, error=describe_error(error))
+                )
+        return outcomes
+
+
+class _PoolExecutor(Executor):
+    """Shared futures-pool driving logic for thread/process strategies."""
+
+    _pool_class: type
+
+    def _run_all(self, fn, items) -> list[TaskOutcome]:
+        outcomes: list[TaskOutcome] = []
+        with self._pool_class(max_workers=self.workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    outcomes.append(TaskOutcome(index, value=future.result()))
+                except Exception as error:
+                    outcomes.append(
+                        TaskOutcome(index, error=describe_error(error))
+                    )
+        return outcomes
+
+
+class ThreadExecutor(_PoolExecutor):
+    """``ThreadPoolExecutor``-backed strategy."""
+
+    kind = "thread"
+    _pool_class = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """``ProcessPoolExecutor``-backed strategy (picklable tasks only)."""
+
+    kind = "process"
+    _pool_class = ProcessPoolExecutor
+
+
+def make_executor(kind: str, workers: int | None = None) -> Executor:
+    """Build an executor from config-level settings.
+
+    ``kind`` is one of ``"serial"``, ``"thread"``, ``"process"``;
+    ``workers=None`` (or 0) means one worker per CPU for the pooled
+    strategies.
+    """
+    normalized = kind.lower().strip()
+    if normalized == "serial":
+        return SerialExecutor()
+    if normalized == "thread":
+        return ThreadExecutor(workers)
+    if normalized == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -1,0 +1,132 @@
+"""Named backend registry: PSPs and blob stores resolvable by string.
+
+``P3Session.create(psp="flickr", storage="dropbox")`` goes through a
+:class:`BackendRegistry`; adding a new provider to the system is one
+:func:`register_psp` / :func:`register_storage` call with any factory
+whose product satisfies the :mod:`repro.api.backends` protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.backends import BlobStore, PSPBackend
+from repro.system.psp import (
+    FacebookPSP,
+    FlickrPSP,
+    PhotoBucketPSP,
+    PhotoSharingProvider,
+)
+from repro.system.storage import CloudStorage
+
+
+class UnknownBackendError(KeyError):
+    """No backend registered under the requested name."""
+
+
+class BackendRegistry:
+    """Maps backend names to factories for the two pluggable roles."""
+
+    def __init__(self) -> None:
+        self._psps: dict[str, Callable[..., PSPBackend]] = {}
+        self._stores: dict[str, Callable[..., BlobStore]] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_psp(
+        self,
+        name: str,
+        factory: Callable[..., PSPBackend],
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Register a PSP factory (usually the backend class itself)."""
+        self._register(self._psps, "PSP", name, factory, replace)
+
+    def register_storage(
+        self,
+        name: str,
+        factory: Callable[..., BlobStore],
+        *,
+        replace: bool = False,
+    ) -> None:
+        """Register a blob-store factory under a name."""
+        self._register(self._stores, "storage", name, factory, replace)
+
+    @staticmethod
+    def _register(table, role, name, factory, replace) -> None:
+        if not name:
+            raise ValueError(f"{role} backend name must be non-empty")
+        if name in table and not replace:
+            raise ValueError(
+                f"{role} backend {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        table[name] = factory
+
+    # -- resolution -----------------------------------------------------------
+
+    def create_psp(self, name: str, /, **kwargs) -> PSPBackend:
+        """Instantiate the PSP registered under ``name``."""
+        factory = self._lookup(self._psps, "PSP", name)
+        backend = factory(**kwargs)
+        if not isinstance(backend, PSPBackend):
+            raise TypeError(
+                f"{name!r} factory produced {type(backend).__name__}, "
+                "which does not satisfy the PSPBackend protocol"
+            )
+        return backend
+
+    def create_storage(self, name: str, /, **kwargs) -> BlobStore:
+        """Instantiate the blob store registered under ``name``."""
+        factory = self._lookup(self._stores, "storage", name)
+        store = factory(**kwargs)
+        if not isinstance(store, BlobStore):
+            raise TypeError(
+                f"{name!r} factory produced {type(store).__name__}, "
+                "which does not satisfy the BlobStore protocol"
+            )
+        return store
+
+    def _lookup(self, table, role, name):
+        try:
+            return table[name]
+        except KeyError:
+            known = ", ".join(sorted(table)) or "(none)"
+            raise UnknownBackendError(
+                f"unknown {role} backend {name!r}; registered: {known}"
+            ) from None
+
+    def psp_names(self) -> list[str]:
+        return sorted(self._psps)
+
+    def storage_names(self) -> list[str]:
+        return sorted(self._stores)
+
+
+#: The process-wide default registry, pre-loaded with the paper's three
+#: PSP models and the Dropbox-role blob store.
+DEFAULT_REGISTRY = BackendRegistry()
+
+DEFAULT_REGISTRY.register_psp("generic", PhotoSharingProvider)
+DEFAULT_REGISTRY.register_psp("facebook", FacebookPSP)
+DEFAULT_REGISTRY.register_psp("flickr", FlickrPSP)
+DEFAULT_REGISTRY.register_psp("photobucket", PhotoBucketPSP)
+DEFAULT_REGISTRY.register_storage("dropbox", CloudStorage)
+DEFAULT_REGISTRY.register_storage(
+    "memory", lambda **kwargs: CloudStorage(name="memory", **kwargs)
+)
+
+
+def register_psp(
+    name: str, factory: Callable[..., PSPBackend], *, replace: bool = False
+) -> None:
+    """Register a PSP backend with the default registry."""
+    DEFAULT_REGISTRY.register_psp(name, factory, replace=replace)
+
+
+def register_storage(
+    name: str, factory: Callable[..., BlobStore], *, replace: bool = False
+) -> None:
+    """Register a storage backend with the default registry."""
+    DEFAULT_REGISTRY.register_storage(name, factory, replace=replace)

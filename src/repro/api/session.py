@@ -1,0 +1,527 @@
+"""`P3Session`: one object that is the whole P3 client stack.
+
+A session owns the four pieces every caller used to hand-wire — the
+keyring, the :class:`~repro.core.config.P3Config`, a PSP backend and a
+blob store — and exposes the paper's operations as methods.  Single
+photos go through the same trusted proxies as before (so behaviour is
+identical to the interposed path, secret-part cache included); corpora
+go through :meth:`batch_upload` / :meth:`batch_download`, which fan the
+CPU-bound work out over a pluggable :class:`~repro.api.executors.
+Executor` and report per-item failures instead of dying mid-batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.api.backends import BlobStore, PSPBackend
+from repro.api.executors import Executor, describe_error, make_executor
+from repro.api.pipeline import (
+    DecryptTask,
+    EncryptTask,
+    run_decrypt_task,
+    run_encrypt_task,
+)
+from repro.api.registry import DEFAULT_REGISTRY, BackendRegistry
+from repro.core.config import P3Config
+from repro.core.encryptor import EncryptedPhoto
+from repro.crypto.keyring import Keyring
+from repro.system.proxy import (
+    DEFAULT_SECRET_CACHE_LIMIT,
+    RecipientProxy,
+    SenderProxy,
+    secret_blob_key,
+)
+from repro.system.reverse import TransformEstimate
+
+
+# -- typed requests and records -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class UploadRequest:
+    """One photo to publish: a JPEG or raw pixels, plus sharing intent."""
+
+    album: str
+    jpeg: bytes | None = None
+    pixels: np.ndarray | None = None
+    viewers: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.album:
+            raise ValueError("album must be non-empty")
+        if (self.jpeg is None) == (self.pixels is None):
+            raise ValueError(
+                "UploadRequest needs exactly one of jpeg= or pixels="
+            )
+
+
+@dataclass(frozen=True)
+class DownloadRequest:
+    """One photo to fetch and reconstruct."""
+
+    photo_id: str
+    album: str
+    resolution: int | None = None
+    crop_box: tuple[int, int, int, int] | None = None
+    public_only: bool = False
+
+
+@dataclass(frozen=True)
+class PhotoRecord:
+    """What the session knows about a published photo."""
+
+    photo_id: str
+    album: str
+    psp: str
+    public_bytes: int
+    secret_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.public_bytes + self.secret_bytes
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One failed batch item: which, where in the pipeline, and why."""
+
+    index: int
+    stage: str
+    error: str
+
+
+@dataclass
+class BatchReport:
+    """Outcome of a batch operation.
+
+    ``results`` is aligned with the input order: a
+    :class:`PhotoRecord` (uploads) or pixel array (downloads) per
+    successful item, ``None`` per failure, with the matching entry in
+    ``failures`` saying what went wrong.
+    """
+
+    operation: str
+    executor: str
+    workers: int
+    elapsed_s: float = 0.0
+    results: list[Any] = field(default_factory=list)
+    failures: list[BatchFailure] = field(default_factory=list)
+    bytes_public: int = 0
+    bytes_secret: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> int:
+        return self.total - len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def throughput(self) -> float:
+        """Successfully processed items per second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.succeeded / self.elapsed_s
+
+    def summary(self) -> str:
+        return (
+            f"{self.operation}: {self.succeeded}/{self.total} ok in "
+            f"{self.elapsed_s:.2f}s ({self.throughput:.1f} items/s, "
+            f"{self.executor} x{self.workers}, "
+            f"{self.bytes_public + self.bytes_secret} bytes)"
+        )
+
+
+def run_sparse_batch(
+    executor: "Executor",
+    run_task,
+    tasks: "list[Any]",
+    report: BatchReport,
+    stage: str,
+) -> list[Any]:
+    """Map ``run_task`` over the non-``None`` entries of ``tasks``.
+
+    Entries that are ``None`` (earlier-stage failures) keep their slot;
+    results come back aligned with input order, and task failures are
+    recorded on ``report`` under ``stage``.  Shared by
+    :meth:`P3Session.batch_download` and the batch CLI so the
+    index-alignment bookkeeping lives in exactly one place.
+    """
+    pending = [
+        (index, task) for index, task in enumerate(tasks) if task is not None
+    ]
+    outcomes = executor.map(run_task, [task for _, task in pending])
+    results: list[Any] = [None] * len(tasks)
+    for (index, _), outcome in zip(pending, outcomes):
+        if outcome.ok:
+            results[index] = outcome.value
+        else:
+            report.failures.append(BatchFailure(index, stage, outcome.error))
+    return results
+
+
+# -- the session itself -------------------------------------------------------
+
+
+class P3Session:
+    """Facade over keyring + config + PSP + storage + proxies."""
+
+    def __init__(
+        self,
+        keyring: Keyring,
+        psp: PSPBackend,
+        storage: BlobStore,
+        config: P3Config | None = None,
+        transform_estimate: TransformEstimate | None = None,
+        cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+    ) -> None:
+        self.keyring = keyring
+        self.psp = psp
+        self.storage = storage
+        self.config = config or P3Config()
+        self.transform_estimate = transform_estimate
+        self.cache_limit = cache_limit
+        self.sender = SenderProxy(keyring, psp, storage, self.config)
+        self.recipient = RecipientProxy(
+            keyring,
+            psp,
+            storage,
+            transform_estimate=transform_estimate,
+            fast=self.config.fast_codec,
+            cache_limit=cache_limit,
+        )
+
+    @classmethod
+    def create(
+        cls,
+        psp: str | PSPBackend = "facebook",
+        storage: str | BlobStore = "dropbox",
+        *,
+        user: str = "me",
+        config: P3Config | None = None,
+        keyring: Keyring | None = None,
+        registry: BackendRegistry | None = None,
+        transform_estimate: TransformEstimate | None = None,
+        cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+    ) -> "P3Session":
+        """Build a session from backend *names* (or ready instances)."""
+        registry = registry or DEFAULT_REGISTRY
+        if isinstance(psp, str):
+            psp = registry.create_psp(psp)
+        if isinstance(storage, str):
+            storage = registry.create_storage(storage)
+        return cls(
+            keyring or Keyring(user),
+            psp,
+            storage,
+            config=config,
+            transform_estimate=transform_estimate,
+            cache_limit=cache_limit,
+        )
+
+    @property
+    def user(self) -> str:
+        return self.keyring.owner
+
+    def viewer(self, user: str) -> "P3Session":
+        """A recipient session on the same PSP/storage, empty keyring."""
+        return P3Session(
+            Keyring(user),
+            self.psp,
+            self.storage,
+            config=self.config,
+            transform_estimate=self.transform_estimate,
+            cache_limit=self.cache_limit,
+        )
+
+    def share(self, album: str, recipient: "P3Session | Keyring") -> None:
+        """Hand the album key to another participant (out of band)."""
+        target = (
+            recipient.keyring
+            if isinstance(recipient, P3Session)
+            else recipient
+        )
+        self.keyring.share_with(target, album)
+
+    # -- single-photo operations (the proxy path) -----------------------------
+
+    def upload(
+        self,
+        item: "UploadRequest | bytes | np.ndarray",
+        album: str | None = None,
+        viewers: Iterable[str] | None = None,
+    ) -> PhotoRecord:
+        """Publish one photo; splits/encrypts via the sender proxy."""
+        request = self._as_upload_request(item, album, viewers)
+        self._ensure_album(request.album)
+        view_set = set(request.viewers) if request.viewers else None
+        if request.jpeg is not None:
+            receipt = self.sender.upload(
+                request.jpeg, request.album, viewers=view_set
+            )
+        else:
+            receipt = self.sender.upload_pixels(
+                request.pixels, request.album, viewers=view_set
+            )
+        return PhotoRecord(
+            photo_id=receipt.photo_id,
+            album=request.album,
+            psp=self.psp.name,
+            public_bytes=receipt.public_bytes,
+            secret_bytes=receipt.secret_bytes,
+        )
+
+    def download(
+        self,
+        item: "DownloadRequest | str",
+        album: str | None = None,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        """Fetch + reconstruct one photo via the recipient proxy."""
+        request = self._as_download_request(item, album, resolution, crop_box)
+        if request.public_only:
+            return self.recipient.download_public_only(
+                request.photo_id,
+                resolution=request.resolution,
+                crop_box=request.crop_box,
+            )
+        return self.recipient.download(
+            request.photo_id,
+            request.album,
+            resolution=request.resolution,
+            crop_box=request.crop_box,
+        )
+
+    def download_public_only(
+        self, photo_id: str, resolution: int | None = None
+    ) -> np.ndarray:
+        """What a viewer without the album key sees."""
+        return self.recipient.download_public_only(
+            photo_id, resolution=resolution
+        )
+
+    # -- batch operations (the executor path) ---------------------------------
+
+    def batch_upload(
+        self,
+        corpus: Iterable["UploadRequest | bytes | np.ndarray"],
+        album: str | None = None,
+        viewers: Iterable[str] | None = None,
+        executor: "Executor | str | None" = None,
+    ) -> BatchReport:
+        """Publish a corpus: parallel encrypt, then serial PSP ingest.
+
+        The encode/split/seal stage — the CPU-bound bulk of the work —
+        runs on the executor; the PSP upload and secret-part put run in
+        the parent where the backend objects live.  Public JPEG bytes
+        are identical whichever executor runs the batch.
+        """
+        executor = self._resolve_executor(executor)
+        requests = [
+            self._as_upload_request(item, album, viewers) for item in corpus
+        ]
+        report = BatchReport(
+            operation="batch_upload",
+            executor=executor.kind,
+            workers=executor.workers,
+        )
+        start = time.perf_counter()
+        tasks = []
+        for request in requests:
+            self._ensure_album(request.album)
+            tasks.append(
+                EncryptTask(
+                    key=self.keyring.key_for(request.album),
+                    config=self.config,
+                    jpeg=request.jpeg,
+                    pixels=request.pixels,
+                )
+            )
+        outcomes = executor.map(run_encrypt_task, tasks)
+        for request, outcome in zip(requests, outcomes):
+            if not outcome.ok:
+                report.results.append(None)
+                report.failures.append(
+                    BatchFailure(outcome.index, "encrypt", outcome.error)
+                )
+                continue
+            try:
+                record = self._publish(request, outcome.value)
+            except Exception as error:
+                report.results.append(None)
+                report.failures.append(
+                    BatchFailure(outcome.index, "publish", describe_error(error))
+                )
+                continue
+            report.results.append(record)
+            report.bytes_public += record.public_bytes
+            report.bytes_secret += record.secret_bytes
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    def batch_download(
+        self,
+        items: Iterable["DownloadRequest | str"],
+        album: str | None = None,
+        resolution: int | None = None,
+        executor: "Executor | str | None" = None,
+    ) -> BatchReport:
+        """Fetch a corpus: serial PSP/storage reads, parallel reconstruct.
+
+        Reconstruction uses the exact code path of the recipient proxy
+        — including the session's transform estimate, which pickles to
+        worker processes — so outputs are byte-identical to
+        one-at-a-time downloads and across executors.
+        """
+        executor = self._resolve_executor(executor)
+        requests = [
+            self._as_download_request(item, album, resolution, None)
+            for item in items
+        ]
+        report = BatchReport(
+            operation="batch_download",
+            executor=executor.kind,
+            workers=executor.workers,
+        )
+        start = time.perf_counter()
+        tasks: list[DecryptTask | None] = []
+        for index, request in enumerate(requests):
+            try:
+                tasks.append(self._fetch_task(request))
+            except Exception as error:
+                tasks.append(None)
+                report.failures.append(
+                    BatchFailure(index, "fetch", describe_error(error))
+                )
+        report.results = run_sparse_batch(
+            executor, run_decrypt_task, tasks, report, stage="reconstruct"
+        )
+        for task, result in zip(tasks, report.results):
+            if result is not None:
+                report.bytes_public += len(task.public_jpeg)
+                report.bytes_secret += len(task.secret_envelope or b"")
+        report.failures.sort(key=lambda failure: failure.index)
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve_executor(
+        self, executor: "Executor | str | None"
+    ) -> Executor:
+        if executor is None:
+            return make_executor(
+                self.config.executor, self.config.workers or None
+            )
+        if isinstance(executor, str):
+            return make_executor(executor, self.config.workers or None)
+        return executor
+
+    def _ensure_album(self, album: str) -> None:
+        if album not in self.keyring:
+            self.keyring.create_album(album)
+
+    def _publish(
+        self, request: UploadRequest, photo: EncryptedPhoto
+    ) -> PhotoRecord:
+        view_set = set(request.viewers) if request.viewers else None
+        photo_id = self.psp.upload(
+            photo.public_jpeg, owner=self.keyring.owner, viewers=view_set
+        )
+        self.storage.put(
+            secret_blob_key(request.album, photo_id), photo.secret_envelope
+        )
+        return PhotoRecord(
+            photo_id=photo_id,
+            album=request.album,
+            psp=self.psp.name,
+            public_bytes=photo.public_size,
+            secret_bytes=photo.secret_size,
+        )
+
+    def _fetch_task(self, request: DownloadRequest) -> DecryptTask:
+        public_jpeg = self.psp.download(
+            request.photo_id,
+            requester=self.keyring.owner,
+            resolution=request.resolution,
+            crop_box=request.crop_box,
+        )
+        if request.public_only:
+            return DecryptTask(
+                key=None,
+                public_jpeg=public_jpeg,
+                fast=self.config.fast_codec,
+            )
+        return DecryptTask(
+            key=self.keyring.key_for(request.album),
+            public_jpeg=public_jpeg,
+            secret_envelope=self.storage.get(
+                secret_blob_key(request.album, request.photo_id)
+            ),
+            resolution=request.resolution,
+            crop_box=request.crop_box,
+            transform_estimate=self.transform_estimate,
+            fast=self.config.fast_codec,
+        )
+
+    @staticmethod
+    def _as_upload_request(
+        item: "UploadRequest | bytes | np.ndarray",
+        album: str | None,
+        viewers: Iterable[str] | None,
+    ) -> UploadRequest:
+        if isinstance(item, UploadRequest):
+            return item
+        if album is None:
+            raise ValueError("album= is required for raw upload items")
+        view_set = frozenset(viewers) if viewers else None
+        if isinstance(item, (bytes, bytearray, memoryview)):
+            return UploadRequest(
+                album=album, jpeg=bytes(item), viewers=view_set
+            )
+        if isinstance(item, np.ndarray):
+            return UploadRequest(album=album, pixels=item, viewers=view_set)
+        raise TypeError(
+            "upload items must be UploadRequest, JPEG bytes or a pixel "
+            f"array, not {type(item).__name__}"
+        )
+
+    @staticmethod
+    def _as_download_request(
+        item: "DownloadRequest | str",
+        album: str | None,
+        resolution: int | None,
+        crop_box: tuple[int, int, int, int] | None,
+    ) -> DownloadRequest:
+        if isinstance(item, DownloadRequest):
+            return item
+        if not isinstance(item, str):
+            raise TypeError(
+                "download items must be DownloadRequest or a photo-ID "
+                f"string, not {type(item).__name__}"
+            )
+        if album is None:
+            raise ValueError("album= is required for photo-ID items")
+        return DownloadRequest(
+            photo_id=item,
+            album=album,
+            resolution=resolution,
+            crop_box=crop_box,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"P3Session(user={self.keyring.owner!r}, psp={self.psp.name!r}, "
+            f"executor={self.config.executor!r})"
+        )

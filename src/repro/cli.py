@@ -5,10 +5,18 @@
                             --public pub.jpg --secret photo.p3s
     python -m repro decrypt --key album.key pub.jpg photo.p3s \\
                             --output recon.ppm
+    python -m repro batch-encrypt --key album.key --output-dir out/ *.jpg
+    python -m repro batch-decrypt --key album.key --output-dir out/ \\
+                            out/*.public.jpg
     python -m repro inspect pub.jpg
 
 Inputs may be JPEG (decoded by the built-in codec) or netpbm (P5/P6).
 Reconstructed outputs are written as netpbm, which anything can read.
+The batch commands fan the per-photo work out over the
+:mod:`repro.api` executors (``--executor process`` by default) and
+keep going past per-file failures.  ``--scalar-codec`` runs the scalar
+reference entropy codec instead of the vectorized engine — the outputs
+are byte-identical, so diffing the two isolates codec bugs.
 """
 
 from __future__ import annotations
@@ -16,11 +24,27 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
+from repro.api.executors import EXECUTOR_KINDS, make_executor
+from repro.api.pipeline import (
+    DecryptTask,
+    EncryptTask,
+    run_decrypt_task,
+    run_encrypt_task,
+)
+from repro.api.session import BatchFailure, BatchReport, run_sparse_batch
 from repro.core import P3Config, P3Decryptor, P3Encryptor
 from repro.crypto.keyring import generate_key
 from repro.imageio import NetpbmError, read_image, write_image
 from repro.jpeg.codec import encode_gray, encode_rgb, image_info
+
+#: CLI defaults mirror the library defaults — one source of truth.
+_DEFAULTS = P3Config()
+
+#: File-name conventions the batch commands write and look for.
+PUBLIC_SUFFIX = ".public.jpg"
+SECRET_SUFFIX = ".secret.p3s"
 
 
 def _load_pixels(path: pathlib.Path):
@@ -38,15 +62,24 @@ def _load_pixels(path: pathlib.Path):
         )
 
 
-def _load_jpeg(path: pathlib.Path, quality: int) -> bytes:
+def _load_jpeg(path: pathlib.Path, quality: int, fast: bool = True) -> bytes:
     """Read a file as JPEG bytes, transcoding netpbm inputs."""
     data = path.read_bytes()
     if data[:2] == b"\xff\xd8":
         return data
     pixels = _load_pixels(path)
     if pixels.ndim == 2:
-        return encode_gray(pixels.astype(float), quality=quality)
-    return encode_rgb(pixels, quality=quality)
+        return encode_gray(pixels.astype(float), quality=quality, fast=fast)
+    return encode_rgb(pixels, quality=quality, fast=fast)
+
+
+def _config_from(args) -> P3Config:
+    """Build the P3Config shared by the single and batch commands."""
+    return P3Config(
+        threshold=args.threshold,
+        quality=args.quality,
+        fast_codec=not args.scalar_codec,
+    )
 
 
 def _cmd_genkey(args) -> int:
@@ -58,8 +91,10 @@ def _cmd_genkey(args) -> int:
 
 def _cmd_encrypt(args) -> int:
     key = pathlib.Path(args.key).read_bytes()
-    config = P3Config(threshold=args.threshold, quality=args.quality)
-    jpeg = _load_jpeg(pathlib.Path(args.input), args.quality)
+    config = _config_from(args)
+    jpeg = _load_jpeg(
+        pathlib.Path(args.input), args.quality, fast=config.fast_codec
+    )
     photo = P3Encryptor(key, config).encrypt_jpeg(jpeg)
     pathlib.Path(args.public).write_bytes(photo.public_jpeg)
     pathlib.Path(args.secret).write_bytes(photo.secret_envelope)
@@ -77,11 +112,152 @@ def _cmd_decrypt(args) -> int:
     key = pathlib.Path(args.key).read_bytes()
     public = pathlib.Path(args.public).read_bytes()
     secret = pathlib.Path(args.secret).read_bytes()
-    pixels = P3Decryptor(key).decrypt(public, secret)
+    pixels = P3Decryptor(key, fast=not args.scalar_codec).decrypt(
+        public, secret
+    )
     pathlib.Path(args.output).write_bytes(write_image(pixels))
     shape = "x".join(str(v) for v in pixels.shape[:2][::-1])
     print(f"reconstructed {shape} image -> {args.output}")
     return 0
+
+
+# -- batch commands -----------------------------------------------------------
+
+
+def _batch_stem(path: pathlib.Path) -> str:
+    """The photo's base name, with the batch suffixes stripped."""
+    name = path.name
+    for suffix in (PUBLIC_SUFFIX, SECRET_SUFFIX):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return path.stem
+
+
+def _unique_stems(paths: list[pathlib.Path]) -> list[str]:
+    """Collision-free output stems, in input order.
+
+    Inputs from different directories can share a basename; numbering
+    the repeats keeps every photo's outputs instead of silently
+    overwriting the earlier ones.
+    """
+    counts: dict[str, int] = {}
+    used: set[str] = set()
+    stems = []
+    for path in paths:
+        stem = base = _batch_stem(path)
+        while stem in used:
+            counts[base] = counts.get(base, 0) + 1
+            stem = f"{base}-{counts[base]}"
+        used.add(stem)
+        stems.append(stem)
+    return stems
+
+
+def _drive_batch(
+    operation, args, build_task, run_task, write_result
+) -> int:
+    """Shared skeleton of the batch commands.
+
+    Loads every input through ``build_task`` (per-file failures become
+    "load" entries), fans the tasks out over the configured executor,
+    writes successes through ``write_result(stem, value, report)``
+    (which returns the per-item message), and prints the standard
+    :class:`BatchReport` summary.  Exit code 0 iff nothing failed.
+    """
+    executor = make_executor(args.executor, args.workers or None)
+    paths = [pathlib.Path(name) for name in args.inputs]
+    stems = _unique_stems(paths)
+    report = BatchReport(
+        operation=operation, executor=executor.kind, workers=executor.workers
+    )
+    start = time.perf_counter()
+    tasks = []
+    for index, path in enumerate(paths):
+        try:
+            tasks.append(build_task(path))
+        except (OSError, NetpbmError, SystemExit) as error:
+            tasks.append(None)
+            report.failures.append(BatchFailure(index, "load", str(error)))
+    report.results = run_sparse_batch(
+        executor, run_task, tasks, report, stage="process"
+    )
+    for index, value in enumerate(report.results):
+        if value is None:
+            continue
+        try:
+            print(f"{paths[index]} -> {write_result(stems[index], value, report)}")
+        except OSError as error:
+            report.results[index] = None
+            report.failures.append(BatchFailure(index, "write", str(error)))
+    report.failures.sort(key=lambda failure: failure.index)
+    for failure in report.failures:
+        print(
+            f"FAILED {paths[failure.index]}: {failure.error}",
+            file=sys.stderr,
+        )
+    report.elapsed_s = time.perf_counter() - start
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_batch_encrypt(args) -> int:
+    key = pathlib.Path(args.key).read_bytes()
+    config = _config_from(args)
+    output_dir = pathlib.Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    def build_task(path: pathlib.Path) -> EncryptTask:
+        data = path.read_bytes()
+        if data[:2] == b"\xff\xd8":
+            return EncryptTask(key=key, config=config, jpeg=data)
+        # Ship netpbm inputs as raw pixels so the JPEG encode — the
+        # dominant cost for such corpora — runs in the worker pool too.
+        # Coefficients (and thus outputs) are identical to transcoding
+        # here first: entropy coding round-trips losslessly.
+        return EncryptTask(key=key, config=config, pixels=read_image(data))
+
+    def write_result(stem, photo, report) -> str:
+        public_path = output_dir / f"{stem}{PUBLIC_SUFFIX}"
+        secret_path = output_dir / f"{stem}{SECRET_SUFFIX}"
+        public_path.write_bytes(photo.public_jpeg)
+        secret_path.write_bytes(photo.secret_envelope)
+        report.bytes_public += photo.public_size
+        report.bytes_secret += photo.secret_size
+        return (
+            f"{public_path.name} ({photo.public_size} B) "
+            f"+ {secret_path.name} ({photo.secret_size} B)"
+        )
+
+    return _drive_batch(
+        "batch-encrypt", args, build_task, run_encrypt_task, write_result
+    )
+
+
+def _cmd_batch_decrypt(args) -> int:
+    key = pathlib.Path(args.key).read_bytes()
+    output_dir = pathlib.Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    def build_task(path: pathlib.Path) -> DecryptTask:
+        secret_path = path.with_name(f"{_batch_stem(path)}{SECRET_SUFFIX}")
+        return DecryptTask(
+            key=key,
+            public_jpeg=path.read_bytes(),
+            secret_envelope=secret_path.read_bytes(),
+            fast=not args.scalar_codec,
+        )
+
+    def write_result(stem, pixels, report) -> str:
+        extension = ".ppm" if pixels.ndim == 3 else ".pgm"
+        out_path = output_dir / f"{stem}{extension}"
+        data = write_image(pixels)
+        out_path.write_bytes(data)
+        report.bytes_public += len(data)  # reconstructed netpbm bytes
+        return out_path.name
+
+    return _drive_batch(
+        "batch-decrypt", args, build_task, run_decrypt_task, write_result
+    )
 
 
 def _cmd_inspect(args) -> int:
@@ -94,6 +270,38 @@ def _cmd_inspect(args) -> int:
     print(f"  app markers  {', '.join(info.app_markers) or '(none)'}")
     print(f"  comment      {info.has_comment}")
     return 0
+
+
+def _add_codec_options(parser: argparse.ArgumentParser) -> None:
+    """P3 parameters shared by the encrypting commands."""
+    parser.add_argument(
+        "--threshold", type=int, default=_DEFAULTS.threshold
+    )
+    parser.add_argument("--quality", type=int, default=_DEFAULTS.quality)
+
+
+def _add_scalar_codec_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scalar-codec",
+        action="store_true",
+        help="use the scalar reference entropy codec (byte-identical "
+        "output, ~50x slower; for differential debugging)",
+    )
+
+
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="process",
+        help="batch execution strategy (default: process)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool size for thread/process executors (0 = one per CPU)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,8 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
     encrypt.add_argument("--key", required=True)
     encrypt.add_argument("--public", required=True, help="public JPEG out")
     encrypt.add_argument("--secret", required=True, help="secret envelope out")
-    encrypt.add_argument("--threshold", type=int, default=15)
-    encrypt.add_argument("--quality", type=int, default=88)
+    _add_codec_options(encrypt)
+    _add_scalar_codec_flag(encrypt)
     encrypt.set_defaults(handler=_cmd_encrypt)
 
     decrypt = commands.add_parser(
@@ -128,7 +336,41 @@ def build_parser() -> argparse.ArgumentParser:
     decrypt.add_argument("secret", help="secret envelope")
     decrypt.add_argument("--key", required=True)
     decrypt.add_argument("--output", required=True, help="netpbm out")
+    _add_scalar_codec_flag(decrypt)
     decrypt.set_defaults(handler=_cmd_decrypt)
+
+    batch_encrypt = commands.add_parser(
+        "batch-encrypt",
+        help="split + encrypt many photos via the parallel pipeline",
+    )
+    batch_encrypt.add_argument("inputs", nargs="+", help="JPEG/netpbm photos")
+    batch_encrypt.add_argument("--key", required=True)
+    batch_encrypt.add_argument(
+        "--output-dir",
+        required=True,
+        help=f"writes <stem>{PUBLIC_SUFFIX} + <stem>{SECRET_SUFFIX} here",
+    )
+    _add_codec_options(batch_encrypt)
+    _add_scalar_codec_flag(batch_encrypt)
+    _add_executor_options(batch_encrypt)
+    batch_encrypt.set_defaults(handler=_cmd_batch_encrypt)
+
+    batch_decrypt = commands.add_parser(
+        "batch-decrypt",
+        help="decrypt + reconstruct many photos via the parallel pipeline",
+    )
+    batch_decrypt.add_argument(
+        "inputs",
+        nargs="+",
+        help=f"public JPEGs; each needs a sibling <stem>{SECRET_SUFFIX}",
+    )
+    batch_decrypt.add_argument("--key", required=True)
+    batch_decrypt.add_argument(
+        "--output-dir", required=True, help="netpbm outputs land here"
+    )
+    _add_scalar_codec_flag(batch_decrypt)
+    _add_executor_options(batch_decrypt)
+    batch_decrypt.set_defaults(handler=_cmd_batch_decrypt)
 
     inspect = commands.add_parser(
         "inspect", help="show JPEG header facts"

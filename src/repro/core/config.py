@@ -33,6 +33,13 @@ class P3Config:
     proxies' encode/decode hot path; the scalar reference engine
     (``False``) produces byte-identical output ~50x slower and exists
     for differential testing.
+
+    ``executor`` / ``workers`` choose the default execution strategy for
+    the batch pipeline (:meth:`repro.api.session.P3Session.batch_upload`
+    and friends): ``"serial"``, ``"thread"`` or ``"process"``, with
+    ``workers=0`` meaning one worker per CPU for the pooled strategies.
+    The config stays a frozen, picklable value object, so worker
+    processes receive it verbatim.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -40,6 +47,8 @@ class P3Config:
     subsampling: str = "4:4:4"
     optimize_huffman: bool = True
     fast_codec: bool = True
+    executor: str = "serial"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -56,6 +65,15 @@ class P3Config:
         if self.subsampling not in ("4:4:4", "4:2:2", "4:2:0"):
             raise ValueError(
                 f"unknown subsampling mode {self.subsampling!r}"
+            )
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected 'serial', "
+                "'thread' or 'process'"
+            )
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
             )
 
     @property

@@ -16,9 +16,12 @@ All take explicit seeds; identical calls return identical images.
 """
 
 from repro.datasets.corpus import (
+    CORPUS_KINDS,
     caltech_faces_like,
     feret_like,
     inria_like,
+    iter_corpus,
+    iter_corpus_jpegs,
     usc_sipi_like,
 )
 from repro.datasets.faces import FaceSample, render_face
@@ -29,6 +32,9 @@ __all__ = [
     "inria_like",
     "caltech_faces_like",
     "feret_like",
+    "iter_corpus",
+    "iter_corpus_jpegs",
+    "CORPUS_KINDS",
     "render_scene",
     "render_face",
     "FaceSample",

@@ -8,6 +8,7 @@ python; every generator takes ``count`` overrides for larger runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -21,6 +22,17 @@ _CALTECH_SEED = 0xCA17EC
 _FERET_SEED = 0xFE9E7
 
 
+def _iter_usc(count: int, size: int) -> Iterator[np.ndarray]:
+    for index in range(count):
+        yield render_scene(
+            _USC_SEED + index,
+            height=size,
+            width=size,
+            num_regions=3 + index % 4,
+            num_objects=2 + index % 4,
+        )
+
+
 def usc_sipi_like(
     count: int = 12, size: int = 256
 ) -> list[np.ndarray]:
@@ -29,16 +41,21 @@ def usc_sipi_like(
     The real volume has 44 images, all <= 1 MB; the default here is a
     12-image subset at 256x256 for test/bench speed.
     """
-    return [
-        render_scene(
-            _USC_SEED + index,
-            height=size,
-            width=size,
-            num_regions=3 + index % 4,
-            num_objects=2 + index % 4,
+    return list(_iter_usc(count, size))
+
+
+def _iter_inria(count: int) -> Iterator[np.ndarray]:
+    rng = np.random.default_rng(_INRIA_SEED)
+    for index in range(count):
+        height = int(rng.choice([192, 256, 320, 384, 448]))
+        width = int(rng.choice([256, 320, 384, 448]))
+        yield render_scene(
+            _INRIA_SEED + index,
+            height=height,
+            width=width,
+            num_regions=3 + int(rng.integers(0, 4)),
+            num_objects=2 + int(rng.integers(0, 5)),
         )
-        for index in range(count)
-    ]
 
 
 def inria_like(count: int = 16) -> list[np.ndarray]:
@@ -47,34 +64,14 @@ def inria_like(count: int = 16) -> list[np.ndarray]:
     INRIA Holidays has 1491 full-color images up to 5 MB with greater
     diversity than USC-SIPI; here resolutions vary from 192 to 448 px.
     """
-    rng = np.random.default_rng(_INRIA_SEED)
-    images = []
-    for index in range(count):
-        height = int(rng.choice([192, 256, 320, 384, 448]))
-        width = int(rng.choice([256, 320, 384, 448]))
-        images.append(
-            render_scene(
-                _INRIA_SEED + index,
-                height=height,
-                width=width,
-                num_regions=3 + int(rng.integers(0, 4)),
-                num_objects=2 + int(rng.integers(0, 5)),
-            )
-        )
-    return images
+    return list(_iter_inria(count))
 
 
-def caltech_faces_like(
-    count: int = 24, subjects: int = 8, size: int = 128
-) -> list[FaceSample]:
-    """Frontal-face corpus: one dominant face per image, clutter behind.
-
-    The real set has 450 images of ~27 subjects under varying
-    illumination, background and expression.
-    """
+def _iter_caltech(
+    count: int, subjects: int, size: int
+) -> Iterator[FaceSample]:
     rng = np.random.default_rng(_CALTECH_SEED)
     identities = [sample_identity(rng) for _ in range(subjects)]
-    samples = []
     for index in range(count):
         subject = index % subjects
         sample = render_face(
@@ -85,8 +82,18 @@ def caltech_faces_like(
             cluttered_background=True,
         )
         sample.subject = subject
-        samples.append(sample)
-    return samples
+        yield sample
+
+
+def caltech_faces_like(
+    count: int = 24, subjects: int = 8, size: int = 128
+) -> list[FaceSample]:
+    """Frontal-face corpus: one dominant face per image, clutter behind.
+
+    The real set has 450 images of ~27 subjects under varying
+    illumination, background and expression.
+    """
+    return list(_iter_caltech(count, subjects, size))
 
 
 @dataclass
@@ -144,3 +151,63 @@ def feret_like(
     return RecognitionCorpus(
         gallery=gallery, probes=probes, num_subjects=subjects
     )
+
+
+# -- streaming access (feeds the repro.api batch pipeline) --------------------
+
+#: Corpus kinds understood by :func:`iter_corpus`.
+CORPUS_KINDS = ("usc", "inria", "caltech")
+
+
+def iter_corpus(
+    kind: str = "usc", count: int | None = None, *, size: int | None = None
+) -> Iterator[np.ndarray]:
+    """Lazily yield pixel arrays from one of the named corpora.
+
+    Unlike the list-returning generators above, images are rendered one
+    at a time, so callers that consume incrementally (or encode to
+    JPEG and drop the pixels, as :func:`iter_corpus_jpegs` does) never
+    hold the whole pixel corpus in memory.  Note that
+    ``P3Session.batch_upload`` materializes its input before
+    dispatching, so feed it the (much smaller) encoded form.
+    ``count=None``/``size=None`` use each corpus's own defaults (so the
+    stream matches the list-returning generators exactly); ``size``
+    applies to the fixed-size corpora (``usc``, ``caltech``).
+    """
+    if kind == "usc":
+        yield from _iter_usc(count if count is not None else 12, size or 256)
+    elif kind == "inria":
+        yield from _iter_inria(count if count is not None else 16)
+    elif kind == "caltech":
+        for sample in _iter_caltech(
+            count if count is not None else 24, subjects=8, size=size or 128
+        ):
+            yield sample.image
+    else:
+        raise ValueError(
+            f"unknown corpus kind {kind!r}; expected one of {CORPUS_KINDS}"
+        )
+
+
+def iter_corpus_jpegs(
+    kind: str = "usc",
+    count: int | None = None,
+    *,
+    size: int | None = None,
+    quality: int = 85,
+    subsampling: str = "4:4:4",
+) -> Iterator[bytes]:
+    """Lazily yield corpus images encoded as JPEG bytes.
+
+    This is the camera-roll view of a corpus: ready-to-upload files for
+    :meth:`repro.api.session.P3Session.batch_upload` and the batch CLI.
+    """
+    from repro.jpeg.codec import encode_gray, encode_rgb
+
+    for pixels in iter_corpus(kind, count, size=size):
+        if pixels.ndim == 2:
+            yield encode_gray(pixels.astype(np.float64), quality=quality)
+        else:
+            yield encode_rgb(
+                pixels, quality=quality, subsampling=subsampling
+            )

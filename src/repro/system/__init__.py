@@ -4,11 +4,22 @@ The architecture of Figure 3: browsers/apps talk HTTP to photo-sharing
 providers; a trusted local proxy interposes on both the sender and the
 recipient side, transparently splitting uploads and reconstructing
 downloads.  Nothing at the PSP changes.
+
+The proxies are written against the :mod:`repro.api.backends`
+protocols (re-exported here); the classes below are the reference
+backends that satisfy them.  :mod:`repro.api` builds the session and
+batch layers on top.
 """
 
+from repro.api.backends import BlobStore, PSPBackend
 from repro.system.client import PhotoSharingClient
 from repro.system.http import HttpRequest, HttpResponse
-from repro.system.proxy import RecipientProxy, SenderProxy
+from repro.system.proxy import (
+    RecipientProxy,
+    SenderProxy,
+    reconstruct_served,
+    secret_blob_key,
+)
 from repro.system.psp import (
     AccessDeniedError,
     FacebookPSP,
@@ -24,6 +35,10 @@ __all__ = [
     "PhotoSharingClient",
     "SenderProxy",
     "RecipientProxy",
+    "PSPBackend",
+    "BlobStore",
+    "reconstruct_served",
+    "secret_blob_key",
     "PhotoSharingProvider",
     "FacebookPSP",
     "FlickrPSP",

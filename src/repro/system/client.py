@@ -9,14 +9,24 @@ receives pixels.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.system.http import HttpRequest, HttpResponse, build_url
 from repro.system.proxy import RecipientProxy, SenderProxy, UploadReceipt
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.api.session import P3Session
+
 
 class PhotoSharingClient:
-    """An application configured to route PSP traffic via local proxies."""
+    """An application configured to route PSP traffic via local proxies.
+
+    The proxies talk to whatever :class:`~repro.api.backends.PSPBackend`
+    and :class:`~repro.api.backends.BlobStore` they were wired with; the
+    client itself only ever sees HTTP-shaped requests and pixels.
+    """
 
     def __init__(
         self,
@@ -28,6 +38,20 @@ class PhotoSharingClient:
         self.sender_proxy = sender_proxy
         self.recipient_proxy = recipient_proxy
         self.request_log: list[HttpRequest] = []
+
+    @classmethod
+    def for_session(cls, session: "P3Session") -> "PhotoSharingClient":
+        """An app wired to a :class:`~repro.api.session.P3Session`'s proxies.
+
+        Models the unmodified-application story on top of the new
+        session layer: the app keeps speaking plain HTTP while the
+        session's proxies interpose.
+        """
+        return cls(
+            session.user,
+            sender_proxy=session.sender,
+            recipient_proxy=session.recipient,
+        )
 
     # -- the unmodified app's operations --------------------------------------
 

@@ -9,15 +9,21 @@ the PSP, concurrently fetches (and caches) the secret part, estimates
 the PSP's transform when needed, reconstructs, and hands the finished
 image to the application.
 
-Both proxies run on the client device, inside the trust boundary.
+Both proxies run on the client device, inside the trust boundary.  They
+are written against the :class:`~repro.api.backends.PSPBackend` and
+:class:`~repro.api.backends.BlobStore` protocols, so any conforming
+backend — not just the built-in simulators — can sit on the far side.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
+from urllib.parse import quote
 
 import numpy as np
 
+from repro.api.backends import BlobStore, PSPBackend
 from repro.core.config import P3Config
 from repro.core.decryptor import P3Decryptor
 from repro.core.encryptor import P3Encryptor
@@ -27,15 +33,36 @@ from repro.core.serialization import SecretPart
 from repro.crypto.keyring import Keyring
 from repro.jpeg.codec import decode_coefficients
 from repro.jpeg.decoder import coefficients_to_pixels, coefficients_to_planes
-from repro.system.psp import PhotoSharingProvider
 from repro.system.reverse import TransformEstimate
-from repro.system.storage import CloudStorage
 from repro.transforms.resize import Resize
+
+#: Default bound on the recipient proxy's secret-part cache.
+DEFAULT_SECRET_CACHE_LIMIT = 128
+
+
+def _encode_key_component(part: str) -> str:
+    """Percent-encode a key component so it cannot escape its slot.
+
+    ``quote(safe="")`` handles ``/`` (and ``%`` itself); ``.`` is
+    additionally encoded so IDs cannot collide with the ``.secret``
+    suffix or smuggle ``..`` path segments.  ``quote`` never emits a
+    literal ``.``, so the composition stays injective.
+    """
+    return quote(part, safe="").replace(".", "%2E")
 
 
 def secret_blob_key(album: str, photo_id: str) -> str:
-    """Storage key for a photo's secret part."""
-    return f"p3/{album}/{photo_id}.secret"
+    """Storage key for a photo's secret part.
+
+    Album and photo ID are percent-encoded: IDs containing ``/`` or
+    ``.`` could otherwise collide with other albums' keys or escape
+    the ``p3/`` prefix.  Plain alphanumeric names (every built-in PSP)
+    are unchanged.
+    """
+    return (
+        f"p3/{_encode_key_component(album)}/"
+        f"{_encode_key_component(photo_id)}.secret"
+    )
 
 
 @dataclass
@@ -53,8 +80,8 @@ class SenderProxy:
     def __init__(
         self,
         keyring: Keyring,
-        psp: PhotoSharingProvider,
-        storage: CloudStorage,
+        psp: PSPBackend,
+        storage: BlobStore,
         config: P3Config | None = None,
     ) -> None:
         self.keyring = keyring
@@ -105,10 +132,85 @@ class SenderProxy:
         )
 
 
+# -- reconstruction core (shared with the batch pipeline) ---------------------
+
+
+def build_served_operator(
+    public,
+    secret_image,
+    resolution: int | None,
+    crop_box: tuple[int, int, int, int] | None,
+    transform_estimate: TransformEstimate | None = None,
+):
+    """Build the Eq. 2 operator for the served public geometry.
+
+    For cropped downloads the PSP's pipeline is resize-then-crop; the
+    cropping geometry and the size "are both encoded in the HTTP get
+    URL, so the proxy is able to determine those parameters"
+    (Section 4.1) — here they arrive as the request arguments.
+    """
+    from repro.transforms.crop import Crop
+    from repro.transforms.operators import Compose
+    from repro.transforms.resize import fit_within
+
+    if crop_box is None:
+        resize_h, resize_w = public.height, public.width
+    else:
+        if resolution is None:
+            raise ValueError("cropped downloads must specify the resolution")
+        resize_h, resize_w = fit_within(
+            secret_image.height,
+            secret_image.width,
+            resolution,
+            resolution,
+        )
+    if transform_estimate is not None:
+        base = transform_estimate.operator(resize_h, resize_w)
+    else:
+        base = Resize(resize_h, resize_w, kernel="bilinear")
+    if crop_box is None:
+        return base
+    return Compose(operators=(base, Crop(*crop_box)))
+
+
+def reconstruct_served(
+    public_jpeg: bytes,
+    secret_part: SecretPart,
+    *,
+    resolution: int | None = None,
+    crop_box: tuple[int, int, int, int] | None = None,
+    transform_estimate: TransformEstimate | None = None,
+    fast: bool = True,
+) -> np.ndarray:
+    """Reconstruct a photo from its served public part + secret part.
+
+    This is the single reconstruction path for interposed downloads
+    and the batch pipeline: exact coefficient-domain recombination
+    (Eq. 1) when the PSP left the public part untouched, the
+    pixel-domain Eq. 2 path otherwise.
+    """
+    public = decode_coefficients(public_jpeg, fast=fast)
+    untouched = public.same_geometry(
+        secret_part.image
+    ) and public.same_quantization(secret_part.image)
+    if untouched and crop_box is None:
+        combined = recombine(public, secret_part.image, secret_part.threshold)
+        return coefficients_to_pixels(combined)
+    operator = build_served_operator(
+        public, secret_part.image, resolution, crop_box, transform_estimate
+    )
+    public_planes = coefficients_to_planes(public, level_shift=True)
+    planes = reconstruct_transformed_planes(
+        public_planes, secret_part.image, secret_part.threshold, operator
+    )
+    return planes_to_image(planes)
+
+
 @dataclass
 class _CacheStats:
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
 
 class RecipientProxy:
@@ -117,17 +219,21 @@ class RecipientProxy:
     def __init__(
         self,
         keyring: Keyring,
-        psp: PhotoSharingProvider,
-        storage: CloudStorage,
+        psp: PSPBackend,
+        storage: BlobStore,
         transform_estimate: TransformEstimate | None = None,
         fast: bool = True,
+        cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
     ) -> None:
+        if cache_limit is not None and cache_limit < 1:
+            raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
         self.keyring = keyring
         self.psp = psp
         self.storage = storage
         self.transform_estimate = transform_estimate
         self.fast = fast  # vectorized entropy decode on the hot path
-        self._secret_cache: dict[str, SecretPart] = {}
+        self.cache_limit = cache_limit  # None = unbounded
+        self._secret_cache: OrderedDict[str, SecretPart] = OrderedDict()
         self.cache_stats = _CacheStats()
 
     def download(
@@ -150,14 +256,27 @@ class RecipientProxy:
             crop_box=crop_box,
         )
         secret_part = self._fetch_secret(photo_id, album)
-        return self._reconstruct(public_jpeg, secret_part, resolution, crop_box)
+        return reconstruct_served(
+            public_jpeg,
+            secret_part,
+            resolution=resolution,
+            crop_box=crop_box,
+            transform_estimate=self.transform_estimate,
+            fast=self.fast,
+        )
 
     def download_public_only(
-        self, photo_id: str, resolution: int | None = None
+        self,
+        photo_id: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
     ) -> np.ndarray:
         """What a viewer *without* the album key sees (Figure 4, right)."""
         public_jpeg = self.psp.download(
-            photo_id, requester=self.keyring.owner, resolution=resolution
+            photo_id,
+            requester=self.keyring.owner,
+            resolution=resolution,
+            crop_box=crop_box,
         )
         return coefficients_to_pixels(
             decode_coefficients(public_jpeg, fast=self.fast)
@@ -166,74 +285,21 @@ class RecipientProxy:
     # -- internals ------------------------------------------------------------
 
     def _fetch_secret(self, photo_id: str, album: str) -> SecretPart:
-        if photo_id in self._secret_cache:
+        """LRU-cached secret-part fetch, bounded by ``cache_limit``."""
+        cached = self._secret_cache.get(photo_id)
+        if cached is not None:
             self.cache_stats.hits += 1
-            return self._secret_cache[photo_id]
+            self._secret_cache.move_to_end(photo_id)
+            return cached
         self.cache_stats.misses += 1
         envelope = self.storage.get(secret_blob_key(album, photo_id))
         decryptor = P3Decryptor(self.keyring.key_for(album))
         secret_part = decryptor.open_secret(envelope)
         self._secret_cache[photo_id] = secret_part
+        while (
+            self.cache_limit is not None
+            and len(self._secret_cache) > self.cache_limit
+        ):
+            self._secret_cache.popitem(last=False)
+            self.cache_stats.evictions += 1
         return secret_part
-
-    def _reconstruct(
-        self,
-        public_jpeg: bytes,
-        secret_part: SecretPart,
-        resolution: int | None,
-        crop_box: tuple[int, int, int, int] | None,
-    ) -> np.ndarray:
-        public = decode_coefficients(public_jpeg, fast=self.fast)
-        untouched = public.same_geometry(
-            secret_part.image
-        ) and public.same_quantization(secret_part.image)
-        if untouched and crop_box is None:
-            combined = recombine(
-                public, secret_part.image, secret_part.threshold
-            )
-            return coefficients_to_pixels(combined)
-        operator = self._operator_for(public, secret_part, resolution, crop_box)
-        public_planes = coefficients_to_planes(public, level_shift=True)
-        planes = reconstruct_transformed_planes(
-            public_planes, secret_part.image, secret_part.threshold, operator
-        )
-        return planes_to_image(planes)
-
-    def _operator_for(
-        self,
-        public,
-        secret_part: SecretPart,
-        resolution: int | None,
-        crop_box: tuple[int, int, int, int] | None,
-    ):
-        """Build the Eq. 2 operator for the served public geometry.
-
-        For cropped downloads the PSP's pipeline is resize-then-crop;
-        the cropping geometry and the size "are both encoded in the HTTP
-        get URL, so the proxy is able to determine those parameters"
-        (Section 4.1) — here they arrive as the request arguments.
-        """
-        from repro.transforms.crop import Crop
-        from repro.transforms.operators import Compose
-        from repro.transforms.resize import fit_within
-
-        if crop_box is None:
-            resize_h, resize_w = public.height, public.width
-        else:
-            if resolution is None:
-                raise ValueError(
-                    "cropped downloads must specify the resolution"
-                )
-            resize_h, resize_w = fit_within(
-                secret_part.image.height,
-                secret_part.image.width,
-                resolution,
-                resolution,
-            )
-        if self.transform_estimate is not None:
-            base = self.transform_estimate.operator(resize_h, resize_w)
-        else:
-            base = Resize(resize_h, resize_w, kernel="bilinear")
-        if crop_box is None:
-            return base
-        return Compose(operators=(base, Crop(*crop_box)))

@@ -27,6 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.backends import PSPBackend  # noqa: F401  (re-export: the
+# contract every provider here implements; kept importable from this
+# module so backend authors find it next to the reference simulators)
 from repro.jpeg.codec import decode, encode_gray, encode_rgb
 from repro.transforms.crop import Crop
 from repro.transforms.enhance import unsharp_mask

@@ -10,6 +10,9 @@ that modified envelopes are detected by the HMAC.
 
 from __future__ import annotations
 
+from repro.api.backends import BlobStore  # noqa: F401  (re-export: the
+# protocol this reference implementation satisfies)
+
 
 class CloudStorage:
     """A key-value blob store with adversarial inspection hooks."""

@@ -1,0 +1,72 @@
+"""Tests for the batch execution strategies."""
+
+import pytest
+
+from repro.api.executors import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor]
+
+
+def _square(value):  # module-level: picklable for the process pool
+    return value * value
+
+
+def _explode_on_three(value):
+    if value == 3:
+        raise ValueError("three is right out")
+    return value + 10
+
+
+class TestMapContract:
+    @pytest.mark.parametrize("executor_class", ALL_EXECUTORS)
+    def test_results_in_input_order(self, executor_class):
+        executor = executor_class(workers=2)
+        outcomes = executor.map(_square, [3, 1, 4, 1, 5])
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert all(o.ok for o in outcomes)
+
+    @pytest.mark.parametrize("executor_class", ALL_EXECUTORS)
+    def test_empty_input(self, executor_class):
+        assert executor_class(workers=2).map(_square, []) == []
+
+    @pytest.mark.parametrize("executor_class", ALL_EXECUTORS)
+    def test_per_item_error_capture(self, executor_class):
+        """One failing item must not poison the rest of the batch."""
+        executor = executor_class(workers=2)
+        outcomes = executor.map(_explode_on_three, [1, 3, 5])
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert [o.value for o in outcomes] == [11, None, 15]
+        assert "three is right out" in outcomes[1].error
+        assert outcomes[1].error.startswith("ValueError")
+
+    def test_generator_input_accepted(self):
+        outcomes = SerialExecutor().map(_square, (v for v in range(3)))
+        assert [o.value for o in outcomes] == [0, 1, 4]
+
+
+class TestConstruction:
+    def test_serial_is_always_one_worker(self):
+        assert SerialExecutor(workers=8).workers == 1
+
+    def test_pool_workers_default_to_cpu_count(self):
+        assert ThreadExecutor().workers >= 1
+        assert ProcessExecutor(workers=3).workers == 3
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_make_executor_kinds(self, kind):
+        executor = make_executor(kind, workers=2)
+        assert executor.kind == kind
+
+    def test_make_executor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_make_executor_none_workers(self):
+        assert make_executor("process", None).workers >= 1

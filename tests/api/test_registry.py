@@ -1,0 +1,127 @@
+"""Tests for the backend registry and protocol conformance."""
+
+import pytest
+
+from repro.api.backends import BlobStore, PSPBackend
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    BackendRegistry,
+    UnknownBackendError,
+)
+from repro.system.psp import (
+    FacebookPSP,
+    FlickrPSP,
+    PhotoBucketPSP,
+    PhotoSharingProvider,
+)
+from repro.system.storage import CloudStorage
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "psp_class",
+        [PhotoSharingProvider, FacebookPSP, FlickrPSP, PhotoBucketPSP],
+    )
+    def test_psp_variants_satisfy_protocol(self, psp_class):
+        assert isinstance(psp_class(), PSPBackend)
+
+    def test_cloud_storage_satisfies_blobstore(self):
+        assert isinstance(CloudStorage(), BlobStore)
+
+    def test_protocols_are_disjoint(self):
+        """A blob store is not a PSP and vice versa."""
+        assert not isinstance(CloudStorage(), PSPBackend)
+        assert not isinstance(FacebookPSP(), BlobStore)
+
+    def test_duck_typed_backend_conforms(self):
+        """Protocol conformance is structural — no inheritance needed."""
+
+        class MinimalPSP:
+            name = "minimal"
+
+            def upload(self, data, owner, viewers=None):
+                return "id"
+
+            def download(
+                self, photo_id, requester, resolution=None, crop_box=None
+            ):
+                return b""
+
+        assert isinstance(MinimalPSP(), PSPBackend)
+
+
+class TestDefaultRegistry:
+    def test_paper_psps_registered(self):
+        names = DEFAULT_REGISTRY.psp_names()
+        for expected in ("facebook", "flickr", "photobucket", "generic"):
+            assert expected in names
+
+    def test_storage_registered(self):
+        assert "dropbox" in DEFAULT_REGISTRY.storage_names()
+
+    @pytest.mark.parametrize(
+        "name, expected_class",
+        [
+            ("facebook", FacebookPSP),
+            ("flickr", FlickrPSP),
+            ("photobucket", PhotoBucketPSP),
+            ("generic", PhotoSharingProvider),
+        ],
+    )
+    def test_name_resolves_to_class(self, name, expected_class):
+        backend = DEFAULT_REGISTRY.create_psp(name)
+        assert type(backend) is expected_class
+
+    def test_each_create_is_a_fresh_instance(self):
+        assert DEFAULT_REGISTRY.create_psp(
+            "flickr"
+        ) is not DEFAULT_REGISTRY.create_psp("flickr")
+
+    def test_unknown_name_lists_known_backends(self):
+        with pytest.raises(UnknownBackendError, match="flickr"):
+            DEFAULT_REGISTRY.create_psp("instagram")
+        with pytest.raises(UnknownBackendError, match="dropbox"):
+            DEFAULT_REGISTRY.create_storage("s3")
+
+
+class TestRegistration:
+    def test_register_and_create_custom_psp(self):
+        registry = BackendRegistry()
+
+        class NullPSP:
+            name = "null"
+
+            def __init__(self):
+                self.uploads = 0
+
+            def upload(self, data, owner, viewers=None):
+                self.uploads += 1
+                return f"n{self.uploads}"
+
+            def download(
+                self, photo_id, requester, resolution=None, crop_box=None
+            ):
+                return b"\xff\xd8"
+
+        registry.register_psp("null", NullPSP)
+        backend = registry.create_psp("null")
+        assert backend.upload(b"x", owner="a") == "n1"
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        registry.register_storage("dropbox", CloudStorage)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_storage("dropbox", CloudStorage)
+        registry.register_storage("dropbox", CloudStorage, replace=True)
+
+    def test_nonconforming_factory_rejected_at_create(self):
+        registry = BackendRegistry()
+        registry.register_psp("broken", dict)  # a dict is not a PSP
+        with pytest.raises(TypeError, match="PSPBackend"):
+            registry.create_psp("broken")
+
+    def test_factory_kwargs_forwarded(self):
+        registry = BackendRegistry()
+        registry.register_storage("named", CloudStorage)
+        store = registry.create_storage("named", name="my-bucket")
+        assert store.name == "my-bucket"

@@ -1,0 +1,323 @@
+"""Tests for the `P3Session` facade and the parallel batch pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.api.session import (
+    BatchReport,
+    DownloadRequest,
+    P3Session,
+    PhotoRecord,
+    UploadRequest,
+)
+from repro.core.config import P3Config
+from repro.crypto.keyring import Keyring
+from repro.jpeg.codec import encode_rgb
+from repro.system.proxy import RecipientProxy, SenderProxy, secret_blob_key
+from repro.system.psp import FacebookPSP, FlickrPSP
+from repro.system.storage import CloudStorage
+
+
+@pytest.fixture(scope="module")
+def jpegs(scene_corpus):
+    return [encode_rgb(image, quality=85) for image in scene_corpus]
+
+
+@pytest.fixture()
+def session():
+    return P3Session.create(
+        psp="facebook",
+        storage="dropbox",
+        user="alice",
+        config=P3Config(threshold=15, quality=85),
+    )
+
+
+class TestCreate:
+    def test_create_resolves_backend_names(self):
+        session = P3Session.create(psp="flickr", storage="dropbox")
+        assert isinstance(session.psp, FlickrPSP)
+        assert isinstance(session.storage, CloudStorage)
+
+    def test_create_accepts_instances(self):
+        psp, storage = FacebookPSP(), CloudStorage()
+        session = P3Session.create(psp=psp, storage=storage, user="bob")
+        assert session.psp is psp
+        assert session.storage is storage
+        assert session.user == "bob"
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(KeyError):
+            P3Session.create(psp="instagram")
+
+    def test_default_config(self):
+        assert P3Session.create().config == P3Config()
+
+
+class TestSinglePhotoParity:
+    """The session path must match the hand-wired proxy path exactly."""
+
+    def _hand_wired_world(self):
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        psp = FacebookPSP()
+        storage = CloudStorage()
+        config = P3Config(threshold=15, quality=85)
+        sender = SenderProxy(keys, psp, storage, config)
+        recipient = RecipientProxy(keys, psp, storage)
+        return sender, recipient
+
+    def _session_world(self):
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        return P3Session(
+            keys,
+            FacebookPSP(),
+            CloudStorage(),
+            config=P3Config(threshold=15, quality=85),
+        )
+
+    def test_upload_download_matches_proxy_path(self, jpegs):
+        sender, recipient = self._hand_wired_world()
+        session = self._session_world()
+
+        receipt = sender.upload(jpegs[0], "trip")
+        record = session.upload(jpegs[0], album="trip")
+        assert record.photo_id == receipt.photo_id
+        assert record.public_bytes == receipt.public_bytes
+
+        via_proxy = recipient.download(receipt.photo_id, "trip", resolution=75)
+        via_session = session.download(
+            record.photo_id, album="trip", resolution=75
+        )
+        assert np.array_equal(via_proxy, via_session)
+
+    def test_transform_estimate_threads_into_batch(self, jpegs):
+        """batch_download must honor the session's transform estimate,
+        including across process-pool pickling."""
+        from repro.system.reverse import TransformEstimate
+
+        estimate = TransformEstimate(
+            kernel="bicubic", sharpen_amount=0.4, gamma=1.0, score_db=40.0
+        )
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        session = P3Session(
+            keys,
+            FacebookPSP(),
+            CloudStorage(),
+            config=P3Config(threshold=15, quality=85, workers=2),
+            transform_estimate=estimate,
+        )
+        record = session.upload(jpegs[0], album="trip")
+        single = session.download(record.photo_id, album="trip", resolution=75)
+        for kind in ("serial", "process"):
+            report = session.batch_download(
+                [record.photo_id], album="trip", resolution=75, executor=kind
+            )
+            assert report.ok, report.failures
+            assert np.array_equal(single, report.results[0])
+        # The estimate changed the reconstruction vs the default operator.
+        plain = self._session_world()
+        plain.upload(jpegs[0], album="trip")
+        default_recon = plain.download(
+            record.photo_id, album="trip", resolution=75
+        )
+        assert not np.array_equal(single, default_recon)
+
+    def test_viewer_inherits_estimate_and_cache_limit(self, jpegs):
+        from repro.system.reverse import TransformEstimate
+
+        estimate = TransformEstimate(
+            kernel="lanczos", sharpen_amount=0.0, gamma=1.0, score_db=35.0
+        )
+        session = P3Session.create(
+            psp="flickr", transform_estimate=estimate, cache_limit=7
+        )
+        bob = session.viewer("bob")
+        assert bob.recipient.transform_estimate is estimate
+        assert bob.recipient.cache_limit == 7
+
+    def test_batch_download_matches_single_download(self, jpegs):
+        """The executor path reconstructs exactly like the proxy path."""
+        session = self._session_world()
+        records = [
+            session.upload(jpeg, album="trip") for jpeg in jpegs[:2]
+        ]
+        singles = [
+            session.download(r.photo_id, album="trip", resolution=75)
+            for r in records
+        ]
+        report = session.batch_download(
+            [r.photo_id for r in records], album="trip", resolution=75
+        )
+        assert report.ok
+        for single, batched in zip(singles, report.results):
+            assert np.array_equal(single, batched)
+
+
+class TestUploadDownload:
+    def test_upload_record_fields(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip", viewers={"bob"})
+        assert isinstance(record, PhotoRecord)
+        assert record.psp == "facebook"
+        assert record.album == "trip"
+        assert record.total_bytes == record.public_bytes + record.secret_bytes
+        assert session.storage.exists(secret_blob_key("trip", record.photo_id))
+
+    def test_album_key_auto_created(self, session, jpegs):
+        assert "trip" not in session.keyring
+        session.upload(jpegs[0], album="trip")
+        assert "trip" in session.keyring
+
+    def test_upload_pixels(self, session, scene_corpus):
+        record = session.upload(scene_corpus[0], album="trip")
+        assert record.public_bytes > 0
+
+    def test_upload_request_dataclass(self, session, jpegs):
+        request = UploadRequest(
+            album="trip", jpeg=jpegs[0], viewers=frozenset({"bob"})
+        )
+        record = session.upload(request)
+        pixels = session.download(
+            DownloadRequest(photo_id=record.photo_id, album="trip")
+        )
+        assert pixels.ndim == 3
+
+    def test_public_only_request(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip")
+        public = session.download(
+            DownloadRequest(
+                photo_id=record.photo_id, album="trip", public_only=True
+            )
+        )
+        assert public.shape[0] > 0
+
+    def test_public_only_honors_crop_box(self, session, jpegs):
+        """Single and batch paths must serve the same cropped view."""
+        record = session.upload(jpegs[0], album="trip")
+        request = DownloadRequest(
+            photo_id=record.photo_id,
+            album="trip",
+            resolution=75,
+            crop_box=(4, 4, 32, 32),
+            public_only=True,
+        )
+        single = session.download(request)
+        assert single.shape[:2] == (32, 32)
+        batched = session.batch_download([request]).results[0]
+        assert np.array_equal(single, batched)
+
+    def test_raw_item_requires_album(self, session, jpegs):
+        with pytest.raises(ValueError, match="album"):
+            session.upload(jpegs[0])
+        with pytest.raises(ValueError, match="album"):
+            session.download("someid")
+
+    def test_upload_request_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            UploadRequest(album="trip")
+        with pytest.raises(ValueError, match="exactly one"):
+            UploadRequest(
+                album="trip", jpeg=b"x", pixels=np.zeros((8, 8))
+            )
+        with pytest.raises(ValueError, match="album"):
+            UploadRequest(album="", jpeg=b"x")
+
+    def test_share_and_viewer(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip", viewers={"bob"})
+        bob = session.viewer("bob")
+        assert bob.psp is session.psp
+        with pytest.raises(KeyError):
+            bob.download(record.photo_id, album="trip")
+        session.share("trip", bob)
+        pixels = bob.download(record.photo_id, album="trip")
+        assert pixels.ndim == 3
+
+
+class TestBatchPipeline:
+    def test_batch_upload_report(self, session, jpegs):
+        report = session.batch_upload(jpegs, album="trip")
+        assert isinstance(report, BatchReport)
+        assert report.ok
+        assert report.succeeded == len(jpegs)
+        assert report.executor == "serial"  # config default
+        assert report.bytes_public == sum(
+            r.public_bytes for r in report.results
+        )
+        assert report.throughput > 0
+        assert "batch_upload" in report.summary()
+
+    def test_batch_roundtrip(self, session, jpegs):
+        up = session.batch_upload(jpegs, album="trip")
+        down = session.batch_download(
+            [r.photo_id for r in up.results], album="trip", resolution=75
+        )
+        assert down.ok
+        assert all(p.ndim == 3 for p in down.results)
+
+    def test_config_selects_default_executor(self, jpegs):
+        session = P3Session.create(
+            config=P3Config(executor="thread", workers=2)
+        )
+        report = session.batch_upload(jpegs[:1], album="trip")
+        assert report.executor == "thread"
+        assert report.workers == 2
+
+    def test_process_executor_output_byte_identical(self, jpegs):
+        """Acceptance: ProcessExecutor == SerialExecutor, byte for byte."""
+        worlds = {}
+        for kind in ("serial", "process"):
+            session = P3Session.create(
+                psp="facebook",
+                storage="dropbox",
+                keyring=self._fixed_keyring(),
+                config=P3Config(threshold=15, quality=85, workers=2),
+            )
+            up = session.batch_upload(jpegs[:2], album="trip", executor=kind)
+            assert up.ok, up.failures
+            ids = [r.photo_id for r in up.results]
+            down = session.batch_download(
+                ids, album="trip", resolution=75, executor=kind
+            )
+            assert down.ok, down.failures
+            worlds[kind] = {
+                "publics": [
+                    session.psp.stored_variant(i, 720) for i in ids
+                ],
+                "recons": [p.tobytes() for p in down.results],
+            }
+        assert worlds["serial"]["publics"] == worlds["process"]["publics"]
+        assert worlds["serial"]["recons"] == worlds["process"]["recons"]
+
+    @staticmethod
+    def _fixed_keyring():
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        return keys
+
+    def test_batch_upload_error_capture(self, session, jpegs):
+        corpus = [jpegs[0], b"definitely not a jpeg", jpegs[1]]
+        report = session.batch_upload(corpus, album="trip")
+        assert not report.ok
+        assert report.succeeded == 2
+        assert report.results[1] is None
+        (failure,) = report.failures
+        assert failure.index == 1
+        assert failure.stage == "encrypt"
+        assert "SOI" in failure.error or "JPEG" in failure.error.upper()
+
+    def test_batch_download_error_capture(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip")
+        report = session.batch_download(
+            [record.photo_id, "no-such-photo"], album="trip"
+        )
+        assert report.succeeded == 1
+        assert report.results[1] is None
+        (failure,) = report.failures
+        assert failure.stage == "fetch"
+
+    def test_empty_batch(self, session):
+        report = session.batch_upload([], album="trip")
+        assert report.total == 0
+        assert report.ok

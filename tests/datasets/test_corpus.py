@@ -67,3 +67,44 @@ class TestFeretLike:
         assert not np.array_equal(
             corpus.gallery[0].image, corpus.probes[0].image
         )
+
+
+class TestIterCorpus:
+    """The streaming view must match the list-returning generators."""
+
+    def test_usc_stream_matches_list(self):
+        from repro.datasets import iter_corpus
+
+        eager = usc_sipi_like(count=3, size=96)
+        lazy = list(iter_corpus("usc", 3, size=96))
+        assert all(np.array_equal(a, b) for a, b in zip(eager, lazy))
+
+    def test_inria_stream_matches_list(self):
+        from repro.datasets import iter_corpus
+
+        eager = inria_like(count=3)
+        lazy = list(iter_corpus("inria", 3))
+        assert all(np.array_equal(a, b) for a, b in zip(eager, lazy))
+
+    def test_caltech_stream_matches_list_defaults(self):
+        from repro.datasets import iter_corpus
+
+        eager = [s.image for s in caltech_faces_like(3)]
+        lazy = list(iter_corpus("caltech", 3))  # size=None -> 128, like list
+        assert all(np.array_equal(a, b) for a, b in zip(eager, lazy))
+
+    def test_unknown_kind(self):
+        import pytest
+
+        from repro.datasets import iter_corpus
+
+        with pytest.raises(ValueError, match="unknown corpus kind"):
+            next(iter_corpus("imagenet"))
+
+    def test_jpegs_are_decodable(self):
+        from repro.datasets import iter_corpus_jpegs
+        from repro.jpeg.codec import decode
+
+        jpeg = next(iter_corpus_jpegs("usc", 1, size=64))
+        assert jpeg[:2] == b"\xff\xd8"
+        assert decode(jpeg).shape[:2] == (64, 64)

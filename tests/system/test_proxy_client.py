@@ -141,6 +141,112 @@ class TestDownloadPath:
         assert cropped.shape[:2] == (64, 64)
 
 
+class TestSecretCacheBound:
+    def test_cache_is_lru_bounded(self, world):
+        """Corpus-scale traffic must not grow the cache without bound."""
+        alice, bob, psp, storage, jpeg = world
+        bob.recipient_proxy.cache_limit = 2
+        receipts = [
+            alice.upload_photo(jpeg, "trip", viewers={"bob"})
+            for _ in range(3)
+        ]
+        for receipt in receipts:
+            bob.view_photo(receipt.photo_id, "trip", resolution=75)
+        assert len(bob.recipient_proxy._secret_cache) == 2
+        assert bob.recipient_proxy.cache_stats.evictions == 1
+        # The oldest entry (receipts[0]) was evicted; re-viewing it is a miss.
+        before = bob.recipient_proxy.cache_stats.misses
+        bob.view_photo(receipts[0].photo_id, "trip", resolution=75)
+        assert bob.recipient_proxy.cache_stats.misses == before + 1
+
+    def test_hit_refreshes_recency(self, world):
+        alice, bob, _, _, jpeg = world
+        bob.recipient_proxy.cache_limit = 2
+        receipts = [
+            alice.upload_photo(jpeg, "trip", viewers={"bob"})
+            for _ in range(2)
+        ]
+        bob.view_photo(receipts[0].photo_id, "trip", resolution=75)
+        bob.view_photo(receipts[1].photo_id, "trip", resolution=75)
+        bob.view_photo(receipts[0].photo_id, "trip", resolution=75)  # refresh
+        third = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+        bob.view_photo(third.photo_id, "trip", resolution=75)  # evicts [1]
+        assert receipts[0].photo_id in bob.recipient_proxy._secret_cache
+        assert receipts[1].photo_id not in bob.recipient_proxy._secret_cache
+
+    def test_shrinking_limit_drains_cache_to_bound(self, world):
+        """Lowering cache_limit on a live proxy converges on next insert."""
+        alice, bob, _, _, jpeg = world
+        receipts = [
+            alice.upload_photo(jpeg, "trip", viewers={"bob"})
+            for _ in range(4)
+        ]
+        for receipt in receipts[:3]:
+            bob.view_photo(receipt.photo_id, "trip", resolution=75)
+        assert len(bob.recipient_proxy._secret_cache) == 3
+        bob.recipient_proxy.cache_limit = 1
+        bob.view_photo(receipts[3].photo_id, "trip", resolution=75)
+        assert len(bob.recipient_proxy._secret_cache) == 1
+        assert bob.recipient_proxy.cache_stats.evictions == 3
+
+    def test_default_limit_and_validation(self, world):
+        _, bob, _, _, _ = world
+        assert bob.recipient_proxy.cache_limit == 128
+        from repro.system.proxy import RecipientProxy
+
+        with pytest.raises(ValueError, match="cache_limit"):
+            RecipientProxy(
+                bob.recipient_proxy.keyring,
+                bob.recipient_proxy.psp,
+                bob.recipient_proxy.storage,
+                cache_limit=0,
+            )
+
+
+class TestSecretBlobKey:
+    def test_plain_names_unchanged(self):
+        """The seed's key layout survives for well-behaved IDs."""
+        assert secret_blob_key("trip", "abc123") == "p3/trip/abc123.secret"
+
+    @pytest.mark.parametrize(
+        "pair_a, pair_b",
+        [
+            (("a/b", "c"), ("a", "b/c")),  # slash shifts the album boundary
+            (("a", "b.secret"), ("a", "b%2Esecret")),  # suffix forgery
+            (("a.b", "c"), ("a", "b.c")),  # dot shifts across components
+            (("..", "x"), ("%2E%2E", "x")),  # path traversal lookalikes
+        ],
+    )
+    def test_adversarial_ids_cannot_collide(self, pair_a, pair_b):
+        assert secret_blob_key(*pair_a) != secret_blob_key(*pair_b)
+
+    @pytest.mark.parametrize(
+        "album, photo_id",
+        [("a/b", "c/d"), ("a.b", "x.secret"), ("..", ".."), ("%", "%2F")],
+    )
+    def test_encoded_keys_stay_in_the_p3_namespace(self, album, photo_id):
+        key = secret_blob_key(album, photo_id)
+        assert key.startswith("p3/")
+        assert key.endswith(".secret")
+        assert key.count("/") == 2  # components cannot add path levels
+        assert ".." not in key
+
+    def test_roundtrip_through_storage(self, world):
+        """An upload to a hostile album name still round-trips."""
+        alice, bob, _, storage, jpeg = world
+        alice.sender_proxy.keyring.create_album("evil/../album")
+        alice.sender_proxy.keyring.share_with(
+            bob.recipient_proxy.keyring, "evil/../album"
+        )
+        receipt = alice.upload_photo(
+            jpeg, "evil/../album", viewers={"bob"}
+        )
+        pixels = bob.view_photo(
+            receipt.photo_id, "evil/../album", resolution=75
+        )
+        assert pixels.ndim == 3
+
+
 class TestMissingProxies:
     def test_upload_without_proxy(self, world):
         _, bob, _, _, jpeg = world

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
+from repro.core import P3Config
 from repro.imageio import NetpbmError, read_image, write_image
 from repro.jpeg.codec import decode, encode_rgb
 
@@ -122,3 +123,154 @@ class TestCli:
         reference = decode(photo_file.read_bytes())
         public_pixels = decode(public.read_bytes())
         assert psnr(to_luma(reference), to_luma(public_pixels)) < 25.0
+
+    def test_defaults_match_library_config(self):
+        """The CLI must not drift from P3Config's defaults."""
+        config = P3Config()
+        args = build_parser().parse_args(
+            ["encrypt", "in.jpg", "--key", "k", "--public", "p",
+             "--secret", "s"]
+        )
+        assert args.quality == config.quality
+        assert args.threshold == config.threshold
+        batch = build_parser().parse_args(
+            ["batch-encrypt", "in.jpg", "--key", "k", "--output-dir", "o"]
+        )
+        assert batch.quality == config.quality
+        assert batch.threshold == config.threshold
+
+    def test_scalar_codec_flag_is_byte_identical(self, tmp_path, photo_file):
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        outputs = {}
+        for tag, extra in (("fast", []), ("scalar", ["--scalar-codec"])):
+            public = tmp_path / f"pub-{tag}.jpg"
+            secret = tmp_path / f"sec-{tag}.p3s"
+            assert main(
+                [
+                    "encrypt", str(photo_file),
+                    "--key", str(key_path),
+                    "--public", str(public),
+                    "--secret", str(secret),
+                ]
+                + extra
+            ) == 0
+            recon = tmp_path / f"recon-{tag}.ppm"
+            assert main(
+                [
+                    "decrypt", str(public), str(secret),
+                    "--key", str(key_path),
+                    "--output", str(recon),
+                ]
+                + extra
+            ) == 0
+            outputs[tag] = (public.read_bytes(), recon.read_bytes())
+        # The scalar reference engine and the fast engine must agree on
+        # the public JPEG bytes and the reconstruction exactly.
+        assert outputs["fast"][0] == outputs["scalar"][0]
+        assert outputs["fast"][1] == outputs["scalar"][1]
+
+
+class TestBatchCli:
+    @pytest.fixture()
+    def photo_files(self, tmp_path, scene_corpus):
+        paths = []
+        for index, image in enumerate(scene_corpus[:2]):
+            path = tmp_path / f"photo{index}.jpg"
+            path.write_bytes(encode_rgb(image, quality=85))
+            paths.append(path)
+        return paths
+
+    def test_batch_roundtrip(self, tmp_path, photo_files):
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        out_dir = tmp_path / "out"
+        assert main(
+            ["batch-encrypt", *map(str, photo_files),
+             "--key", str(key_path),
+             "--output-dir", str(out_dir),
+             "--executor", "serial"]
+        ) == 0
+        publics = sorted(out_dir.glob("*.public.jpg"))
+        assert len(publics) == len(photo_files)
+        assert all(
+            p.with_name(p.name.replace(".public.jpg", ".secret.p3s")).exists()
+            for p in publics
+        )
+
+        recon_dir = tmp_path / "recon"
+        assert main(
+            ["batch-decrypt", *map(str, publics),
+             "--key", str(key_path),
+             "--output-dir", str(recon_dir),
+             "--executor", "serial"]
+        ) == 0
+        for index, original in enumerate(photo_files):
+            recon = read_image(
+                (recon_dir / f"photo{index}.ppm").read_bytes()
+            )
+            assert np.array_equal(recon, decode(original.read_bytes()))
+
+    def test_duplicate_basenames_do_not_overwrite(self, tmp_path, scene_corpus):
+        """Same filename from two directories must yield two outputs."""
+        for sub in ("a", "b"):
+            directory = tmp_path / sub
+            directory.mkdir()
+            (directory / "photo.jpg").write_bytes(
+                encode_rgb(scene_corpus[0 if sub == "a" else 1], quality=85)
+            )
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        out_dir = tmp_path / "out"
+        assert main(
+            ["batch-encrypt",
+             str(tmp_path / "a" / "photo.jpg"),
+             str(tmp_path / "b" / "photo.jpg"),
+             "--key", str(key_path),
+             "--output-dir", str(out_dir),
+             "--executor", "serial"]
+        ) == 0
+        assert (out_dir / "photo.public.jpg").exists()
+        assert (out_dir / "photo-1.public.jpg").exists()
+        assert (
+            (out_dir / "photo.public.jpg").read_bytes()
+            != (out_dir / "photo-1.public.jpg").read_bytes()
+        )
+
+    def test_batch_encrypt_continues_past_bad_input(
+        self, tmp_path, photo_files, capsys
+    ):
+        bad = tmp_path / "broken.jpg"
+        bad.write_bytes(b"\xff\xd8 truncated nonsense")
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        out_dir = tmp_path / "out"
+        # Non-zero exit because one file failed...
+        assert main(
+            ["batch-encrypt", str(photo_files[0]), str(bad),
+             "--key", str(key_path),
+             "--output-dir", str(out_dir),
+             "--executor", "serial"]
+        ) == 1
+        # ...but the good file was still processed.
+        assert (out_dir / "photo0.public.jpg").exists()
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_batch_decrypt_missing_secret(self, tmp_path, photo_files, capsys):
+        key_path = tmp_path / "k.key"
+        main(["genkey", "--output", str(key_path)])
+        out_dir = tmp_path / "out"
+        main(
+            ["batch-encrypt", str(photo_files[0]),
+             "--key", str(key_path),
+             "--output-dir", str(out_dir),
+             "--executor", "serial"]
+        )
+        (out_dir / "photo0.secret.p3s").unlink()
+        assert main(
+            ["batch-decrypt", str(out_dir / "photo0.public.jpg"),
+             "--key", str(key_path),
+             "--output-dir", str(tmp_path / "recon"),
+             "--executor", "serial"]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().err
