@@ -74,6 +74,7 @@ class DecryptTask:
     crop_box: tuple[int, int, int, int] | None = None
     transform_estimate: "TransformEstimate | None" = None
     fast: bool = True
+    fast_crypto: bool = True
 
     def __post_init__(self) -> None:
         if self.secret_envelope is not None and self.key is None:
@@ -86,9 +87,9 @@ def run_decrypt_task(task: DecryptTask) -> np.ndarray:
         return coefficients_to_pixels(
             decode_coefficients(task.public_jpeg, fast=task.fast)
         )
-    secret_part = P3Decryptor(task.key, fast=task.fast).open_secret(
-        task.secret_envelope
-    )
+    secret_part = P3Decryptor(
+        task.key, fast=task.fast, fast_crypto=task.fast_crypto
+    ).open_secret(task.secret_envelope)
     return reconstruct_served(
         task.public_jpeg,
         secret_part,

@@ -198,6 +198,7 @@ class P3Session:
             storage,
             transform_estimate=transform_estimate,
             fast=self.config.fast_codec,
+            fast_crypto=self.config.fast_crypto,
             cache_limit=cache_limit,
         )
 
@@ -473,6 +474,7 @@ class P3Session:
             crop_box=request.crop_box,
             transform_estimate=self.transform_estimate,
             fast=self.config.fast_codec,
+            fast_crypto=self.config.fast_crypto,
         )
 
     @staticmethod

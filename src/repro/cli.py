@@ -17,6 +17,10 @@ The batch commands fan the per-photo work out over the
 keep going past per-file failures.  ``--scalar-codec`` runs the scalar
 reference entropy codec instead of the vectorized engine — the outputs
 are byte-identical, so diffing the two isolates codec bugs.
+``--scalar-crypto`` is the matching switch for the AES engine that
+seals/opens the secret part, and ``--verbose`` on encrypt/decrypt
+prints per-stage wall-clock times (codec vs crypto vs split) so you
+can see where a photo's time actually goes.
 """
 
 from __future__ import annotations
@@ -79,7 +83,29 @@ def _config_from(args) -> P3Config:
         threshold=args.threshold,
         quality=args.quality,
         fast_codec=not args.scalar_codec,
+        fast_crypto=not args.scalar_crypto,
     )
+
+
+class _StageClock:
+    """Tiny helper for ``--verbose`` per-stage timing."""
+
+    def __init__(self) -> None:
+        self.stages: list[tuple[str, float]] = []
+        self._last = time.perf_counter()
+
+    def lap(self, name: str) -> None:
+        now = time.perf_counter()
+        self.stages.append((name, now - self._last))
+        self._last = now
+
+    def report(self) -> str:
+        total = sum(seconds for _, seconds in self.stages)
+        parts = ", ".join(
+            f"{name} {seconds * 1000:.1f} ms"
+            for name, seconds in self.stages
+        )
+        return f"stages: {parts} (total {total * 1000:.1f} ms)"
 
 
 def _cmd_genkey(args) -> int:
@@ -95,16 +121,26 @@ def _cmd_encrypt(args) -> int:
     jpeg = _load_jpeg(
         pathlib.Path(args.input), args.quality, fast=config.fast_codec
     )
-    photo = P3Encryptor(key, config).encrypt_jpeg(jpeg)
-    pathlib.Path(args.public).write_bytes(photo.public_jpeg)
-    pathlib.Path(args.secret).write_bytes(photo.secret_envelope)
+    encryptor = P3Encryptor(key, config)
+    clock = _StageClock()
+    split = encryptor.split_jpeg(jpeg)
+    clock.lap("split (codec decode + threshold)")
+    public_jpeg = encryptor.public_jpeg_bytes(split)
+    clock.lap("public encode (codec)")
+    secret_envelope = encryptor.seal_secret(split)
+    clock.lap("seal secret (crypto)")
+    pathlib.Path(args.public).write_bytes(public_jpeg)
+    pathlib.Path(args.secret).write_bytes(secret_envelope)
     original = len(jpeg)
+    total_size = len(public_jpeg) + len(secret_envelope)
     print(
-        f"public {photo.public_size} B -> {args.public}\n"
-        f"secret {photo.secret_size} B -> {args.secret}\n"
-        f"overhead {(photo.total_size / original - 1) * 100:+.1f}% over "
+        f"public {len(public_jpeg)} B -> {args.public}\n"
+        f"secret {len(secret_envelope)} B -> {args.secret}\n"
+        f"overhead {(total_size / original - 1) * 100:+.1f}% over "
         f"the {original} B input"
     )
+    if args.verbose:
+        print(clock.report())
     return 0
 
 
@@ -112,12 +148,21 @@ def _cmd_decrypt(args) -> int:
     key = pathlib.Path(args.key).read_bytes()
     public = pathlib.Path(args.public).read_bytes()
     secret = pathlib.Path(args.secret).read_bytes()
-    pixels = P3Decryptor(key, fast=not args.scalar_codec).decrypt(
-        public, secret
+    decryptor = P3Decryptor(
+        key,
+        fast=not args.scalar_codec,
+        fast_crypto=not args.scalar_crypto,
     )
+    clock = _StageClock()
+    secret_part = decryptor.open_secret(secret)
+    clock.lap("open secret (crypto)")
+    pixels = decryptor.reconstruct(public, secret_part)
+    clock.lap("reconstruct (codec decode + recombine)")
     pathlib.Path(args.output).write_bytes(write_image(pixels))
     shape = "x".join(str(v) for v in pixels.shape[:2][::-1])
     print(f"reconstructed {shape} image -> {args.output}")
+    if args.verbose:
+        print(clock.report())
     return 0
 
 
@@ -245,6 +290,7 @@ def _cmd_batch_decrypt(args) -> int:
             public_jpeg=path.read_bytes(),
             secret_envelope=secret_path.read_bytes(),
             fast=not args.scalar_codec,
+            fast_crypto=not args.scalar_crypto,
         )
 
     def write_result(stem, pixels, report) -> str:
@@ -287,6 +333,22 @@ def _add_scalar_codec_flag(parser: argparse.ArgumentParser) -> None:
         help="use the scalar reference entropy codec (byte-identical "
         "output, ~50x slower; for differential debugging)",
     )
+    parser.add_argument(
+        "--scalar-crypto",
+        action="store_true",
+        help="use the scalar reference AES engine for the secret "
+        "envelope (byte-identical output, much slower; for "
+        "differential debugging)",
+    )
+
+
+def _add_verbose_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print per-stage wall-clock times (codec vs crypto vs split)",
+    )
 
 
 def _add_executor_options(parser: argparse.ArgumentParser) -> None:
@@ -327,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     encrypt.add_argument("--secret", required=True, help="secret envelope out")
     _add_codec_options(encrypt)
     _add_scalar_codec_flag(encrypt)
+    _add_verbose_flag(encrypt)
     encrypt.set_defaults(handler=_cmd_encrypt)
 
     decrypt = commands.add_parser(
@@ -337,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     decrypt.add_argument("--key", required=True)
     decrypt.add_argument("--output", required=True, help="netpbm out")
     _add_scalar_codec_flag(decrypt)
+    _add_verbose_flag(decrypt)
     decrypt.set_defaults(handler=_cmd_decrypt)
 
     batch_encrypt = commands.add_parser(

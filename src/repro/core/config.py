@@ -34,6 +34,11 @@ class P3Config:
     (``False``) produces byte-identical output ~50x slower and exists
     for differential testing.
 
+    ``fast_crypto`` is the same switch for the AES engine that seals
+    and opens the secret part: the vectorized batch engine
+    (:mod:`repro.crypto.fastaes`) versus the scalar FIPS-197 reference,
+    byte-identical output either way.
+
     ``executor`` / ``workers`` choose the default execution strategy for
     the batch pipeline (:meth:`repro.api.session.P3Session.batch_upload`
     and friends): ``"serial"``, ``"thread"`` or ``"process"``, with
@@ -47,6 +52,7 @@ class P3Config:
     subsampling: str = "4:4:4"
     optimize_huffman: bool = True
     fast_codec: bool = True
+    fast_crypto: bool = True
     executor: str = "serial"
     workers: int = 0
 

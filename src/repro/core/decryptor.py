@@ -31,16 +31,22 @@ class P3Decryptor:
 
     ``fast`` selects the vectorized entropy decoder for the served
     public part (the recipient-side hot path); the scalar reference
-    engine decodes identically, ~50x slower.
+    engine decodes identically, ~50x slower.  ``fast_crypto`` is the
+    matching switch for the AES engine that opens the secret envelope.
     """
 
-    def __init__(self, key: bytes, fast: bool = True) -> None:
+    def __init__(
+        self, key: bytes, fast: bool = True, fast_crypto: bool = True
+    ) -> None:
         self._key = key
         self.fast = fast
+        self.fast_crypto = fast_crypto
 
     def open_secret(self, secret_envelope: bytes) -> SecretPart:
         """Authenticate, decrypt and parse the secret container."""
-        container = open_envelope(self._key, secret_envelope)
+        container = open_envelope(
+            self._key, secret_envelope, fast=self.fast_crypto
+        )
         return deserialize_secret(container)
 
     def decrypt(
@@ -58,7 +64,19 @@ class P3Decryptor:
         recipient's default guess, refined by
         :mod:`repro.system.reverse` in the full system).
         """
-        secret_part = self.open_secret(secret_envelope)
+        return self.reconstruct(
+            public_jpeg, self.open_secret(secret_envelope), operator
+        )
+
+    def reconstruct(
+        self,
+        public_jpeg: bytes,
+        secret_part: SecretPart,
+        operator: LinearOperator | None = None,
+    ) -> np.ndarray:
+        """The codec half of :meth:`decrypt`: decode + recombine an
+        already-opened secret part (lets callers time or cache the
+        crypto stage separately)."""
         public = decode_coefficients(public_jpeg, fast=self.fast)
         if public.same_geometry(secret_part.image) and public.same_quantization(
             secret_part.image

@@ -107,10 +107,15 @@ class P3Encryptor:
             f"expected (h, w) or (h, w, 3) pixels, got shape {pixels.shape}"
         )
 
-    def _finish(self, split: SplitResult) -> EncryptedPhoto:
-        public_jpeg = self.public_jpeg_bytes(split)
+    def seal_secret(self, split: SplitResult) -> bytes:
+        """Serialize the secret half and seal it in the AES envelope."""
         container = serialize_secret(split.secret, split.threshold)
-        envelope = seal_envelope(self._key, container)
+        return seal_envelope(
+            self._key, container, fast=self.config.fast_crypto
+        )
+
+    def _finish(self, split: SplitResult) -> EncryptedPhoto:
         return EncryptedPhoto(
-            public_jpeg=public_jpeg, secret_envelope=envelope
+            public_jpeg=self.public_jpeg_bytes(split),
+            secret_envelope=self.seal_secret(split),
         )

@@ -1,13 +1,36 @@
-"""AES block cipher (FIPS-197), pure python.
+"""AES block cipher (FIPS-197), pure python — the scalar reference.
 
 Implements AES-128/192/256 encryption and decryption of single 16-byte
 blocks.  The table-driven round function operates on a flat 16-byte state
 in column-major (FIPS) order.  Modes of operation live in
 :mod:`repro.crypto.modes`.
 
-This is a faithful, test-vector-verified implementation; it makes no
-attempt at constant-time operation (irrelevant for the offline
-reproduction, noted here for honesty).
+Design note — scalar reference vs batch engine
+----------------------------------------------
+This module is the differential-testing oracle for the vectorized
+engine in :mod:`repro.crypto.fastaes`, the same split the JPEG codec
+uses (scalar T.81 reference vs the numpy entropy engine).  Both share
+one key schedule (:func:`expand_key`) and the same GF(2^8) tables; the
+fast engine lifts each round step from a 16-byte state to an
+``(n_blocks, 16)`` state stack:
+
+* SubBytes     -> one S-box fancy-index over the whole stack;
+* ShiftRows    -> a precomputed 16-entry column permutation;
+* MixColumns   -> precomputed xtime / GF-multiple byte tables combined
+  with broadcast XORs (no per-byte Python loop);
+* AddRoundKey  -> one broadcast XOR with the 16-byte round key.
+
+Ten-ish rounds of whole-stack numpy ops replace ``n_blocks`` trips
+through the Python round function, which is where the ~2 orders of
+magnitude on CTR throughput come from.
+
+Neither engine attempts constant-time operation: the table lookups are
+data-dependent (classic cache-timing territory), numpy adds its own
+data-dependent allocation behavior, and Python-level timing is
+attacker-observable anyway.  That is out of scope here exactly as it
+was for the scalar code — this reproduction runs offline on the
+photo owner's own machine; treat it as a correctness model, not a
+hardened cipher.
 """
 
 from __future__ import annotations
@@ -71,6 +94,43 @@ RCON = [0x01]
 while len(RCON) < 14:
     RCON.append(_xtime(RCON[-1]))
 
+#: FIPS-197 round counts by key length.
+ROUNDS_BY_KEY_SIZE = {16: 10, 24: 12, 32: 14}
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """FIPS-197 key expansion; returns (rounds+1) 16-byte round keys.
+
+    Shared by the scalar :class:`AES` and the batch engine in
+    :mod:`repro.crypto.fastaes` so the two can never disagree on the
+    schedule.
+    """
+    if len(key) not in ROUNDS_BY_KEY_SIZE:
+        raise ValueError(
+            f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+        )
+    rounds = ROUNDS_BY_KEY_SIZE[len(key)]
+    nk = len(key) // 4
+    words = [list(key[i * 4 : i * 4 + 4]) for i in range(nk)]
+    total_words = 4 * (rounds + 1)
+    for i in range(nk, total_words):
+        word = list(words[i - 1])
+        if i % nk == 0:
+            word = word[1:] + word[:1]  # RotWord
+            word = [SBOX[b] for b in word]  # SubWord
+            word[0] ^= RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            word = [SBOX[b] for b in word]
+        word = [a ^ b for a, b in zip(word, words[i - nk])]
+        words.append(word)
+    round_keys = []
+    for round_index in range(rounds + 1):
+        key_bytes: list[int] = []
+        for word in words[round_index * 4 : round_index * 4 + 4]:
+            key_bytes.extend(word)
+        round_keys.append(key_bytes)
+    return round_keys
+
 
 class AES:
     """AES block cipher for 16/24/32-byte keys."""
@@ -78,35 +138,8 @@ class AES:
     BLOCK_SIZE = 16
 
     def __init__(self, key: bytes) -> None:
-        if len(key) not in (16, 24, 32):
-            raise ValueError(
-                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
-            )
-        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
-        self._round_keys = self._expand_key(key)
-
-    def _expand_key(self, key: bytes) -> list[list[int]]:
-        """FIPS-197 key expansion; returns (rounds+1) 16-byte round keys."""
-        nk = len(key) // 4
-        words = [list(key[i * 4 : i * 4 + 4]) for i in range(nk)]
-        total_words = 4 * (self._rounds + 1)
-        for i in range(nk, total_words):
-            word = list(words[i - 1])
-            if i % nk == 0:
-                word = word[1:] + word[:1]  # RotWord
-                word = [SBOX[b] for b in word]  # SubWord
-                word[0] ^= RCON[i // nk - 1]
-            elif nk > 6 and i % nk == 4:
-                word = [SBOX[b] for b in word]
-            word = [a ^ b for a, b in zip(word, words[i - nk])]
-            words.append(word)
-        round_keys = []
-        for round_index in range(self._rounds + 1):
-            key_bytes: list[int] = []
-            for word in words[round_index * 4 : round_index * 4 + 4]:
-                key_bytes.extend(word)
-            round_keys.append(key_bytes)
-        return round_keys
+        self._round_keys = expand_key(key)  # validates the key length
+        self._rounds = ROUNDS_BY_KEY_SIZE[len(key)]
 
     @staticmethod
     def _add_round_key(state: list[int], round_key: list[int]) -> None:

@@ -770,3 +770,260 @@ def encode_ac_first_scan(
         else STANDARD_AC_LUMINANCE
     )
     return table, pack_tokens_with_table(*token_stream, table)
+
+
+#: The scalar ``_EobState`` force-flush thresholds (scans.py): an EOB
+#: run splits at 0x7FFF, buffered correction bits at > 900.
+MAX_BUFFERED_CORRECTION_BITS = 900
+
+
+def refinement_ac_stream(
+    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Token stream of one progressive AC *refinement* scan (G.1.2.3).
+
+    Batches, across the whole ``(N, 64)`` zigzag stack, exactly what
+    the scalar ``encode_ac_refinement`` + ``_EobState`` pair emits:
+
+    * newly significant coefficients (``|v| >> al == 1``) produce a
+      ``(run << 4) | 1`` symbol plus a sign bit, with ZRL symbols
+      splitting zero-runs above 15 — but only up to the block's last
+      newly significant coefficient;
+    * already significant coefficients ride along as buffered
+      correction bits, flushed after the *next* emitted symbol;
+    * blocks whose tail holds only zeros/corrections join a global
+      EOB run that flushes before the next emitting block (or at the
+      scalar engine's forced thresholds), carrying the accumulated
+      correction bits.
+
+    Returns ``(symbols, raw_values, raw_lengths)`` in final stream
+    order: ``symbols[i] >= 0`` is a Huffman symbol, ``-1`` marks a raw
+    bit write of ``raw_values[i]`` / ``raw_lengths[i]``.
+    """
+    band = blocks[:, spectral_start : spectral_end + 1].astype(np.int64)
+    num_blocks, length = band.shape
+    t = np.abs(band) >> al
+    is_zero = t == 0
+    is_new = t == 1
+    is_corr = t > 1
+    cols = np.arange(length)
+
+    has_new = is_new.any(axis=1)
+    last_new = np.where(
+        has_new, length - 1 - np.argmax(is_new[:, ::-1], axis=1), -1
+    )
+
+    # excl_cz[b, k] = zeros at positions < k within block b.
+    excl_cz = np.zeros((num_blocks, length + 1), dtype=np.int64)
+    np.cumsum(is_zero, axis=1, out=excl_cz[:, 1:])
+
+    # Last newly-significant position <= k, stored as pos+1 (0 = none);
+    # shifting right gives the segment delimiter strictly before k.
+    last_new_incl = np.maximum.accumulate(
+        np.where(is_new, cols + 1, 0), axis=1
+    )
+    prev_new_plus1 = np.zeros_like(last_new_incl)
+    prev_new_plus1[:, 1:] = last_new_incl[:, :-1]
+
+    # Zeros in the current segment strictly before k: run length on
+    # arrival (corrections do not reset or extend the run).
+    seg_base = np.take_along_axis(excl_cz, prev_new_plus1, axis=1)
+    z_seg = excl_cz[:, :length] - seg_base
+
+    # Arrival points: nonzero positions up to last_new, row-major.
+    main = cols[None, :] <= last_new[:, None]
+    nz_b, nz_k = np.nonzero(~is_zero & main)
+    z_nz = z_seg[nz_b, nz_k]
+    g_nz = z_nz >> 4  # cumulative ZRLs due in this segment on arrival
+
+    # ZRLs actually fired at each arrival: the increment of g over the
+    # previous arrival in the same segment (the newly coefficient that
+    # closed the previous segment resets the baseline to zero).
+    prev_is_same_block = np.zeros(nz_b.size, dtype=bool)
+    prev_is_same_block[1:] = nz_b[1:] == nz_b[:-1]
+    prev_k = np.zeros_like(nz_k)
+    prev_k[1:] = nz_k[:-1]
+    delimiter = prev_new_plus1[nz_b, nz_k] - 1
+    same_segment = prev_is_same_block & (prev_k > delimiter)
+    prev_g = np.zeros_like(g_nz)
+    prev_g[1:] = g_nz[:-1]
+    zrl_count = g_nz - np.where(same_segment, prev_g, 0)
+
+    newly_sel = is_new[nz_b, nz_k]
+    emits = (zrl_count > 0) | newly_sel
+
+    # Sub-rank layout at one arrival position: ZRL #j at 10*j, the
+    # newly symbol at 10*(c+1) and its sign bit right after, buffered
+    # correction bits at 15 — after the first emitted token (ZRL #1
+    # when c >= 1, the sign bit when c == 0), before ZRL #2.
+    total_zrl = int(zrl_count.sum())
+    arrival = np.repeat(np.arange(zrl_count.size), zrl_count)
+    zrl_j = (
+        np.arange(total_zrl)
+        - np.repeat(np.cumsum(zrl_count) - zrl_count, zrl_count)
+        + 1
+    )
+    new_b = nz_b[newly_sel]
+    new_k = nz_k[newly_sel]
+    new_sub = 10 * (zrl_count[newly_sel] + 1)
+    new_symbols = ((z_nz[newly_sel] & 15) << 4) | 1
+    sign_bits = (band[new_b, new_k] >= 0).astype(np.int64)
+
+    # Correction bits in the main region flush after the first token of
+    # the next emitting arrival strictly past their position.
+    cb_b, cb_k = np.nonzero(is_corr & main)
+    cb_val = t[cb_b, cb_k] & 1
+    em_key = nz_b[emits] * (length + 1) + nz_k[emits]
+    flush_index = np.searchsorted(
+        em_key, cb_b * (length + 1) + cb_k, side="right"
+    )
+    flush_p = nz_k[emits][flush_index] if cb_b.size else cb_k
+
+    token_b = np.concatenate([nz_b[arrival], new_b, new_b, cb_b])
+    token_p = np.concatenate([nz_k[arrival], new_k, new_k, flush_p])
+    token_sub = np.concatenate(
+        [10 * zrl_j, new_sub, new_sub + 1, np.full(cb_b.size, 15)]
+    )
+    token_tie = np.concatenate(
+        [
+            np.zeros(total_zrl, dtype=np.int64),
+            np.zeros(2 * new_b.size, dtype=np.int64),
+            cb_k,
+        ]
+    )
+    token_sym = np.concatenate(
+        [
+            np.full(total_zrl, 0xF0, dtype=np.int64),
+            new_symbols,
+            np.full(new_b.size, -1, dtype=np.int64),
+            np.full(cb_b.size, -1, dtype=np.int64),
+        ]
+    )
+    token_raw = np.concatenate(
+        [np.zeros(total_zrl, dtype=np.int64), np.zeros(new_b.size, dtype=np.int64), sign_bits, cb_val]
+    )
+    token_rawlen = np.concatenate(
+        [
+            np.zeros(total_zrl, dtype=np.int64),
+            np.zeros(new_b.size, dtype=np.int64),
+            np.ones(new_b.size, dtype=np.int64),
+            np.ones(cb_b.size, dtype=np.int64),
+        ]
+    )
+    order = np.lexsort((token_tie, token_sub, token_p, token_b))
+    token_b = token_b[order]
+    token_sym = token_sym[order]
+    token_raw = token_raw[order]
+    token_rawlen = token_rawlen[order]
+
+    # Per-block main-token ranges, for splicing EOB flushes between.
+    counts = np.bincount(token_b, minlength=num_blocks)
+    offsets = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+
+    # Tail state per block: zeros/corrections past last_new join the
+    # global EOB run instead of emitting symbols.
+    tail_zero = (
+        excl_cz[:, length]
+        - excl_cz[np.arange(num_blocks), last_new + 1]
+    )
+    tail_cb_b, tail_cb_k = np.nonzero(
+        is_corr & (cols[None, :] > last_new[:, None])
+    )
+    tail_bits = t[tail_cb_b, tail_cb_k] & 1
+    tail_bit_count = np.bincount(tail_cb_b, minlength=num_blocks)
+    account = (tail_zero > 0) | (tail_bit_count > 0)
+
+    # Walk the blocks once for the EOB-run bookkeeping (cheap per-block
+    # scalars; the heavy token math above is already batched).  Each
+    # flush event records where it cuts the main stream and which slice
+    # of the global tail-bit array it carries.
+    flush_events: list[tuple[int, int, int, int]] = []
+    run = 0
+    bit_lo = bit_hi = 0
+    for b in range(num_blocks):
+        if has_new[b] and run > 0:
+            flush_events.append((int(offsets[b]), run, bit_lo, bit_hi))
+            run = 0
+            bit_lo = bit_hi
+        if account[b]:
+            run += 1
+            bit_hi += int(tail_bit_count[b])
+            if (
+                run == MAX_EOB_RUN
+                or bit_hi - bit_lo > MAX_BUFFERED_CORRECTION_BITS
+            ):
+                flush_events.append(
+                    (int(offsets[b + 1]), run, bit_lo, bit_hi)
+                )
+                run = 0
+                bit_lo = bit_hi
+    if run > 0:
+        flush_events.append((int(offsets[num_blocks]), run, bit_lo, bit_hi))
+
+    pieces_sym: list[np.ndarray] = []
+    pieces_raw: list[np.ndarray] = []
+    pieces_rawlen: list[np.ndarray] = []
+
+    def main_slice(lo: int, hi: int) -> None:
+        if hi > lo:
+            pieces_sym.append(token_sym[lo:hi])
+            pieces_raw.append(token_raw[lo:hi])
+            pieces_rawlen.append(token_rawlen[lo:hi])
+
+    cursor = 0
+    for cut, run_value, lo, hi in flush_events:
+        main_slice(cursor, cut)
+        cursor = cut
+        category = run_value.bit_length() - 1
+        pieces_sym.append(np.array([category << 4, -1], dtype=np.int64))
+        pieces_raw.append(
+            np.array([0, run_value - (1 << category)], dtype=np.int64)
+        )
+        pieces_rawlen.append(np.array([0, category], dtype=np.int64))
+        if hi > lo:
+            pieces_sym.append(np.full(hi - lo, -1, dtype=np.int64))
+            pieces_raw.append(tail_bits[lo:hi].astype(np.int64))
+            pieces_rawlen.append(np.ones(hi - lo, dtype=np.int64))
+    main_slice(cursor, int(offsets[num_blocks]))
+
+    if not pieces_sym:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty
+    return (
+        np.concatenate(pieces_sym),
+        np.concatenate(pieces_raw),
+        np.concatenate(pieces_rawlen),
+    )
+
+
+def encode_ac_refinement_scan(
+    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int
+) -> tuple[HuffmanTable, bytes]:
+    """Encode one progressive AC refinement scan with an optimized table.
+
+    The refinement counterpart of :func:`encode_ac_first_scan`: batch
+    the token stream via :func:`refinement_ac_stream`, build the
+    optimal table from the Huffman-symbol histogram (standard-luminance
+    fallback for an all-raw/empty scan, matching the scalar driver),
+    and pack symbols and raw bits in stream order.
+    """
+    from repro.jpeg.bitstream import pack_entropy_bits
+
+    symbols, raw_values, raw_lengths = refinement_ac_stream(
+        blocks, spectral_start, spectral_end, al
+    )
+    is_symbol = symbols >= 0
+    frequencies = bincount_frequencies(symbols[is_symbol])
+    table = (
+        build_optimized_table(frequencies)
+        if frequencies
+        else STANDARD_AC_LUMINANCE
+    )
+    codes_by_symbol, lengths_by_symbol = encoder_code_arrays(table)
+    index = np.where(is_symbol, symbols, 0)
+    values = np.where(
+        is_symbol, codes_by_symbol[index], raw_values.astype(np.uint64)
+    )
+    lengths = np.where(is_symbol, lengths_by_symbol[index], raw_lengths)
+    return table, pack_entropy_bits(values, lengths)

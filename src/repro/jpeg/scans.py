@@ -31,6 +31,7 @@ from repro.jpeg.huffman import (
     build_optimized_table,
     dc_scan_token_bundles,
     encode_ac_first_scan,
+    encode_ac_refinement_scan,
     encode_magnitude_bits,
     interleaved_visit_arrays,
     magnitude_category,
@@ -313,9 +314,9 @@ def run_scan(
     ``blocks_per_component`` are the true (unpadded) zigzag arrays used
     for AC scans; ``padded_blocks`` the MCU-padded ones for DC scans.
     DC refinement scans carry no Huffman table (raw bits only).  With
-    ``fast`` the DC and AC first passes and the DC refinement run on
-    the batch engine (byte-identical output); AC refinement keeps the
-    scalar path in both modes.
+    ``fast`` every scan type — DC/AC first passes, DC refinement and
+    AC refinement — runs on the batch engine, byte-identical to the
+    scalar encoders below (which remain the differential reference).
     """
     if spec.is_dc and spec.is_refinement:
         if fast:
@@ -350,8 +351,12 @@ def run_scan(
         )
         return table, pack_dc_scan_tokens(bundles, [table] * len(bundles))
 
-    if fast and not spec.is_refinement:
+    if fast:
         blocks = blocks_per_component[spec.component_indices[0]]
+        if spec.is_refinement:
+            return encode_ac_refinement_scan(
+                blocks.reshape(-1, 64), spec.ss, spec.se, spec.al
+            )
         return encode_ac_first_scan(
             blocks.reshape(-1, 64), spec.ss, spec.se, spec.al
         )

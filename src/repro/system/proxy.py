@@ -223,6 +223,7 @@ class RecipientProxy:
         storage: BlobStore,
         transform_estimate: TransformEstimate | None = None,
         fast: bool = True,
+        fast_crypto: bool = True,
         cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
     ) -> None:
         if cache_limit is not None and cache_limit < 1:
@@ -232,6 +233,7 @@ class RecipientProxy:
         self.storage = storage
         self.transform_estimate = transform_estimate
         self.fast = fast  # vectorized entropy decode on the hot path
+        self.fast_crypto = fast_crypto  # vectorized AES on the envelope
         self.cache_limit = cache_limit  # None = unbounded
         self._secret_cache: OrderedDict[str, SecretPart] = OrderedDict()
         self.cache_stats = _CacheStats()
@@ -293,7 +295,11 @@ class RecipientProxy:
             return cached
         self.cache_stats.misses += 1
         envelope = self.storage.get(secret_blob_key(album, photo_id))
-        decryptor = P3Decryptor(self.keyring.key_for(album))
+        decryptor = P3Decryptor(
+            self.keyring.key_for(album),
+            fast=self.fast,
+            fast_crypto=self.fast_crypto,
+        )
         secret_part = decryptor.open_secret(envelope)
         self._secret_cache[photo_id] = secret_part
         while (

@@ -375,6 +375,59 @@ class TestDecoderEquivalence:
             except (JpegFormatError, ValueError):
                 pass
 
+    def test_ac_refinement_edge_cases_byte_identical(self):
+        # The refinement encoder's nastiest interleavings, hit directly
+        # through run_scan: ZRL emission triggered at an
+        # already-significant coefficient, correction bits buffered
+        # across ZRLs, corr-only/all-zero blocks joining EOB runs, the
+        # scalar _EobState's forced flushes (>900 buffered bits,
+        # 0x7FFF-run split), and random stacks for good measure.
+        from repro.jpeg.scans import ScanSpec, run_scan
+
+        def assert_identical(blocks64, ss, se, al):
+            spec = ScanSpec((0,), ss, se, al + 1, al)
+            shaped = blocks64.reshape(blocks64.shape[0], 1, 64)
+            args = ([shaped], [shaped], [(1, 1)], (blocks64.shape[0], 1))
+            table_fast, fast = run_scan(spec, *args, fast=True)
+            table_scalar, scalar = run_scan(spec, *args, fast=False)
+            assert table_fast.bits == table_scalar.bits
+            assert table_fast.values == table_scalar.values
+            assert fast == scalar
+
+        engineered = np.zeros((4, 64), dtype=np.int64)
+        engineered[0, 5] = 4  # already significant at al=1
+        engineered[0, 40] = 2  # newly significant behind a >16 zero run
+        engineered[0, 45] = -2  # negative newly significant (sign bit 0)
+        engineered[1, 3] = 7
+        engineered[1, 60] = 3
+        # engineered[2] all-zero: joins the EOB run with no bits
+        engineered[3, 10] = 5  # corr-only block: EOB run carries its bit
+        assert_identical(engineered, 1, 63, 1)
+
+        zrl_at_corr = np.zeros((2, 64), dtype=np.int64)
+        zrl_at_corr[0, 20] = 6  # arrival with run 19: ZRL fires *here*
+        zrl_at_corr[0, 25] = 2
+        zrl_at_corr[0, 60] = 2
+        zrl_at_corr[1, 1] = 2
+        assert_identical(zrl_at_corr, 1, 63, 1)
+
+        forced_bits = np.zeros((1200, 64), dtype=np.int64)
+        forced_bits[:, 7] = 4  # 1200 buffered correction bits: >900 flushes
+        assert_identical(forced_bits, 1, 63, 1)
+
+        eob_split = np.zeros((70000, 64), dtype=np.int64)
+        eob_split[0, 1] = 2  # 69999-block EOB run: splits at 0x7FFF
+        assert_identical(eob_split, 1, 63, 1)
+
+        rng = np.random.default_rng(23)
+        for _ in range(8):
+            blocks = np.zeros((int(rng.integers(1, 50)), 64), dtype=np.int64)
+            mask = rng.random(blocks.shape) < rng.uniform(0.02, 0.5)
+            values = rng.integers(-9, 10, size=blocks.shape)
+            blocks[mask] = values[mask]
+            assert_identical(blocks, 1, 63, int(rng.integers(0, 3)))
+            assert_identical(blocks, 6, 63, 1)
+
     def test_corrupt_restart_streams_agree_between_engines(self, gray_image):
         # A desynced restart segment must not decode silently in the
         # fast engine while the scalar engine rejects it (or vice
