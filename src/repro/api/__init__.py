@@ -27,10 +27,28 @@ Corpus-scale traffic goes through the batch pipeline::
     ).results
 
 ``batch_*`` fan the CPU-bound encode/split/seal and decode/reconstruct
-stages out over a :class:`SerialExecutor`, :class:`ThreadExecutor` or
-:class:`ProcessExecutor` (selected per call or by ``P3Config.executor``)
-and capture failures per item in a :class:`BatchReport` instead of
-aborting the batch.  Outputs are byte-identical across executors.
+stages out over a :class:`SerialExecutor`, :class:`ThreadExecutor`,
+:class:`ProcessExecutor` or :class:`AsyncExecutor` (selected per call
+or by ``P3Config.executor``) and capture failures per item in a
+:class:`BatchReport` instead of aborting the batch.  Outputs are
+byte-identical across executors.
+
+Multi-backend fleets compose behind the same protocols::
+
+    config = P3Config(
+        psps=("facebook", "flickr", "photobucket"), shards=3, replication=2
+    )
+    session = P3Session.create(user="alice", config=config)
+    record = session.upload(jpeg_bytes, album="trip")   # published x3
+    pixels = session.download(                          # pin one provider
+        DownloadRequest(record.photo_id, "trip", provider="flickr")
+    )
+
+A :class:`FanoutPSP` publishes each photo to every provider (rolling
+back on partial failure) and fails downloads over provider by
+provider; a :class:`ReplicatedBlobStore` spreads the secret parts over
+N stores by rendezvous hashing with R replicas and read-repair, so one
+wiped or dead store costs nothing.
 
 The package `__init__` resolves its exports lazily (PEP 562): the
 system layer imports :mod:`repro.api.backends` for the protocols, and
@@ -52,6 +70,15 @@ _EXPORTS = {
     # backend protocols + registry
     "PSPBackend": "repro.api.backends",
     "BlobStore": "repro.api.backends",
+    "best_effort_delete": "repro.api.backends",
+    # multi-backend composites
+    "FanoutPSP": "repro.api.fanout",
+    "FanoutError": "repro.api.fanout",
+    "FanoutUploadError": "repro.api.fanout",
+    "FanoutDownloadError": "repro.api.fanout",
+    "ReplicatedBlobStore": "repro.api.fanout",
+    "ShardedBlobStore": "repro.api.fanout",
+    "rendezvous_order": "repro.api.fanout",
     "BackendRegistry": "repro.api.registry",
     "UnknownBackendError": "repro.api.registry",
     "DEFAULT_REGISTRY": "repro.api.registry",
@@ -62,6 +89,7 @@ _EXPORTS = {
     "SerialExecutor": "repro.api.executors",
     "ThreadExecutor": "repro.api.executors",
     "ProcessExecutor": "repro.api.executors",
+    "AsyncExecutor": "repro.api.executors",
     "TaskOutcome": "repro.api.executors",
     "EXECUTOR_KINDS": "repro.api.executors",
     "make_executor": "repro.api.executors",

@@ -45,6 +45,25 @@ class PSPBackend(Protocol):
         ...
 
 
+def best_effort_delete(psp: PSPBackend, photo_id: str) -> bool:
+    """Try to remove a photo from a PSP; never raise.
+
+    ``delete`` is *optional* on the protocol (real providers vary), so
+    rollback paths — a publish whose secret-part put failed, a fan-out
+    that fell below quorum — go through this helper: if the backend
+    exposes ``delete`` it is called, any error is swallowed, and the
+    return value says whether a delete call completed.
+    """
+    delete = getattr(psp, "delete", None)
+    if delete is None:
+        return False
+    try:
+        delete(photo_id)
+    except Exception:
+        return False
+    return True
+
+
 @runtime_checkable
 class BlobStore(Protocol):
     """What the proxies need from the secret-part storage provider.

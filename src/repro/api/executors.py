@@ -2,7 +2,7 @@
 
 An :class:`Executor` maps a task function over a list of work items and
 returns one :class:`TaskOutcome` per item, in input order, with any
-exception captured per item instead of aborting the batch.  Three
+exception captured per item instead of aborting the batch.  Four
 strategies share that contract:
 
 * :class:`SerialExecutor` — in-process loop, the reference behaviour;
@@ -10,7 +10,11 @@ strategies share that contract:
   when the work releases the GIL or waits on I/O);
 * :class:`ProcessExecutor` — process pool for the CPU-bound
   encode/split/decode hot path.  Task functions and items must be
-  picklable (the :mod:`repro.api.pipeline` tasks are built for this).
+  picklable (the :mod:`repro.api.pipeline` tasks are built for this);
+* :class:`AsyncExecutor` — an :mod:`asyncio` event loop with the
+  blocking task functions offloaded to threads, for network-bound
+  backends (fan-out uploads, replicated blob-store I/O) where the
+  win is overlapping wait time, not CPU.
 
 The strategy is selected by :class:`~repro.core.config.P3Config`'s
 ``executor``/``workers`` fields via :func:`make_executor`.
@@ -24,12 +28,13 @@ only pay off for many tiny batches; revisit if that workload appears.
 
 from __future__ import annotations
 
+import asyncio
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "async")
 
 
 @dataclass
@@ -75,7 +80,13 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """One item at a time on the calling thread."""
+    """One item at a time on the calling thread.
+
+    ``workers=`` is accepted — so the strategies stay interchangeable
+    drop-ins behind :func:`make_executor` — but deliberately *ignored*:
+    a serial executor always runs exactly one worker, whatever the
+    config or caller asked for.
+    """
 
     kind = "serial"
 
@@ -127,6 +138,56 @@ class ProcessExecutor(_PoolExecutor):
     _pool_class = ProcessPoolExecutor
 
 
+class AsyncExecutor(Executor):
+    """``asyncio``-driven strategy with thread offload.
+
+    Each item's (synchronous) task function runs in a thread via
+    ``loop.run_in_executor`` and the event loop awaits them all
+    concurrently — the natural home for network-bound backends, where
+    the time goes to waiting on sockets rather than the CPU.  The map
+    contract is identical to the other strategies: ordered
+    :class:`TaskOutcome` per item, per-item error capture.
+
+    Because the work is assumed to wait rather than compute, the
+    default worker count is I/O-sized (``min(32, cpus + 4)``, the
+    stdlib thread-pool heuristic) instead of one per CPU — a 1-core
+    box still overlaps its waits.
+    """
+
+    kind = "async"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers or min(32, (os.cpu_count() or 1) + 4))
+
+    def _run_all(self, fn, items) -> list[TaskOutcome]:
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self._gather(fn, items))
+        # Already inside a running loop (a notebook, an async server):
+        # nesting asyncio.run would raise, so drive our own loop on a
+        # helper thread and block this caller on it.
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            return pool.submit(asyncio.run, self._gather(fn, items)).result()
+
+    async def _gather(self, fn, items) -> list[TaskOutcome]:
+        loop = asyncio.get_running_loop()
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            results = await asyncio.gather(
+                *[loop.run_in_executor(pool, fn, item) for item in items],
+                return_exceptions=True,
+            )
+        outcomes = []
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                outcomes.append(
+                    TaskOutcome(index, error=describe_error(result))
+                )
+            else:
+                outcomes.append(TaskOutcome(index, value=result))
+        return outcomes
+
+
 def make_executor(kind: str, workers: int | None = None) -> Executor:
     """Build an executor from config-level settings.
 
@@ -141,6 +202,8 @@ def make_executor(kind: str, workers: int | None = None) -> Executor:
         return ThreadExecutor(workers)
     if normalized == "process":
         return ProcessExecutor(workers)
+    if normalized == "async":
+        return AsyncExecutor(workers)
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.api.backends import BlobStore, PSPBackend
+from repro.api.fanout import FanoutPSP, ReplicatedBlobStore
 from repro.system.psp import (
     FacebookPSP,
     FlickrPSP,
@@ -96,6 +97,74 @@ class BackendRegistry:
             raise UnknownBackendError(
                 f"unknown {role} backend {name!r}; registered: {known}"
             ) from None
+
+    def create_fanout(
+        self, providers: "list | tuple", /, **kwargs
+    ) -> PSPBackend:
+        """A :class:`FanoutPSP` over several providers.
+
+        Entries are registered names or ready backend instances, freely
+        mixed.  A single entry returns that provider directly (no
+        composite wrapper) unless ``kwargs`` (e.g. ``min_success=``)
+        force the composite.  This is the one place fan-out fleets are
+        assembled — :meth:`repro.api.session.P3Session.create` routes
+        its psp lists here.
+        """
+        backends = [
+            self.create_psp(entry) if isinstance(entry, str) else entry
+            for entry in providers
+        ]
+        if not backends:
+            raise ValueError("the provider list must name at least one PSP")
+        if len(backends) == 1 and not kwargs:
+            return backends[0]
+        return FanoutPSP(backends, **kwargs)
+
+    def create_storage_pool(
+        self,
+        storage: "str | list | tuple",
+        /,
+        count: int | None = None,
+        replicas: int = 1,
+        **kwargs,
+    ) -> BlobStore:
+        """A store fleet behind one facade — the single assembly point.
+
+        ``storage`` is either a registered name, instantiated ``count``
+        times, or a list of names/instances (``count`` must then be
+        left ``None`` — the list fixes the fleet size).  One store with
+        ``replicas=1`` is returned bare; anything larger is wrapped in
+        a :class:`ReplicatedBlobStore` (``replicas=1`` meaning pure
+        sharding).  Remaining ``kwargs`` go to each backing store's
+        factory (which therefore cannot take parameters named
+        ``count``/``replicas`` — those always mean the pool's).
+        """
+        if isinstance(storage, str):
+            count = 1 if count is None else count
+            if count < 1:
+                raise ValueError(f"count must be >= 1, got {count}")
+            stores = [
+                self.create_storage(storage, **kwargs) for _ in range(count)
+            ]
+        else:
+            if count is not None:
+                raise ValueError(
+                    "count applies to a named backend only — a storage "
+                    "list already fixes the fleet size"
+                )
+            stores = [
+                self.create_storage(entry, **kwargs)
+                if isinstance(entry, str)
+                else entry
+                for entry in storage
+            ]
+            if not stores:
+                raise ValueError(
+                    "the storage list must name at least one store"
+                )
+        if len(stores) == 1 and replicas == 1:
+            return stores[0]
+        return ReplicatedBlobStore(stores, replicas=replicas)
 
     def psp_names(self) -> list[str]:
         return sorted(self._psps)

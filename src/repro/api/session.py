@@ -8,13 +8,19 @@ identical to the interposed path, secret-part cache included); corpora
 go through :meth:`batch_upload` / :meth:`batch_download`, which fan the
 CPU-bound work out over a pluggable :class:`~repro.api.executors.
 Executor` and report per-item failures instead of dying mid-batch.
+
+Either remote role may also be a *fleet*: :meth:`P3Session.create`
+accepts lists (or ``P3Config.psps``/``shards``/``replication``) and
+wires up a :class:`~repro.api.fanout.FanoutPSP` /
+:class:`~repro.api.fanout.ReplicatedBlobStore`, both of which satisfy
+the single-backend protocols — the proxies never know the difference.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -34,6 +40,7 @@ from repro.system.proxy import (
     DEFAULT_SECRET_CACHE_LIMIT,
     RecipientProxy,
     SenderProxy,
+    publish_encrypted,
     secret_blob_key,
 )
 from repro.system.reverse import TransformEstimate
@@ -62,13 +69,19 @@ class UploadRequest:
 
 @dataclass(frozen=True)
 class DownloadRequest:
-    """One photo to fetch and reconstruct."""
+    """One photo to fetch and reconstruct.
+
+    ``provider`` pins the fetch to one named provider of a
+    :class:`~repro.api.fanout.FanoutPSP` (no failover) — ``None``
+    serves from whichever provider answers first.
+    """
 
     photo_id: str
     album: str
     resolution: int | None = None
     crop_box: tuple[int, int, int, int] | None = None
     public_only: bool = False
+    provider: str | None = None
 
 
 @dataclass(frozen=True)
@@ -170,6 +183,70 @@ def run_sparse_batch(
     return results
 
 
+# -- backend resolution (single or fleet) -------------------------------------
+
+
+def _resolve_psp_backend(
+    psp: "str | PSPBackend | Sequence[str | PSPBackend] | None",
+    config: P3Config,
+    registry: BackendRegistry,
+) -> PSPBackend:
+    """One PSP instance from a name, instance, fleet, or the config.
+
+    Fleet assembly itself lives in
+    :meth:`~repro.api.registry.BackendRegistry.create_fanout`.
+    """
+    if psp is None:
+        psp = list(config.psps) or "facebook"
+    elif config.psps:
+        raise ValueError(
+            "psp= and config.psps were both given — drop one; an "
+            "explicit backend silently overriding the configured fleet "
+            "would be ambiguous"
+        )
+    if isinstance(psp, str):
+        return registry.create_psp(psp)
+    if isinstance(psp, (list, tuple)):
+        return registry.create_fanout(psp)
+    return psp
+
+
+def _resolve_blob_store(
+    storage: "str | BlobStore | Sequence[str | BlobStore] | None",
+    config: P3Config,
+    registry: BackendRegistry,
+) -> BlobStore:
+    """One blob store from a name, instance, fleet, or the config.
+
+    A named backend is instantiated ``max(config.shards,
+    config.replication)`` times, so asking for replication alone is
+    enough to get a fleet that can hold it; fleet assembly itself
+    lives in :meth:`~repro.api.registry.BackendRegistry.
+    create_storage_pool`.
+    """
+    if storage is None or isinstance(storage, str):
+        count = max(config.shards, config.replication)
+        return registry.create_storage_pool(
+            storage or "dropbox", count, config.replication
+        )
+    if isinstance(storage, (list, tuple)):
+        if config.shards > 1:
+            raise ValueError(
+                "storage= list and config.shards were both given — the "
+                "list already fixes the shard count"
+            )
+        return registry.create_storage_pool(
+            list(storage), None, config.replication
+        )
+    if config.shards > 1 or config.replication > 1:
+        raise ValueError(
+            "a ready storage instance cannot be sharded/replicated "
+            "after the fact — pass backend names (or a list of stores) "
+            "for config.shards/config.replication to apply"
+        )
+    return storage
+
+
 # -- the session itself -------------------------------------------------------
 
 
@@ -205,8 +282,8 @@ class P3Session:
     @classmethod
     def create(
         cls,
-        psp: str | PSPBackend = "facebook",
-        storage: str | BlobStore = "dropbox",
+        psp: "str | PSPBackend | Sequence[str | PSPBackend] | None" = None,
+        storage: "str | BlobStore | Sequence[str | BlobStore] | None" = None,
         *,
         user: str = "me",
         config: P3Config | None = None,
@@ -215,16 +292,24 @@ class P3Session:
         transform_estimate: TransformEstimate | None = None,
         cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
     ) -> "P3Session":
-        """Build a session from backend *names* (or ready instances)."""
+        """Build a session from backend *names* (or ready instances).
+
+        Either role also accepts a *list* — several PSPs become a
+        :class:`~repro.api.fanout.FanoutPSP` publishing every photo to
+        each of them, several blob stores a
+        :class:`~repro.api.fanout.ReplicatedBlobStore` holding
+        ``config.replication`` copies of every envelope.  With ``psp=
+        None``/``storage=None`` the config decides: ``config.psps``
+        names the provider fleet (default: ``"facebook"`` alone) and
+        ``config.shards``/``config.replication`` size the store fleet
+        (default: one ``"dropbox"``).
+        """
         registry = registry or DEFAULT_REGISTRY
-        if isinstance(psp, str):
-            psp = registry.create_psp(psp)
-        if isinstance(storage, str):
-            storage = registry.create_storage(storage)
+        config = config or P3Config()
         return cls(
             keyring or Keyring(user),
-            psp,
-            storage,
+            _resolve_psp_backend(psp, config, registry),
+            _resolve_blob_store(storage, config, registry),
             config=config,
             transform_estimate=transform_estimate,
             cache_limit=cache_limit,
@@ -289,8 +374,15 @@ class P3Session:
         resolution: int | None = None,
         crop_box: tuple[int, int, int, int] | None = None,
     ) -> np.ndarray:
-        """Fetch + reconstruct one photo via the recipient proxy."""
+        """Fetch + reconstruct one photo via the recipient proxy.
+
+        Provider-pinned requests (``DownloadRequest.provider``) bypass
+        the proxy's secret cache and run the identical reconstruction
+        path directly — outputs are byte-for-byte the same.
+        """
         request = self._as_download_request(item, album, resolution, crop_box)
+        if request.provider is not None:
+            return run_decrypt_task(self._fetch_task(request))
         if request.public_only:
             return self.recipient.download_public_only(
                 request.photo_id,
@@ -436,28 +528,55 @@ class P3Session:
     def _publish(
         self, request: UploadRequest, photo: EncryptedPhoto
     ) -> PhotoRecord:
+        """PSP upload + secret-part put for one already-split photo.
+
+        Goes through :func:`repro.system.proxy.publish_encrypted`, so a
+        failed secret-part put rolls the public part back off the PSP
+        instead of stranding an orphan (batch callers report such
+        failures under stage ``"publish"``).
+        """
         view_set = set(request.viewers) if request.viewers else None
-        photo_id = self.psp.upload(
-            photo.public_jpeg, owner=self.keyring.owner, viewers=view_set
-        )
-        self.storage.put(
-            secret_blob_key(request.album, photo_id), photo.secret_envelope
+        receipt = publish_encrypted(
+            self.psp,
+            self.storage,
+            photo,
+            request.album,
+            self.keyring.owner,
+            viewers=view_set,
         )
         return PhotoRecord(
-            photo_id=photo_id,
+            photo_id=receipt.photo_id,
             album=request.album,
             psp=self.psp.name,
-            public_bytes=photo.public_size,
-            secret_bytes=photo.secret_size,
+            public_bytes=receipt.public_bytes,
+            secret_bytes=receipt.secret_bytes,
         )
 
-    def _fetch_task(self, request: DownloadRequest) -> DecryptTask:
-        public_jpeg = self.psp.download(
+    def _serve_public(self, request: DownloadRequest) -> bytes:
+        """Fetch the served public part, honoring a pinned provider."""
+        if request.provider is not None:
+            download_from = getattr(self.psp, "download_from", None)
+            if download_from is None:
+                raise ValueError(
+                    f"psp {self.psp.name!r} is a single provider; "
+                    f"provider={request.provider!r} needs a FanoutPSP"
+                )
+            return download_from(
+                request.provider,
+                request.photo_id,
+                requester=self.keyring.owner,
+                resolution=request.resolution,
+                crop_box=request.crop_box,
+            )
+        return self.psp.download(
             request.photo_id,
             requester=self.keyring.owner,
             resolution=request.resolution,
             crop_box=request.crop_box,
         )
+
+    def _fetch_task(self, request: DownloadRequest) -> DecryptTask:
+        public_jpeg = self._serve_public(request)
         if request.public_only:
             return DecryptTask(
                 key=None,
@@ -484,6 +603,12 @@ class P3Session:
         viewers: Iterable[str] | None,
     ) -> UploadRequest:
         if isinstance(item, UploadRequest):
+            if album is not None or viewers is not None:
+                raise ValueError(
+                    "an UploadRequest already carries album/viewers; "
+                    "combining it with album=/viewers= kwargs is ambiguous "
+                    "— set the fields on the request instead"
+                )
             return item
         if album is None:
             raise ValueError("album= is required for raw upload items")
@@ -507,6 +632,16 @@ class P3Session:
         crop_box: tuple[int, int, int, int] | None,
     ) -> DownloadRequest:
         if isinstance(item, DownloadRequest):
+            if (
+                album is not None
+                or resolution is not None
+                or crop_box is not None
+            ):
+                raise ValueError(
+                    "a DownloadRequest already carries album/resolution/"
+                    "crop_box; combining it with overriding kwargs is "
+                    "ambiguous — set the fields on the request instead"
+                )
             return item
         if not isinstance(item, str):
             raise TypeError(

@@ -8,6 +8,8 @@
     python -m repro batch-encrypt --key album.key --output-dir out/ *.jpg
     python -m repro batch-decrypt --key album.key --output-dir out/ \\
                             out/*.public.jpg
+    python -m repro publish --psp facebook,flickr --replicas 2 \\
+                            --shards 3 *.jpg
     python -m repro inspect pub.jpg
 
 Inputs may be JPEG (decoded by the built-in codec) or netpbm (P5/P6).
@@ -26,6 +28,7 @@ can see where a photo's time actually goes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
@@ -306,6 +309,89 @@ def _cmd_batch_decrypt(args) -> int:
     )
 
 
+def _cmd_publish(args) -> int:
+    """Simulated multi-provider publish with per-provider verification.
+
+    Builds a session against the named provider fleet (``--psp a,b,c``)
+    and a sharded/replicated secret-part store (``--shards``/
+    ``--replicas``), publishes every input through the batch pipeline,
+    then reconstructs each photo from *each* provider to prove every
+    replica is independently usable.
+    """
+    from repro.api.session import DownloadRequest, P3Session
+
+    names = [name.strip() for name in args.psp.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--psp needs at least one provider name")
+    config = dataclasses.replace(
+        _config_from(args),
+        psps=tuple(names),
+        shards=args.shards,
+        replication=args.replicas,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    session = P3Session.create(user="cli", config=config)
+    print(
+        f"publishing {len(args.inputs)} photo(s) to {session.psp.name} "
+        f"(storage: {getattr(session.storage, 'name', 'custom')})"
+    )
+
+    paths = [pathlib.Path(name) for name in args.inputs]
+    corpus = []
+    loadable = []
+    for path in paths:
+        try:
+            corpus.append(_load_jpeg(path, args.quality, config.fast_codec))
+        except (OSError, SystemExit) as error:
+            print(f"FAILED {path}: {error}", file=sys.stderr)
+            continue
+        loadable.append(path)
+    report = session.batch_upload(corpus, album=args.album)
+    for failure in report.failures:
+        print(
+            f"FAILED {loadable[failure.index]} [{failure.stage}]: "
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+
+    provider_names = getattr(session.psp, "provider_names", None)
+    verified = 0
+    verify_failures = 0
+    for path, record in zip(loadable, report.results):
+        if record is None:
+            continue
+        for provider in provider_names or [None]:
+            request = DownloadRequest(
+                photo_id=record.photo_id,
+                album=args.album,
+                provider=provider,
+            )
+            try:
+                pixels = session.download(request)
+            except Exception as error:
+                verify_failures += 1
+                print(
+                    f"VERIFY FAILED {path} via {provider or 'psp'}: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            verified += 1
+        print(
+            f"{path} -> {record.photo_id} "
+            f"({record.public_bytes} B public x{len(provider_names or [0])} "
+            f"providers + {record.secret_bytes} B secret x{args.replicas})"
+        )
+    print(report.summary())
+    print(
+        f"verified {verified} provider reconstruction(s), "
+        f"{verify_failures} failed"
+    )
+    ok = report.ok and verify_failures == 0 and len(loadable) == len(paths)
+    return 0 if ok else 1
+
+
 def _cmd_inspect(args) -> int:
     data = pathlib.Path(args.input).read_bytes()
     info = image_info(data)
@@ -435,6 +521,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scalar_codec_flag(batch_decrypt)
     _add_executor_options(batch_decrypt)
     batch_decrypt.set_defaults(handler=_cmd_batch_decrypt)
+
+    publish = commands.add_parser(
+        "publish",
+        help="simulated multi-provider publish (fan-out PSPs + "
+        "replicated secret-part stores) with per-provider verification",
+    )
+    publish.add_argument("inputs", nargs="+", help="JPEG/netpbm photos")
+    publish.add_argument(
+        "--psp",
+        default="facebook",
+        help="comma-separated provider names to fan out to "
+        "(e.g. facebook,flickr,photobucket)",
+    )
+    publish.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="copies of each secret part across the store fleet",
+    )
+    publish.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of backing secret-part stores",
+    )
+    publish.add_argument("--album", default="cli")
+    _add_codec_options(publish)
+    _add_scalar_codec_flag(publish)
+    _add_executor_options(publish)
+    publish.set_defaults(handler=_cmd_publish)
 
     inspect = commands.add_parser(
         "inspect", help="show JPEG header facts"

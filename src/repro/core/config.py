@@ -41,10 +41,20 @@ class P3Config:
 
     ``executor`` / ``workers`` choose the default execution strategy for
     the batch pipeline (:meth:`repro.api.session.P3Session.batch_upload`
-    and friends): ``"serial"``, ``"thread"`` or ``"process"``, with
-    ``workers=0`` meaning one worker per CPU for the pooled strategies.
-    The config stays a frozen, picklable value object, so worker
-    processes receive it verbatim.
+    and friends): ``"serial"``, ``"thread"``, ``"process"`` or
+    ``"async"`` (an asyncio loop with thread offload, for network-bound
+    backends), with ``workers=0`` meaning one worker per CPU for the
+    pooled strategies.  The config stays a frozen, picklable value
+    object, so worker processes receive it verbatim.
+
+    ``psps`` names several providers to publish every photo to (via a
+    :class:`~repro.api.fanout.FanoutPSP`); empty means the single
+    provider passed to :meth:`~repro.api.session.P3Session.create`.
+    ``shards`` / ``replication`` size the secret-part blob-store fleet:
+    named storage is instantiated ``max(shards, replication)`` times
+    and wrapped in a :class:`~repro.api.fanout.ReplicatedBlobStore`
+    holding ``replication`` copies of every envelope (1 = plain
+    sharding) whenever more than one store results.
     """
 
     threshold: int = DEFAULT_THRESHOLD
@@ -55,6 +65,9 @@ class P3Config:
     fast_crypto: bool = True
     executor: str = "serial"
     workers: int = 0
+    psps: tuple[str, ...] = ()
+    shards: int = 1
+    replication: int = 1
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -72,14 +85,32 @@ class P3Config:
             raise ValueError(
                 f"unknown subsampling mode {self.subsampling!r}"
             )
-        if self.executor not in ("serial", "thread", "process"):
+        if self.executor not in ("serial", "thread", "process", "async"):
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected 'serial', "
-                "'thread' or 'process'"
+                "'thread', 'process' or 'async'"
             )
         if self.workers < 0:
             raise ValueError(
                 f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
+            )
+        if isinstance(self.psps, str):
+            raise ValueError(
+                f"psps must be a sequence of provider names, not the "
+                f"string {self.psps!r} (did you mean psps=({self.psps!r},)?)"
+            )
+        # Normalize so configs hash/compare by value whatever sequence
+        # type the caller used (the dataclass is frozen, hence setattr).
+        object.__setattr__(self, "psps", tuple(self.psps))
+        if not all(isinstance(name, str) and name for name in self.psps):
+            raise ValueError(
+                f"psps must be non-empty provider names, got {self.psps!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
             )
 
     @property

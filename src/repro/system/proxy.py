@@ -23,10 +23,10 @@ from urllib.parse import quote
 
 import numpy as np
 
-from repro.api.backends import BlobStore, PSPBackend
+from repro.api.backends import BlobStore, PSPBackend, best_effort_delete
 from repro.core.config import P3Config
 from repro.core.decryptor import P3Decryptor
-from repro.core.encryptor import P3Encryptor
+from repro.core.encryptor import EncryptedPhoto, P3Encryptor
 from repro.core.linear import planes_to_image, reconstruct_transformed_planes
 from repro.core.reconstruction import recombine
 from repro.core.serialization import SecretPart
@@ -74,6 +74,40 @@ class UploadReceipt:
     secret_bytes: int
 
 
+def publish_encrypted(
+    psp: PSPBackend,
+    storage: BlobStore,
+    photo: EncryptedPhoto,
+    album: str,
+    owner: str,
+    viewers: set[str] | None = None,
+) -> UploadReceipt:
+    """Publish a split photo: public part to the PSP, secret to storage.
+
+    The two writes are kept consistent: if the secret-part put fails,
+    the just-uploaded public part is deleted from the PSP again
+    (best-effort — the protocol's ``delete`` is optional) before the
+    error propagates, so a failed publish never strands a public part
+    whose secret half exists nowhere.  This is the single publish path
+    for the sender proxy and the session batch pipeline.
+    """
+    photo_id = psp.upload(
+        photo.public_jpeg, owner=owner, viewers=viewers
+    )
+    try:
+        storage.put(
+            secret_blob_key(album, photo_id), photo.secret_envelope
+        )
+    except Exception:
+        best_effort_delete(psp, photo_id)
+        raise
+    return UploadReceipt(
+        photo_id=photo_id,
+        public_bytes=photo.public_size,
+        secret_bytes=photo.secret_size,
+    )
+
+
 class SenderProxy:
     """Trusted sender-side middlebox."""
 
@@ -98,16 +132,8 @@ class SenderProxy:
         """Interpose on a photo upload: split, upload, stash secret."""
         encryptor = P3Encryptor(self.keyring.key_for(album), self.config)
         photo = encryptor.encrypt_jpeg(jpeg_bytes)
-        photo_id = self.psp.upload(
-            photo.public_jpeg, owner=self.keyring.owner, viewers=viewers
-        )
-        self.storage.put(
-            secret_blob_key(album, photo_id), photo.secret_envelope
-        )
-        return UploadReceipt(
-            photo_id=photo_id,
-            public_bytes=photo.public_size,
-            secret_bytes=photo.secret_size,
+        return publish_encrypted(
+            self.psp, self.storage, photo, album, self.keyring.owner, viewers
         )
 
     def upload_pixels(
@@ -119,16 +145,8 @@ class SenderProxy:
         """Upload a photo straight from the camera sensor (raw pixels)."""
         encryptor = P3Encryptor(self.keyring.key_for(album), self.config)
         photo = encryptor.encrypt_pixels(pixels)
-        photo_id = self.psp.upload(
-            photo.public_jpeg, owner=self.keyring.owner, viewers=viewers
-        )
-        self.storage.put(
-            secret_blob_key(album, photo_id), photo.secret_envelope
-        )
-        return UploadReceipt(
-            photo_id=photo_id,
-            public_bytes=photo.public_size,
-            secret_bytes=photo.secret_size,
+        return publish_encrypted(
+            self.psp, self.storage, photo, album, self.keyring.owner, viewers
         )
 
 

@@ -182,11 +182,27 @@ class PhotoSharingProvider:
         (top, left, height, width) in the served variant's coordinates.
         """
         photo = self._get_checked(photo_id, requester)
-        if resolution is None:
-            resolution = max(photo.variants)
+        return self._serve(photo, resolution, crop_box)
+
+    def _serve(
+        self,
+        photo: _StoredPhoto,
+        resolution: int | None,
+        crop_box: tuple[int, int, int, int] | None,
+    ) -> bytes:
+        """Shared download machinery behind the access-control check.
+
+        Requests beyond the largest stored variant are capped at the
+        source variant's size, like real PSPs: the variant's bytes are
+        served as stored instead of taking a pointless decode +
+        re-encode generation-loss round trip toward a resolution the
+        provider never had.
+        """
+        largest = max(photo.variants)
+        if resolution is None or resolution > largest:
+            resolution = largest
         source_resolution = min(
-            (r for r in photo.variants if r >= resolution),
-            default=max(photo.variants),
+            r for r in photo.variants if r >= resolution
         )
         data = photo.variants[source_resolution]
         if source_resolution != resolution or crop_box is not None:
@@ -230,6 +246,14 @@ class PhotoSharingProvider:
             progressive=self._pipeline.progressive,
         )
 
+    def delete(self, photo_id: str) -> None:
+        """Remove a photo and its variants (missing IDs are a no-op).
+
+        Client rollback paths (a publish whose secret-part put failed)
+        call this best-effort, so it must tolerate already-gone IDs.
+        """
+        self._photos.pop(photo_id, None)
+
     def _get_checked(self, photo_id: str, requester: str) -> _StoredPhoto:
         if photo_id not in self._photos:
             raise KeyError(f"no photo {photo_id!r}")
@@ -257,11 +281,19 @@ class PhotoSharingProvider:
         """Run an attack callable over every stored photo.
 
         ``analyzer(pixels) -> result`` models the PSP's recognition
-        infrastructure; returns {photo_id: result}.
+        infrastructure; returns {photo_id: result}.  ``resolution=None``
+        analyzes each photo's largest stored variant; any other value
+        must name a stored variant exactly (``0`` is an error, not a
+        fallback).
         """
         results = {}
         for photo_id, photo in self._photos.items():
-            chosen = resolution or max(photo.variants)
+            chosen = max(photo.variants) if resolution is None else resolution
+            if chosen not in photo.variants:
+                raise KeyError(
+                    f"no stored variant {chosen!r} for photo {photo_id!r}; "
+                    f"available: {sorted(photo.variants)}"
+                )
             pixels = decode(photo.variants[chosen])
             results[photo_id] = analyzer(pixels)
         return results
@@ -325,18 +357,9 @@ class PhotoBucketPSP(PhotoSharingProvider):
         resolution: int | None = None,
         crop_box: tuple[int, int, int, int] | None = None,
     ) -> bytes:
-        # No access control: the fusking vulnerability.
+        # No access control: the fusking vulnerability.  The serving
+        # machinery itself is the shared base implementation.
         photo = self._photos.get(photo_id)
         if photo is None:
             raise KeyError(f"no photo {photo_id!r}")
-        if resolution is None:
-            resolution = max(photo.variants)
-        source = min(
-            (r for r in photo.variants if r >= resolution),
-            default=max(photo.variants),
-        )
-        data = photo.variants[source]
-        if source != resolution or crop_box is not None:
-            data = self._dynamic_transform(data, resolution, crop_box)
-        self.bytes_served += len(data)
-        return data
+        return self._serve(photo, resolution, crop_box)

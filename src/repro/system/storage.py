@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from repro.api.backends import BlobStore  # noqa: F401  (re-export: the
 # protocol this reference implementation satisfies)
+from repro.api.fanout import (  # noqa: F401  (re-export: the composite
+    # stores live with the fan-out layer but belong conceptually next
+    # to the reference store — backend authors find all three here)
+    ReplicatedBlobStore,
+    ShardedBlobStore,
+)
 
 
 class CloudStorage:
@@ -55,5 +61,9 @@ class CloudStorage:
     def tamper(self, key: str, offset: int, value: int) -> None:
         """Flip a byte of a stored blob (active attacker simulation)."""
         blob = bytearray(self._blobs[key])
+        if not blob:
+            raise ValueError(
+                f"cannot tamper with {key!r}: the stored blob is empty"
+            )
         blob[offset % len(blob)] ^= value & 0xFF
         self._blobs[key] = bytes(blob)

@@ -4,13 +4,14 @@ import pytest
 
 from repro.api.executors import (
     EXECUTOR_KINDS,
+    AsyncExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     make_executor,
 )
 
-ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor]
+ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor, AsyncExecutor]
 
 
 def _square(value):  # module-level: picklable for the process pool
@@ -51,9 +52,43 @@ class TestMapContract:
         assert [o.value for o in outcomes] == [0, 1, 4]
 
 
+class TestAsyncExecutor:
+    def test_runs_without_an_existing_loop(self):
+        outcomes = AsyncExecutor(workers=2).map(_square, [2, 3, 4])
+        assert [o.value for o in outcomes] == [4, 9, 16]
+
+    def test_runs_inside_a_running_loop(self):
+        """A caller already inside asyncio must not hit nested-run errors."""
+        import asyncio
+
+        async def driver():
+            return AsyncExecutor(workers=2).map(_square, [2, 3])
+
+        outcomes = asyncio.run(driver())
+        assert [o.value for o in outcomes] == [4, 9]
+        assert all(o.ok for o in outcomes)
+
+    def test_overlaps_waiting_tasks(self):
+        """N sleepers on N workers take ~one sleep, not N sleeps."""
+        import time
+
+        start = time.perf_counter()
+        outcomes = AsyncExecutor(workers=4).map(
+            lambda _: time.sleep(0.05), range(4)
+        )
+        elapsed = time.perf_counter() - start
+        assert all(o.ok for o in outcomes)
+        assert elapsed < 0.15  # serial would be >= 0.2s
+
+
 class TestConstruction:
     def test_serial_is_always_one_worker(self):
         assert SerialExecutor(workers=8).workers == 1
+
+    def test_serial_ignores_workers_everywhere(self):
+        """workers= is documented as accepted-and-ignored for serial."""
+        assert make_executor("serial", workers=8).workers == 1
+        assert SerialExecutor().workers == 1
 
     def test_pool_workers_default_to_cpu_count(self):
         assert ThreadExecutor().workers >= 1

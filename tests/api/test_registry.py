@@ -125,3 +125,57 @@ class TestRegistration:
         registry.register_storage("named", CloudStorage)
         store = registry.create_storage("named", name="my-bucket")
         assert store.name == "my-bucket"
+
+
+class TestFleetHelpers:
+    """create_fanout / create_storage_pool — the fleet assembly points."""
+
+    def test_create_fanout_mixes_names_and_instances(self):
+        from repro.api.fanout import FanoutPSP
+        from repro.system.psp import FlickrPSP
+
+        fanout = DEFAULT_REGISTRY.create_fanout(["facebook", FlickrPSP()])
+        assert isinstance(fanout, FanoutPSP)
+        assert fanout.provider_names == ["facebook", "flickr"]
+
+    def test_create_fanout_single_entry_unwrapped(self):
+        from repro.api.fanout import FanoutPSP
+        from repro.system.psp import FacebookPSP
+
+        assert isinstance(
+            DEFAULT_REGISTRY.create_fanout(["facebook"]), FacebookPSP
+        )
+        # kwargs force the composite even for one provider.
+        assert isinstance(
+            DEFAULT_REGISTRY.create_fanout(["facebook"], min_success=1),
+            FanoutPSP,
+        )
+        with pytest.raises(ValueError, match="at least one"):
+            DEFAULT_REGISTRY.create_fanout([])
+
+    def test_create_storage_pool_named(self):
+        from repro.api.fanout import ReplicatedBlobStore
+
+        single = DEFAULT_REGISTRY.create_storage_pool("dropbox")
+        assert isinstance(single, CloudStorage)
+        pool = DEFAULT_REGISTRY.create_storage_pool("dropbox", 3, 2)
+        assert isinstance(pool, ReplicatedBlobStore)
+        assert len(pool.stores) == 3
+        assert pool.replicas == 2
+
+    def test_create_storage_pool_list_rejects_count(self):
+        with pytest.raises(ValueError, match="fleet size"):
+            DEFAULT_REGISTRY.create_storage_pool(["dropbox", "memory"], 2)
+        pool = DEFAULT_REGISTRY.create_storage_pool(["dropbox", "memory"])
+        assert len(pool.stores) == 2
+
+    def test_create_storage_pool_keyword_replicas(self):
+        """replicas= as a keyword must control the pool, not leak into
+        the store factory kwargs."""
+        from repro.api.fanout import ReplicatedBlobStore
+
+        pool = DEFAULT_REGISTRY.create_storage_pool(
+            "dropbox", count=3, replicas=2
+        )
+        assert isinstance(pool, ReplicatedBlobStore)
+        assert pool.replicas == 2

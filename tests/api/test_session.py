@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api.fanout import FanoutPSP, ReplicatedBlobStore
 from repro.api.session import (
     BatchReport,
     DownloadRequest,
@@ -16,6 +17,24 @@ from repro.jpeg.codec import encode_rgb
 from repro.system.proxy import RecipientProxy, SenderProxy, secret_blob_key
 from repro.system.psp import FacebookPSP, FlickrPSP
 from repro.system.storage import CloudStorage
+
+
+class ExplodingStore:
+    """A blob store that accepts nothing — for rollback regression tests."""
+
+    name = "exploding"
+
+    def put(self, key, blob):
+        raise IOError("simulated storage outage")
+
+    def get(self, key):
+        raise KeyError(key)
+
+    def exists(self, key):
+        return False
+
+    def delete(self, key):
+        pass
 
 
 @pytest.fixture(scope="module")
@@ -321,3 +340,243 @@ class TestBatchPipeline:
         report = session.batch_upload([], album="trip")
         assert report.total == 0
         assert report.ok
+
+    def test_interleaved_fetch_and_reconstruct_failures_stay_aligned(
+        self, session, jpegs
+    ):
+        """Index alignment when both failure stages hit one batch."""
+        records = [
+            session.upload(jpeg, album="trip") for jpeg in jpegs[:3]
+        ]
+        # Corrupt two secret envelopes: their fetch succeeds but the
+        # reconstruct stage fails on the envelope HMAC.
+        for record in (records[0], records[2]):
+            session.storage.tamper(
+                secret_blob_key("trip", record.photo_id), offset=40, value=1
+            )
+        items = [
+            records[0].photo_id,  # reconstruct failure
+            "missing-photo-a",    # fetch failure
+            records[1].photo_id,  # success
+            records[2].photo_id,  # reconstruct failure
+            "missing-photo-b",    # fetch failure
+        ]
+        report = session.batch_download(items, album="trip")
+        assert report.total == 5
+        assert report.succeeded == 1
+        assert report.results[2] is not None
+        assert [r is None for r in report.results] == [
+            True, True, False, True, True
+        ]
+        by_index = {f.index: f.stage for f in report.failures}
+        assert by_index == {
+            0: "reconstruct",
+            1: "fetch",
+            3: "reconstruct",
+            4: "fetch",
+        }
+        # Failures are reported in input order despite the two stages
+        # discovering them at different times.
+        assert [f.index for f in report.failures] == [0, 1, 3, 4]
+        # Byte accounting only counts items that produced pixels.
+        assert report.bytes_public > 0
+
+
+class TestStrictRequestKwargs:
+    """Typed requests may not be silently overridden by kwargs."""
+
+    def test_upload_request_with_album_kwarg_raises(self, session, jpegs):
+        request = UploadRequest(album="trip", jpeg=jpegs[0])
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.upload(request, album="other")
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.upload(request, viewers={"bob"})
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.batch_upload([request], album="other")
+
+    def test_download_request_with_kwargs_raises(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip")
+        request = DownloadRequest(photo_id=record.photo_id, album="trip")
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.download(request, resolution=75)
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.download(request, album="other")
+        with pytest.raises(ValueError, match="ambiguous"):
+            session.batch_download([request], resolution=75)
+
+    def test_requests_without_kwargs_still_work(self, session, jpegs):
+        record = session.upload(
+            UploadRequest(album="trip", jpeg=jpegs[0])
+        )
+        pixels = session.download(
+            DownloadRequest(photo_id=record.photo_id, album="trip")
+        )
+        assert pixels.ndim == 3
+
+
+class TestPublishRollback:
+    """A failed secret-part put must not strand the public part."""
+
+    def _session(self, psp, storage):
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        return P3Session(
+            keys, psp, storage, config=P3Config(threshold=15, quality=85)
+        )
+
+    def test_single_upload_rolls_back_psp_orphan(self, jpegs):
+        psp = FacebookPSP()
+        session = self._session(psp, ExplodingStore())
+        with pytest.raises(IOError, match="storage outage"):
+            session.upload(jpegs[0], album="trip")
+        assert psp.all_photo_ids() == []
+
+    def test_batch_upload_reports_publish_stage_and_rolls_back(self, jpegs):
+        psp = FacebookPSP()
+        session = self._session(psp, ExplodingStore())
+        report = session.batch_upload(jpegs[:2], album="trip")
+        assert not report.ok
+        assert report.succeeded == 0
+        assert [f.stage for f in report.failures] == ["publish", "publish"]
+        assert all("storage outage" in f.error for f in report.failures)
+        assert psp.all_photo_ids() == []
+
+    def test_fanout_publish_rolls_back_every_provider(self, jpegs):
+        providers = [FacebookPSP(), FlickrPSP()]
+        psp = FanoutPSP(providers)
+        session = self._session(psp, ExplodingStore())
+        with pytest.raises(IOError):
+            session.upload(jpegs[0], album="trip")
+        assert psp.all_photo_ids() == []
+        assert all(p.all_photo_ids() == [] for p in providers)
+
+
+class TestMultiBackendSession:
+    """The fan-out + replication acceptance path."""
+
+    PROVIDERS = ("facebook", "flickr")
+
+    @staticmethod
+    def _keyring():
+        keys = Keyring("alice")
+        keys.add_key("trip", bytes(range(16)))
+        return keys
+
+    def test_create_builds_fleets_from_config(self):
+        config = P3Config(psps=self.PROVIDERS, shards=3, replication=2)
+        session = P3Session.create(user="alice", config=config)
+        assert isinstance(session.psp, FanoutPSP)
+        assert session.psp.provider_names == list(self.PROVIDERS)
+        assert isinstance(session.storage, ReplicatedBlobStore)
+        assert len(session.storage.stores) == 3
+        assert session.storage.replicas == 2
+
+    def test_create_accepts_backend_lists(self):
+        session = P3Session.create(
+            psp=["flickr", FacebookPSP()], storage=["dropbox", "memory"]
+        )
+        assert isinstance(session.psp, FanoutPSP)
+        assert sorted(session.psp.provider_names) == ["facebook", "flickr"]
+        assert isinstance(session.storage, ReplicatedBlobStore)
+        assert session.storage.replicas == 1  # default: pure sharding
+
+    def test_replication_alone_sizes_the_fleet(self):
+        session = P3Session.create(config=P3Config(replication=2))
+        assert isinstance(session.storage, ReplicatedBlobStore)
+        assert len(session.storage.stores) == 2
+
+    def test_config_rejects_bare_string_psps(self):
+        with pytest.raises(ValueError, match="sequence of provider names"):
+            P3Config(psps="facebook")
+
+    def test_explicit_backend_plus_fleet_config_is_ambiguous(self):
+        with pytest.raises(ValueError, match="psp= and config.psps"):
+            P3Session.create(
+                psp="flickr", config=P3Config(psps=("facebook",))
+            )
+        with pytest.raises(ValueError, match="after the fact"):
+            P3Session.create(
+                storage=CloudStorage(), config=P3Config(replication=2)
+            )
+        with pytest.raises(ValueError, match="shard count"):
+            P3Session.create(
+                storage=["dropbox", "memory"], config=P3Config(shards=3)
+            )
+
+    def test_provider_pin_requires_fanout(self, session, jpegs):
+        record = session.upload(jpegs[0], album="trip")
+        request = DownloadRequest(
+            photo_id=record.photo_id, album="trip", provider="flickr"
+        )
+        with pytest.raises(ValueError, match="single provider"):
+            session.download(request)
+
+    def test_each_provider_reconstructs_like_single_provider_path(
+        self, jpegs
+    ):
+        """Acceptance: fan-out + replication vs the single-provider
+        paths, byte for byte, including after one shard is wiped."""
+        config = P3Config(
+            threshold=15,
+            quality=85,
+            psps=self.PROVIDERS,
+            shards=3,
+            replication=2,
+        )
+        fan = P3Session.create(
+            user="alice", keyring=self._keyring(), config=config
+        )
+        record = fan.upload(jpegs[0], album="trip")
+
+        singles = {}
+        for name in self.PROVIDERS:
+            single = P3Session.create(
+                psp=name,
+                keyring=self._keyring(),
+                config=P3Config(threshold=15, quality=85),
+            )
+            single_record = single.upload(jpegs[0], album="trip")
+            singles[name] = single.download(
+                single_record.photo_id, album="trip"
+            ).tobytes()
+
+        def reconstruction(provider):
+            return fan.download(
+                DownloadRequest(
+                    photo_id=record.photo_id, album="trip", provider=provider
+                )
+            ).tobytes()
+
+        for name in self.PROVIDERS:
+            assert reconstruction(name) == singles[name]
+
+        # Wipe the shard holding the primary replica of the envelope.
+        storage = fan.storage
+        key = secret_blob_key("trip", record.photo_id)
+        victim = storage.replica_indices(key)[0]
+        for stored in list(storage.stores[victim].keys()):
+            storage.stores[victim].delete(stored)
+        assert not storage.stores[victim].exists(key)
+
+        repairs_before = storage.repairs
+        for name in self.PROVIDERS:
+            assert reconstruction(name) == singles[name]
+        assert storage.repairs > repairs_before
+        assert storage.stores[victim].exists(key)  # read-repair healed it
+
+    def test_fanout_batch_roundtrip(self, jpegs):
+        config = P3Config(psps=self.PROVIDERS, shards=2, replication=2)
+        session = P3Session.create(user="alice", config=config)
+        up = session.batch_upload(jpegs[:2], album="trip")
+        assert up.ok, up.failures
+        down = session.batch_download(
+            [
+                DownloadRequest(
+                    photo_id=record.photo_id, album="trip", provider=provider
+                )
+                for record in up.results
+                for provider in session.psp.provider_names
+            ]
+        )
+        assert down.ok, down.failures
+        assert all(p.ndim == 3 for p in down.results)

@@ -111,6 +111,47 @@ class TestFusking:
             psp.download("img000001", "victim")
 
 
+class TestVariantCap:
+    """Requests beyond the largest stored variant serve it as-is."""
+
+    def test_oversize_request_serves_stored_bytes(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(photo_id, "alice", resolution=5000)
+        assert served == psp.stored_variant(photo_id, 720)
+        # ...and matches the default (largest) download exactly: no
+        # decode + re-encode generation loss on the capped path.
+        assert served == psp.download(photo_id, "alice")
+
+    def test_photobucket_shares_the_capped_machinery(self, photo_bytes):
+        psp = PhotoBucketPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(photo_id, "anyone", resolution=5000)
+        assert served == psp.stored_variant(photo_id, 640)
+
+    def test_oversize_request_with_crop_still_crops(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        served = psp.download(
+            photo_id, "alice", resolution=5000, crop_box=(0, 0, 32, 32)
+        )
+        info = image_info(served)
+        assert (info.height, info.width) == (32, 32)
+
+
+class TestDelete:
+    def test_delete_removes_photo(self, photo_bytes):
+        psp = FacebookPSP()
+        photo_id = psp.upload(photo_bytes, owner="alice")
+        psp.delete(photo_id)
+        assert psp.all_photo_ids() == []
+        with pytest.raises(KeyError):
+            psp.download(photo_id, "alice")
+
+    def test_delete_missing_is_a_noop(self):
+        PhotoBucketPSP().delete("img999999")  # must not raise
+
+
 class TestDynamicTransforms:
     def test_dynamic_resize(self, photo_bytes):
         psp = FlickrPSP()
@@ -143,3 +184,12 @@ class TestAdversarialAnalysis:
         b = psp.upload(photo_bytes, owner="bob")
         results = psp.run_analysis(lambda pixels: pixels.shape, resolution=75)
         assert set(results) == {a, b}
+
+    def test_run_analysis_rejects_unstored_resolution(self, photo_bytes):
+        """resolution=0 is an error, not a silent largest-variant fallback."""
+        psp = FacebookPSP()
+        psp.upload(photo_bytes, owner="alice")
+        with pytest.raises(KeyError, match="no stored variant 0"):
+            psp.run_analysis(lambda pixels: None, resolution=0)
+        with pytest.raises(KeyError, match="available"):
+            psp.run_analysis(lambda pixels: None, resolution=333)

@@ -54,6 +54,13 @@ class TestAdversarialHooks:
         storage.tamper("k", offset=1, value=0xFF)
         assert storage.get("k") == b"\x00\xff\x00"
 
+    def test_tamper_empty_blob_is_an_error(self):
+        """Empty blobs used to crash with ZeroDivisionError."""
+        storage = CloudStorage()
+        storage.put("k", b"")
+        with pytest.raises(ValueError, match="empty"):
+            storage.tamper("k", offset=0, value=0xFF)
+
     def test_tampered_envelope_detected(self, album_key):
         """The paper: the storage provider 'can tamper with images and
         hinder reconstruction' but 'cannot leak photo privacy'.  Our

@@ -274,3 +274,46 @@ class TestBatchCli:
              "--executor", "serial"]
         ) == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestPublishCommand:
+    @pytest.fixture()
+    def photo_files(self, tmp_path, scene_corpus):
+        paths = []
+        for index, image in enumerate(scene_corpus[:2]):
+            path = tmp_path / f"photo{index}.jpg"
+            path.write_bytes(encode_rgb(image, quality=85))
+            paths.append(path)
+        return paths
+
+    def test_single_provider_publish(self, photo_files, capsys):
+        assert main(
+            ["publish", str(photo_files[0]), "--executor", "serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out
+        assert "verified 1 provider reconstruction(s), 0 failed" in out
+
+    def test_multi_provider_fanout_with_replication(self, photo_files, capsys):
+        assert main(
+            ["publish", *map(str, photo_files),
+             "--psp", "facebook,flickr,photobucket",
+             "--shards", "3",
+             "--replicas", "2",
+             "--executor", "serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fanout(facebook,flickr,photobucket)" in out
+        # 2 photos x 3 providers each independently reconstructed.
+        assert "verified 6 provider reconstruction(s), 0 failed" in out
+
+    def test_unreadable_input_fails_the_run(self, photo_files, tmp_path, capsys):
+        missing = tmp_path / "nope.jpg"
+        assert main(
+            ["publish", str(photo_files[0]), str(missing),
+             "--executor", "serial"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        # The readable photo was still published and verified.
+        assert "verified 1 provider reconstruction(s), 0 failed" in captured.out
