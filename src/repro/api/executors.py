@@ -55,6 +55,26 @@ def describe_error(error: BaseException) -> str:
     return f"{type(error).__name__}: {error}"
 
 
+def _call(thunk: Callable[[], Any]) -> Any:
+    return thunk()
+
+
+def run_calls(
+    executor: "Executor", thunks: Sequence[Callable[[], Any]]
+) -> list[TaskOutcome]:
+    """Run zero-argument callables under an executor's map contract.
+
+    The fan-out write path (multi-provider ingest, replica puts) is a
+    list of *heterogeneous* calls rather than one function over many
+    items; this adapter keeps those call sites on the same ordered,
+    per-item-error-capturing :class:`TaskOutcome` contract.  Closures
+    do not pickle, so pair it with serial/thread/async executors —
+    which is what ingest wants anyway: backend mutations must happen
+    in this process.
+    """
+    return executor.map(_call, thunks)
+
+
 class Executor:
     """Base class: subclasses provide :meth:`_run_all`."""
 

@@ -25,10 +25,20 @@ cannot tell one provider from five.
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
 from typing import Iterable, Sequence
 
 from repro.api.backends import BlobStore, PSPBackend, best_effort_delete
-from repro.api.executors import describe_error
+from repro.api.executors import (
+    Executor,
+    SerialExecutor,
+    describe_error,
+    run_calls,
+)
+
+#: Stateless in-process fallback for composites built without an executor.
+_SERIAL_FALLBACK = SerialExecutor()
 
 
 class FanoutError(RuntimeError):
@@ -77,9 +87,13 @@ class ReplicatedBlobStore:
     ``put`` walks the key's preference order until ``replicas`` stores
     accepted the blob, skipping stores that error (so one dead store
     degrades durability instead of failing the publish); at least one
-    replica must land or the put raises.  ``get`` returns the first
-    replica found and re-creates missing replicas from it
-    (read-repair), so a wiped store heals as its keys are read.
+    replica must land or the put raises.  With an ``executor`` the
+    ring-prefix replicas are written *concurrently* (the puts are
+    network-bound against real stores) and only failures fall back to
+    the serial walk down the ring — semantics are identical either
+    way.  ``get`` returns the first replica found and re-creates
+    missing replicas from it (read-repair), so a wiped store heals as
+    its keys are read.
     """
 
     def __init__(
@@ -89,6 +103,7 @@ class ReplicatedBlobStore:
         *,
         read_repair: bool = True,
         name: str | None = None,
+        executor: Executor | None = None,
     ) -> None:
         stores = list(stores)
         if not stores:
@@ -100,9 +115,13 @@ class ReplicatedBlobStore:
         self.stores = stores
         self.replicas = replicas
         self.read_repair = read_repair
+        self.executor = executor  # None = serial replica puts
         self.name = name or f"replicated({len(stores)} stores, r={replicas})"
         self.repairs = 0  # replicas re-created by read-repair
         self.degraded_puts = 0  # puts that landed fewer than R replicas
+        # Counters are bumped from executor threads and serving
+        # threads alike; the lock keeps them exact.
+        self._counter_lock = threading.Lock()
 
     # -- placement (public: tests and benchmarks reason about it) ------------
 
@@ -117,22 +136,44 @@ class ReplicatedBlobStore:
     # -- the BlobStore protocol ----------------------------------------------
 
     def put(self, key: str, blob: bytes) -> None:
+        order = self.preference(key)
         written = 0
         errors: list[str] = []
-        for index in self.preference(key):
+        remaining = order
+        if self.executor is not None and self.replicas > 1:
+            # Fast path: write the healthy-case replica set in one
+            # concurrent wave; only failures walk further down the ring.
+            prefix = order[: self.replicas]
+            outcomes = run_calls(
+                self.executor,
+                [
+                    (lambda store=self.stores[i]: store.put(key, blob))
+                    for i in prefix
+                ],
+            )
+            for index, outcome in zip(prefix, outcomes):
+                if outcome.ok:
+                    written += 1
+                else:
+                    errors.append(f"store[{index}]: {outcome.error}")
+            remaining = order[self.replicas :]
+        for index in remaining:
+            if written == self.replicas:
+                return
             try:
                 self.stores[index].put(key, blob)
             except Exception as error:
                 errors.append(f"store[{index}]: {describe_error(error)}")
                 continue
             written += 1
-            if written == self.replicas:
-                return
+        if written == self.replicas:
+            return
         if written == 0:
             raise FanoutError(
                 f"no store accepted {key!r}: " + "; ".join(errors)
             )
-        self.degraded_puts += 1
+        with self._counter_lock:
+            self.degraded_puts += 1
 
     def get(self, key: str) -> bytes:
         order = self.preference(key)
@@ -162,7 +203,8 @@ class ReplicatedBlobStore:
             try:
                 if not store.exists(key):
                     store.put(key, blob)
-                    self.repairs += 1
+                    with self._counter_lock:
+                        self.repairs += 1
             except Exception:
                 continue  # that replica stays missing; next read retries
 
@@ -226,15 +268,23 @@ class ShardedBlobStore(ReplicatedBlobStore):
 class FanoutPSP:
     """One logical provider backed by several real ones.
 
-    ``upload`` publishes to every registered provider and returns a
-    composite photo ID mapped to the per-provider IDs; a partial
-    publish below ``min_success`` providers is rolled back
-    (best-effort deletes) and raised, never left half-done.
+    ``upload`` publishes to every registered provider — concurrently
+    when an ``executor`` is configured (per-provider ingest is
+    network-bound against real PSPs, so a 3-provider publish on a
+    thread executor approaches single-provider wall clock) — and
+    returns a composite photo ID mapped to the per-provider IDs; a
+    partial publish below ``min_success`` providers is rolled back
+    (best-effort deletes) and raised, never left half-done, whether
+    the failures were serial or concurrent.
     ``download`` serves from the first provider that answers, failing
     over in registration order; :meth:`download_from` pins a provider
     and :meth:`download_quorum` demands byte-identical answers from
     several (meaningful for homogeneous fleets, where one lying or
     bit-rotted provider must not go unnoticed).
+
+    Per-provider ingest wall clock is recorded on every upload
+    (:attr:`last_ingest_timings`, cumulative :attr:`ingest_seconds`),
+    so callers can report where publish time actually goes.
     """
 
     def __init__(
@@ -242,6 +292,7 @@ class FanoutPSP:
         providers: Iterable[PSPBackend],
         *,
         min_success: int | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self._providers: dict[str, PSPBackend] = {}
         for provider in providers:
@@ -261,8 +312,14 @@ class FanoutPSP:
                 f"got {min_success}"
             )
         self.min_success = min_success
+        self.executor = executor  # None = serial per-provider ingest
         self.name = "fanout(" + ",".join(self._providers) + ")"
         self._routes: dict[str, dict[str, str]] = {}
+        self._lock = threading.Lock()  # route map + timing counters
+        #: Per-provider ingest seconds of the most recent upload.
+        self.last_ingest_timings: dict[str, float] = {}
+        #: Cumulative per-provider ingest seconds across all uploads.
+        self.ingest_seconds: dict[str, float] = {}
 
     @property
     def provider_names(self) -> list[str]:
@@ -282,25 +339,77 @@ class FanoutPSP:
         return dict(self._route(photo_id))
 
     def _route(self, photo_id: str) -> dict[str, str]:
-        try:
-            return self._routes[photo_id]
-        except KeyError:
-            raise KeyError(f"no photo {photo_id!r}") from None
+        with self._lock:
+            try:
+                return self._routes[photo_id]
+            except KeyError:
+                raise KeyError(f"no photo {photo_id!r}") from None
+
+    def check_access(self, photo_id: str, requester: str) -> None:
+        """Delegate the serving tier's access check to the fleet.
+
+        Raises ``KeyError`` for unknown composite IDs; otherwise the
+        first routed provider exposing ``check_access`` decides
+        (providers that dropped the photo are skipped, mirroring
+        download failover).  A provider *without* the hook counts as
+        willing to serve — exactly what :meth:`download`'s failover
+        would conclude — so a mixed fleet allows what any member would
+        have served.
+        """
+        route = self._route(photo_id)
+        unchecked = 0
+        for alias, provider_id in route.items():
+            checker = getattr(self._providers[alias], "check_access", None)
+            if checker is None:
+                unchecked += 1
+                continue
+            try:
+                checker(provider_id, requester)
+            except KeyError:
+                continue  # that replica is gone; ask the next provider
+            return
+        if unchecked == 0:
+            # Every provider enforces a policy and every one has lost
+            # the photo: the composite ID is a dangling route, not an
+            # allow — without this, a cached variant of a fleet-wide
+            # deleted photo would keep serving with no access decision.
+            raise KeyError(
+                f"no provider still holds photo {photo_id!r}"
+            )
 
     # -- the PSPBackend protocol ---------------------------------------------
 
     def upload(
         self, data: bytes, owner: str, viewers: set[str] | None = None
     ) -> str:
+        providers = list(self._providers.items())
+
+        def ingest(alias: str, provider: PSPBackend) -> tuple[str, float]:
+            start = time.perf_counter()
+            provider_id = provider.upload(data, owner=owner, viewers=viewers)
+            return provider_id, time.perf_counter() - start
+
+        outcomes = run_calls(
+            self.executor or _SERIAL_FALLBACK,
+            [
+                (lambda a=alias, p=provider: ingest(a, p))
+                for alias, provider in providers
+            ],
+        )
         route: dict[str, str] = {}
         errors: dict[str, str] = {}
-        for alias, provider in self._providers.items():
-            try:
-                route[alias] = provider.upload(
-                    data, owner=owner, viewers=viewers
+        timings: dict[str, float] = {}
+        for (alias, _), outcome in zip(providers, outcomes):
+            if outcome.ok:
+                route[alias], timings[alias] = outcome.value
+            else:
+                errors[alias] = outcome.error
+        with self._lock:
+            self.last_ingest_timings = dict(timings)
+            for alias, seconds in timings.items():
+                self.ingest_seconds[alias] = (
+                    self.ingest_seconds.get(alias, 0.0) + seconds
                 )
-            except Exception as error:
-                errors[alias] = describe_error(error)
         if len(route) < self.min_success:
             # A partial publish would strand replicas that no composite
             # ID ever points at: roll back what landed, then report.
@@ -314,7 +423,8 @@ class FanoutPSP:
             "|".join(f"{alias}={pid}" for alias, pid in route.items()).encode()
         ).hexdigest()
         photo_id = f"fan-{digest[:16]}"
-        self._routes[photo_id] = route
+        with self._lock:
+            self._routes[photo_id] = route
         return photo_id
 
     def download(
@@ -418,14 +528,16 @@ class FanoutPSP:
 
     def delete(self, photo_id: str) -> None:
         """Best-effort delete on every provider holding the photo."""
-        route = self._routes.pop(photo_id, None)
+        with self._lock:
+            route = self._routes.pop(photo_id, None)
         if not route:
             return
         for alias, provider_id in route.items():
             best_effort_delete(self._providers[alias], provider_id)
 
     def all_photo_ids(self) -> list[str]:
-        return list(self._routes)
+        with self._lock:
+            return list(self._routes)
 
     def __repr__(self) -> str:
         return f"FanoutPSP({', '.join(self.provider_names)})"

@@ -9,9 +9,10 @@ including :class:`~repro.api.fanout.FanoutPSP` fan-out and failover —
 and blob-store puts/gets, replicated or not) stay in the parent where
 the backend objects live.
 
-The reconstruction path is the same :func:`repro.system.proxy.
-reconstruct_served` the recipient proxy uses, so batch downloads are
-bit-for-bit identical to the interposed single-photo path.
+The reconstruction path is the same :func:`repro.serve.reconstruct.
+reconstruct_served` core the serving engine (and thus the recipient
+proxy and the gateway) uses, so batch downloads are bit-for-bit
+identical to the interposed single-photo path.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from repro.core.decryptor import P3Decryptor
 from repro.core.encryptor import EncryptedPhoto, P3Encryptor
 from repro.jpeg.codec import decode_coefficients
 from repro.jpeg.decoder import coefficients_to_pixels
-from repro.system.proxy import reconstruct_served
+from repro.serve.reconstruct import reconstruct_served
 from repro.system.reverse import TransformEstimate
 
 

@@ -99,16 +99,19 @@ class BackendRegistry:
             ) from None
 
     def create_fanout(
-        self, providers: "list | tuple", /, **kwargs
+        self, providers: "list | tuple", /, executor=None, **kwargs
     ) -> PSPBackend:
         """A :class:`FanoutPSP` over several providers.
 
         Entries are registered names or ready backend instances, freely
         mixed.  A single entry returns that provider directly (no
         composite wrapper) unless ``kwargs`` (e.g. ``min_success=``)
-        force the composite.  This is the one place fan-out fleets are
-        assembled — :meth:`repro.api.session.P3Session.create` routes
-        its psp lists here.
+        force the composite.  ``executor`` makes the composite's
+        per-provider ingest concurrent (``None`` keeps it serial and
+        never forces a single entry into the wrapper).  This is the
+        one place fan-out fleets are assembled —
+        :meth:`repro.api.session.P3Session.create` routes its psp
+        lists here.
         """
         backends = [
             self.create_psp(entry) if isinstance(entry, str) else entry
@@ -118,7 +121,7 @@ class BackendRegistry:
             raise ValueError("the provider list must name at least one PSP")
         if len(backends) == 1 and not kwargs:
             return backends[0]
-        return FanoutPSP(backends, **kwargs)
+        return FanoutPSP(backends, executor=executor, **kwargs)
 
     def create_storage_pool(
         self,
@@ -126,6 +129,7 @@ class BackendRegistry:
         /,
         count: int | None = None,
         replicas: int = 1,
+        executor=None,
         **kwargs,
     ) -> BlobStore:
         """A store fleet behind one facade — the single assembly point.
@@ -135,9 +139,11 @@ class BackendRegistry:
         left ``None`` — the list fixes the fleet size).  One store with
         ``replicas=1`` is returned bare; anything larger is wrapped in
         a :class:`ReplicatedBlobStore` (``replicas=1`` meaning pure
-        sharding).  Remaining ``kwargs`` go to each backing store's
+        sharding) whose replica puts run on ``executor`` when one is
+        given.  Remaining ``kwargs`` go to each backing store's
         factory (which therefore cannot take parameters named
-        ``count``/``replicas`` — those always mean the pool's).
+        ``count``/``replicas``/``executor`` — those always mean the
+        pool's).
         """
         if isinstance(storage, str):
             count = 1 if count is None else count
@@ -164,7 +170,9 @@ class BackendRegistry:
                 )
         if len(stores) == 1 and replicas == 1:
             return stores[0]
-        return ReplicatedBlobStore(stores, replicas=replicas)
+        return ReplicatedBlobStore(
+            stores, replicas=replicas, executor=executor
+        )
 
     def psp_names(self) -> list[str]:
         return sorted(self._psps)

@@ -36,12 +36,12 @@ from repro.api.registry import DEFAULT_REGISTRY, BackendRegistry
 from repro.core.config import P3Config
 from repro.core.encryptor import EncryptedPhoto
 from repro.crypto.keyring import Keyring
+from repro.serve.engine import ServeRequest, ServingEngine
 from repro.system.proxy import (
     DEFAULT_SECRET_CACHE_LIMIT,
     RecipientProxy,
     SenderProxy,
     publish_encrypted,
-    secret_blob_key,
 )
 from repro.system.reverse import TransformEstimate
 
@@ -186,10 +186,25 @@ def run_sparse_batch(
 # -- backend resolution (single or fleet) -------------------------------------
 
 
+def _ingest_executor(config: P3Config) -> "Executor | None":
+    """The write-path executor the config asks for (None = serial).
+
+    One stateless executor instance is shared by the PSP fan-out and
+    the replicated store, so ``ingest_executor="thread"`` overlaps
+    per-provider uploads *and* per-replica puts.
+    """
+    if config.ingest_executor == "serial":
+        return None
+    return make_executor(
+        config.ingest_executor, config.ingest_workers or None
+    )
+
+
 def _resolve_psp_backend(
     psp: "str | PSPBackend | Sequence[str | PSPBackend] | None",
     config: P3Config,
     registry: BackendRegistry,
+    executor: "Executor | None" = None,
 ) -> PSPBackend:
     """One PSP instance from a name, instance, fleet, or the config.
 
@@ -207,7 +222,7 @@ def _resolve_psp_backend(
     if isinstance(psp, str):
         return registry.create_psp(psp)
     if isinstance(psp, (list, tuple)):
-        return registry.create_fanout(psp)
+        return registry.create_fanout(psp, executor=executor)
     return psp
 
 
@@ -215,6 +230,7 @@ def _resolve_blob_store(
     storage: "str | BlobStore | Sequence[str | BlobStore] | None",
     config: P3Config,
     registry: BackendRegistry,
+    executor: "Executor | None" = None,
 ) -> BlobStore:
     """One blob store from a name, instance, fleet, or the config.
 
@@ -227,7 +243,7 @@ def _resolve_blob_store(
     if storage is None or isinstance(storage, str):
         count = max(config.shards, config.replication)
         return registry.create_storage_pool(
-            storage or "dropbox", count, config.replication
+            storage or "dropbox", count, config.replication, executor
         )
     if isinstance(storage, (list, tuple)):
         if config.shards > 1:
@@ -236,7 +252,7 @@ def _resolve_blob_store(
                 "list already fixes the shard count"
             )
         return registry.create_storage_pool(
-            list(storage), None, config.replication
+            list(storage), None, config.replication, executor
         )
     if config.shards > 1 or config.replication > 1:
         raise ValueError(
@@ -261,22 +277,28 @@ class P3Session:
         config: P3Config | None = None,
         transform_estimate: TransformEstimate | None = None,
         cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+        engine: ServingEngine | None = None,
     ) -> None:
         self.keyring = keyring
         self.psp = psp
         self.storage = storage
         self.config = config or P3Config()
-        self.transform_estimate = transform_estimate
         self.cache_limit = cache_limit
-        self.sender = SenderProxy(keyring, psp, storage, self.config)
-        self.recipient = RecipientProxy(
-            keyring,
+        # The session's whole read path — single downloads, provider-
+        # pinned fetches, the batch pipeline's fetch stage — runs on
+        # one ServingEngine.  Viewer sessions share it (shared caches,
+        # shared coalescing), which is exactly the multi-user story.
+        self.engine = engine or ServingEngine.from_config(
             psp,
             storage,
+            self.config,
             transform_estimate=transform_estimate,
-            fast=self.config.fast_codec,
-            fast_crypto=self.config.fast_crypto,
-            cache_limit=cache_limit,
+            secret_cache_limit=cache_limit,
+        )
+        self.transform_estimate = self.engine.transform_estimate
+        self.sender = SenderProxy(keyring, psp, storage, self.config)
+        self.recipient = RecipientProxy(
+            keyring, psp, storage, engine=self.engine
         )
 
     @classmethod
@@ -306,10 +328,11 @@ class P3Session:
         """
         registry = registry or DEFAULT_REGISTRY
         config = config or P3Config()
+        ingest = _ingest_executor(config)
         return cls(
             keyring or Keyring(user),
-            _resolve_psp_backend(psp, config, registry),
-            _resolve_blob_store(storage, config, registry),
+            _resolve_psp_backend(psp, config, registry, ingest),
+            _resolve_blob_store(storage, config, registry, ingest),
             config=config,
             transform_estimate=transform_estimate,
             cache_limit=cache_limit,
@@ -320,7 +343,12 @@ class P3Session:
         return self.keyring.owner
 
     def viewer(self, user: str) -> "P3Session":
-        """A recipient session on the same PSP/storage, empty keyring."""
+        """A recipient session on the same PSP/storage, empty keyring.
+
+        Viewer sessions share this session's serving engine, so many
+        viewers coalesce onto one reconstruction and one cache — the
+        multi-tenant behaviour the gateway builds on.
+        """
         return P3Session(
             Keyring(user),
             self.psp,
@@ -328,6 +356,7 @@ class P3Session:
             config=self.config,
             transform_estimate=self.transform_estimate,
             cache_limit=self.cache_limit,
+            engine=self.engine,
         )
 
     def share(self, album: str, recipient: "P3Session | Keyring") -> None:
@@ -374,27 +403,18 @@ class P3Session:
         resolution: int | None = None,
         crop_box: tuple[int, int, int, int] | None = None,
     ) -> np.ndarray:
-        """Fetch + reconstruct one photo via the recipient proxy.
+        """Fetch + reconstruct one photo via the serving engine.
 
-        Provider-pinned requests (``DownloadRequest.provider``) bypass
-        the proxy's secret cache and run the identical reconstruction
-        path directly — outputs are byte-for-byte the same.
+        Every flavour — keyed, public-only, provider-pinned — runs the
+        single engine path (two-tier cache, coalescing, timing), so
+        outputs are byte-for-byte the same wherever they are served
+        from.
         """
         request = self._as_download_request(item, album, resolution, crop_box)
-        if request.provider is not None:
-            return run_decrypt_task(self._fetch_task(request))
-        if request.public_only:
-            return self.recipient.download_public_only(
-                request.photo_id,
-                resolution=request.resolution,
-                crop_box=request.crop_box,
-            )
-        return self.recipient.download(
-            request.photo_id,
-            request.album,
-            resolution=request.resolution,
-            crop_box=request.crop_box,
-        )
+        # _serve_request already ran the PSP access check.
+        return self.engine.serve(
+            self._serve_request(request), preauthorized=True
+        ).pixels
 
     def download_public_only(
         self, photo_id: str, resolution: int | None = None
@@ -552,49 +572,31 @@ class P3Session:
             secret_bytes=receipt.secret_bytes,
         )
 
-    def _serve_public(self, request: DownloadRequest) -> bytes:
-        """Fetch the served public part, honoring a pinned provider."""
-        if request.provider is not None:
-            download_from = getattr(self.psp, "download_from", None)
-            if download_from is None:
-                raise ValueError(
-                    f"psp {self.psp.name!r} is a single provider; "
-                    f"provider={request.provider!r} needs a FanoutPSP"
-                )
-            return download_from(
-                request.provider,
-                request.photo_id,
-                requester=self.keyring.owner,
-                resolution=request.resolution,
-                crop_box=request.crop_box,
-            )
-        return self.psp.download(
-            request.photo_id,
+    def _serve_request(self, request: DownloadRequest) -> ServeRequest:
+        """Translate a session-level request for the serving engine.
+
+        The PSP's access verdict is taken before the keyring lookup
+        (the interposed order): a stranger is denied by the provider,
+        not tripped up by their own missing album key.
+        """
+        self.engine.check_access(request.photo_id, self.keyring.owner)
+        return ServeRequest(
+            photo_id=request.photo_id,
+            album=None if request.public_only else request.album,
+            key=(
+                None
+                if request.public_only
+                else self.keyring.key_for(request.album)
+            ),
             requester=self.keyring.owner,
             resolution=request.resolution,
             crop_box=request.crop_box,
+            provider=request.provider,
         )
 
     def _fetch_task(self, request: DownloadRequest) -> DecryptTask:
-        public_jpeg = self._serve_public(request)
-        if request.public_only:
-            return DecryptTask(
-                key=None,
-                public_jpeg=public_jpeg,
-                fast=self.config.fast_codec,
-            )
-        return DecryptTask(
-            key=self.keyring.key_for(request.album),
-            public_jpeg=public_jpeg,
-            secret_envelope=self.storage.get(
-                secret_blob_key(request.album, request.photo_id)
-            ),
-            resolution=request.resolution,
-            crop_box=request.crop_box,
-            transform_estimate=self.transform_estimate,
-            fast=self.config.fast_codec,
-            fast_crypto=self.config.fast_crypto,
-        )
+        """The batch pipeline's fetch stage, on the engine's seam."""
+        return self.engine.fetch_task(self._serve_request(request))
 
     @staticmethod
     def _as_upload_request(

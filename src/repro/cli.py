@@ -330,6 +330,8 @@ def _cmd_publish(args) -> int:
         replication=args.replicas,
         executor=args.executor,
         workers=args.workers,
+        ingest_executor=args.ingest_executor,
+        ingest_workers=args.workers,
     )
     session = P3Session.create(user="cli", config=config)
     print(
@@ -384,12 +386,164 @@ def _cmd_publish(args) -> int:
             f"providers + {record.secret_bytes} B secret x{args.replicas})"
         )
     print(report.summary())
+    if args.verbose:
+        # Per-provider ingest wall clock (parity with the per-stage
+        # timings the encrypt/decrypt commands print).
+        ingest_seconds = getattr(session.psp, "ingest_seconds", None)
+        if ingest_seconds:
+            breakdown = ", ".join(
+                f"{alias} {seconds * 1000:.1f} ms"
+                for alias, seconds in ingest_seconds.items()
+            )
+            print(
+                f"provider ingest ({config.ingest_executor}): {breakdown} "
+                f"(sum {sum(ingest_seconds.values()) * 1000:.1f} ms "
+                f"over {report.succeeded} photo(s))"
+            )
+        else:
+            print(
+                f"provider ingest: single provider "
+                f"({session.psp.name}), see batch summary above"
+            )
     print(
         f"verified {verified} provider reconstruction(s), "
         f"{verify_failures} failed"
     )
     ok = report.ok and verify_failures == 0 and len(loadable) == len(paths)
     return 0 if ok else 1
+
+
+def _cmd_serve_bench(args) -> int:
+    """In-process serving-tier benchmark: zipfian viewers vs the caches.
+
+    Spins up a multi-user :class:`~repro.system.gateway.P3Gateway`
+    over a simulated PSP, publishes a synthetic corpus, replays a
+    zipfian popularity trace through real gateway round trips, and
+    reports hit rate, p50/p99 latency and cold-vs-warm speedup.
+    Byte-identity of cached serves is verified against a cache-free
+    engine on the same backends.
+    """
+    from repro.api.registry import DEFAULT_REGISTRY
+    from repro.datasets import iter_corpus_jpegs
+    from repro.serve.engine import ServeRequest, ServingEngine
+    from repro.serve.trace import percentile_ms, zipf_trace
+    from repro.system.client import PhotoSharingClient
+    from repro.system.gateway import USER_HEADER, P3Gateway
+    from repro.system.http import HttpRequest, build_url
+
+    config = P3Config(
+        quality=args.quality,
+        variant_cache=args.variant_cache,
+        variant_ttl_s=args.variant_ttl,
+    )
+    psp = DEFAULT_REGISTRY.create_psp(args.psp)
+    storage = DEFAULT_REGISTRY.create_storage("dropbox")
+    engine = ServingEngine.from_config(
+        psp, storage, config, coalesce=not args.no_coalesce
+    )
+    gateway = P3Gateway(psp, storage, config, engine=engine)
+
+    owner = PhotoSharingClient.for_gateway(gateway, "owner")
+    viewers = [
+        PhotoSharingClient.for_gateway(gateway, f"viewer{i}")
+        for i in range(args.viewers)
+    ]
+    corpus = list(
+        iter_corpus_jpegs(
+            "usc", args.photos, size=args.size, quality=args.quality
+        )
+    )
+    receipts = [
+        owner.upload_photo(
+            jpeg, "bench", viewers={v.user for v in viewers}
+        )
+        for jpeg in corpus
+    ]
+    gateway.share_album("owner", "bench", *[v.user for v in viewers])
+    print(
+        f"published {len(receipts)} photo(s) ({args.size}px q{args.quality}) "
+        f"to {psp.name}; replaying {args.requests} zipfian requests "
+        f"(s={args.zipf}) from {args.viewers} viewer(s)"
+    )
+
+    trace = zipf_trace(len(receipts), args.requests, s=args.zipf, seed=7)
+    latencies: list[float] = []
+    warm_flags: list[bool] = []
+    for turn, photo_index in enumerate(trace):
+        viewer = viewers[turn % len(viewers)]
+        request = HttpRequest(
+            method="GET",
+            url=build_url(
+                "https://gateway.example",
+                f"/photos/{receipts[photo_index].photo_id}",
+                {"album": "bench"},
+            ),
+            headers={USER_HEADER: viewer.user},
+        )
+        start = time.perf_counter()
+        response = gateway.handle(request)
+        latencies.append(time.perf_counter() - start)
+        if not response.ok:
+            raise SystemExit(
+                f"gateway returned {response.status}: {response.body!r}"
+            )
+        # The response says where it was served from — exact per-request
+        # provenance, robust to evictions and TTL expiry.
+        warm_flags.append(response.headers["x-cache"] == "variant-cache")
+
+    # Freeze the trace statistics before the identity checks below add
+    # their own (warm) serves to the engine's counters.
+    snapshot = engine.snapshot()
+
+    # Byte-identity: cached serves vs a cache-free engine, same backends.
+    bare = ServingEngine.from_config(
+        psp, storage, dataclasses.replace(config, variant_cache=0)
+    )
+    keyring = gateway.keyring_for("owner")
+    mismatches = 0
+    for receipt in receipts:
+        request = ServeRequest(
+            photo_id=receipt.photo_id,
+            album="bench",
+            key=keyring.key_for("bench"),
+            requester="owner",
+        )
+        if (
+            engine.serve(request).pixels.tobytes()
+            != bare.serve(request).pixels.tobytes()
+        ):
+            mismatches += 1
+            print(
+                f"BYTE MISMATCH cached vs uncached: {receipt.photo_id}",
+                file=sys.stderr,
+            )
+
+    variant = snapshot["variant_cache"]
+    miss_lat = [s for s, hit in zip(latencies, warm_flags) if not hit]
+    hit_lat = [s for s, hit in zip(latencies, warm_flags) if hit]
+    cold_ms = (
+        sum(miss_lat) / len(miss_lat) * 1000 if miss_lat else 0.0
+    )
+    warm_ms = sum(hit_lat) / len(hit_lat) * 1000 if hit_lat else 0.0
+    print(
+        f"variant cache: {variant['hits']} hits / "
+        f"{variant['misses']} misses (hit rate {variant['hit_rate']:.2f})"
+    )
+    print(
+        f"latency: p50 {percentile_ms(latencies, 50):.1f} ms, "
+        f"p99 {percentile_ms(latencies, 99):.1f} ms; "
+        f"cold ~{cold_ms:.1f} ms, warm ~{warm_ms:.1f} ms"
+        + (
+            f" ({cold_ms / warm_ms:.1f}x speedup)"
+            if warm_ms > 0 and cold_ms > 0
+            else ""
+        )
+    )
+    print(
+        f"byte-identity vs cache-free engine: "
+        f"{'OK' if mismatches == 0 else f'{mismatches} MISMATCH(ES)'}"
+    )
+    return 0 if mismatches == 0 else 1
 
 
 def _cmd_inspect(args) -> int:
@@ -547,10 +701,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of backing secret-part stores",
     )
     publish.add_argument("--album", default="cli")
+    publish.add_argument(
+        "--ingest-executor",
+        choices=("serial", "thread", "async"),
+        default=_DEFAULTS.ingest_executor,
+        help="overlap per-provider uploads and per-replica puts "
+        "(default: serial)",
+    )
     _add_codec_options(publish)
     _add_scalar_codec_flag(publish)
     _add_executor_options(publish)
+    _add_verbose_flag(publish)
     publish.set_defaults(handler=_cmd_publish)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="benchmark the serving tier: zipfian viewer trace through "
+        "a multi-user gateway, cache hit rate + latency percentiles",
+    )
+    serve_bench.add_argument("--psp", default="facebook")
+    serve_bench.add_argument(
+        "--photos", type=int, default=6, help="corpus size"
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=48, help="trace length"
+    )
+    serve_bench.add_argument(
+        "--viewers", type=int, default=4, help="gateway tenants"
+    )
+    serve_bench.add_argument(
+        "--zipf", type=float, default=1.1, help="popularity skew exponent"
+    )
+    serve_bench.add_argument("--size", type=int, default=192)
+    serve_bench.add_argument("--quality", type=int, default=_DEFAULTS.quality)
+    serve_bench.add_argument(
+        "--variant-cache",
+        type=int,
+        default=_DEFAULTS.variant_cache,
+        help="decoded-variant cache entries (0 disables the tier)",
+    )
+    serve_bench.add_argument(
+        "--variant-ttl",
+        type=float,
+        default=_DEFAULTS.variant_ttl_s,
+        help="decoded-variant TTL seconds (0 = no expiry)",
+    )
+    serve_bench.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight request coalescing",
+    )
+    serve_bench.set_defaults(handler=_cmd_serve_bench)
 
     inspect = commands.add_parser(
         "inspect", help="show JPEG header facts"

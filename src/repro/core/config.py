@@ -47,6 +47,21 @@ class P3Config:
     pooled strategies.  The config stays a frozen, picklable value
     object, so worker processes receive it verbatim.
 
+    ``variant_cache`` / ``variant_ttl_s`` size the serving tier's
+    decoded-variant cache (:class:`~repro.serve.engine.ServingEngine`
+    tier 1): finished reconstructions are kept for ``variant_ttl_s``
+    seconds, at most ``variant_cache`` entries (0 disables the tier;
+    ``variant_ttl_s=0`` means no expiry).  The secret-part cache
+    (tier 2) is sized by the session's ``cache_limit`` argument as
+    before.
+
+    ``ingest_executor`` / ``ingest_workers`` make the *write* path
+    concurrent: multi-provider fan-out uploads and replicated
+    secret-part puts overlap per-provider/per-replica network waits on
+    a ``"thread"`` or ``"async"`` executor (``"serial"``, the default,
+    preserves one-at-a-time ingest).  ``"process"`` is deliberately
+    not allowed here — backend state lives in this process.
+
     ``psps`` names several providers to publish every photo to (via a
     :class:`~repro.api.fanout.FanoutPSP`); empty means the single
     provider passed to :meth:`~repro.api.session.P3Session.create`.
@@ -68,6 +83,10 @@ class P3Config:
     psps: tuple[str, ...] = ()
     shards: int = 1
     replication: int = 1
+    variant_cache: int = 256
+    variant_ttl_s: float = 300.0
+    ingest_executor: str = "serial"
+    ingest_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -111,6 +130,27 @@ class P3Config:
         if self.replication < 1:
             raise ValueError(
                 f"replication must be >= 1, got {self.replication}"
+            )
+        if self.variant_cache < 0:
+            raise ValueError(
+                f"variant_cache must be >= 0 (0 disables the tier), "
+                f"got {self.variant_cache}"
+            )
+        if self.variant_ttl_s < 0:
+            raise ValueError(
+                f"variant_ttl_s must be >= 0 (0 = no expiry), "
+                f"got {self.variant_ttl_s}"
+            )
+        if self.ingest_executor not in ("serial", "thread", "async"):
+            raise ValueError(
+                f"unknown ingest_executor {self.ingest_executor!r}; "
+                "expected 'serial', 'thread' or 'async' (backend state "
+                "lives in-process, so 'process' cannot apply)"
+            )
+        if self.ingest_workers < 0:
+            raise ValueError(
+                f"ingest_workers must be >= 0 (0 = automatic), "
+                f"got {self.ingest_workers}"
             )
 
     @property

@@ -1,0 +1,61 @@
+"""`repro.serve` — the concurrent serving tier of the P3 read path.
+
+Everything a download needs lives here, shared by every caller:
+
+* :mod:`repro.serve.reconstruct` — the single reconstruction core
+  (:func:`reconstruct_served`), used by the recipient proxy, the
+  session layer, the batch pipeline and the gateway alike;
+* :class:`ServingEngine` — the request path: a two-tier cache
+  (decoded-variant LRU+TTL over a secret-part LRU), single-flight
+  coalescing of concurrent identical requests, per-request stage
+  timings, and PSP access enforcement on cache hits;
+* :class:`LRUCache` / :class:`CacheStats` / :class:`SingleFlight` —
+  the building blocks, reusable on their own;
+* :mod:`repro.serve.trace` — zipfian workload traces for cache
+  benchmarks.
+
+Quickstart::
+
+    from repro.serve import ServeRequest, ServingEngine
+
+    engine = ServingEngine(psp, storage)        # shared by all viewers
+    result = engine.serve(
+        ServeRequest(photo_id, album="trip", key=key, requester="bob")
+    )
+    result.pixels        # reconstructed image
+    result.source        # "reconstructed" | "variant-cache" | "coalesced"
+    result.timing        # per-stage wall clock
+    engine.snapshot()    # hit rates, p50/p99, entry counts
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.engine import (
+    DEFAULT_SECRET_CACHE_LIMIT,
+    DEFAULT_VARIANT_CACHE_LIMIT,
+    DEFAULT_VARIANT_TTL_S,
+    ServeRequest,
+    ServeResult,
+    ServeTiming,
+    ServingEngine,
+    ServingStats,
+)
+from repro.serve.keys import secret_blob_key
+from repro.serve.reconstruct import build_served_operator, reconstruct_served
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "SingleFlight",
+    "ServeRequest",
+    "ServeResult",
+    "ServeTiming",
+    "ServingEngine",
+    "ServingStats",
+    "DEFAULT_SECRET_CACHE_LIMIT",
+    "DEFAULT_VARIANT_CACHE_LIMIT",
+    "DEFAULT_VARIANT_TTL_S",
+    "secret_blob_key",
+    "build_served_operator",
+    "reconstruct_served",
+]

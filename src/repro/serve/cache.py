@@ -1,0 +1,186 @@
+"""Thread-safe caches for the serving tier.
+
+One cache class serves both tiers of the serving engine: the
+secret-part cache is a plain LRU (secret parts never go stale — the
+envelope is immutable once published), while the decoded-variant cache
+adds a TTL so a long-running gateway eventually re-fetches what the
+PSP serves (providers can reprocess stored photos).  Both tiers share
+the :class:`CacheStats` shape, so hit rates are comparable across
+tiers and across proxies sharing one engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class CacheStats:
+    """Monotonic cache counters, safe to bump from many threads.
+
+    Attribute reads are plain (ints are replaced atomically); updates
+    go through the internal lock so concurrent serving threads never
+    lose increments.
+    """
+
+    __slots__ = ("_lock", "hits", "misses", "evictions", "expirations")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def _add(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, expirations={self.expirations})"
+        )
+
+
+class LRUCache:
+    """A bounded LRU mapping with optional per-entry TTL.
+
+    * ``maxsize=None`` means unbounded; ``maxsize=0`` disables the
+      cache entirely (every :meth:`get` misses, :meth:`put` is a
+      no-op) — that is how "no variant cache" is expressed without a
+      second code path in the engine.
+    * ``ttl`` (seconds) expires entries lazily: an expired entry is
+      dropped — and counted as an expiration, not an eviction — the
+      next time it is looked up.  ``ttl=None`` never expires.
+    * ``clock`` is injectable (defaults to :func:`time.monotonic`) so
+      TTL behaviour is testable without sleeping.
+
+    Shrinking :attr:`maxsize` on a live cache converges on the next
+    insert, mirroring the recipient proxy's historical ``cache_limit``
+    semantics.
+    """
+
+    def __init__(
+        self,
+        maxsize: int | None,
+        *,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        stats: CacheStats | None = None,
+        name: str = "cache",
+    ) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0 or None, got {maxsize}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self._maxsize = maxsize
+        self.ttl = ttl
+        self.clock = clock
+        self.stats = stats or CacheStats()
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+
+    @property
+    def maxsize(self) -> int | None:
+        return self._maxsize
+
+    @maxsize.setter
+    def maxsize(self, value: int | None) -> None:
+        if value is not None and value < 0:
+            raise ValueError(f"maxsize must be >= 0 or None, got {value}")
+        self._maxsize = value
+        if value == 0:
+            # "Disabled" must take effect now: put() no-ops from here
+            # on, so there is no next insert to converge at, and stale
+            # entries would otherwise stay hittable forever.
+            with self._lock:
+                while self._entries:
+                    self._entries.popitem(last=False)
+                    self.stats._add("evictions")
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up a key, refreshing its recency; counts hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, stamp = entry
+                if self.ttl is not None and self.clock() - stamp > self.ttl:
+                    del self._entries[key]
+                    self.stats._add("expirations")
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats._add("hits")
+                    return value
+            self.stats._add("misses")
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh a key, trimming LRU entries past ``maxsize``."""
+        if self._maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = (value, self.clock())
+            self._entries.move_to_end(key)
+            while (
+                self._maxsize is not None
+                and len(self._entries) > self._maxsize
+            ):
+                self._entries.popitem(last=False)
+                self.stats._add("evictions")
+
+    def discard(self, key: Hashable) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[Hashable]:
+        """Current keys, oldest first (expired entries included until
+        they are looked up — expiry is lazy by design)."""
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-mutating membership: no recency refresh, no stats."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if self.ttl is not None and self.clock() - entry[1] > self.ttl:
+                return False
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(name={self.name!r}, size={len(self)}, "
+            f"maxsize={self._maxsize}, ttl={self.ttl})"
+        )

@@ -1,0 +1,513 @@
+"""`ServingEngine`: the concurrent read path behind every download.
+
+The engine owns everything between "a viewer asked for photo X" and
+"here are the pixels":
+
+* a **two-tier cache** — tier 1 is the decoded-variant cache (LRU +
+  TTL, keyed by photo/album/key/geometry/provider) holding finished
+  reconstructions; tier 2 is the secret-part LRU holding decrypted
+  :class:`~repro.core.serialization.SecretPart` objects, so a variant
+  miss (a resolution not seen before) still skips the storage fetch +
+  envelope decrypt;
+* **single-flight coalescing** — N concurrent viewers of the same
+  variant trigger exactly one reconstruction (and concurrent misses
+  on different variants of one photo share a single secret fetch);
+* **per-request timing** — every serve returns a
+  :class:`ServeResult` with stage timings and cache provenance, and
+  an optional ``timing_hook`` plus rolling :class:`ServingStats`
+  (p50/p99) feed dashboards and benchmarks.
+
+The engine is shared state: one engine can sit behind many per-user
+proxies (see :class:`~repro.system.gateway.P3Gateway`).  Cache keys
+therefore include a digest of the album key — a viewer who presents a
+different (or no) key can never be served pixels reconstructed under
+someone else's — and, when the PSP exposes ``check_access``, the
+provider's access policy is enforced on *every* request, cache hits
+included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.api.backends import BlobStore, PSPBackend
+from repro.core.decryptor import P3Decryptor
+from repro.core.serialization import SecretPart
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.keys import secret_blob_key
+from repro.serve.reconstruct import reconstruct_served
+from repro.serve.singleflight import SingleFlight
+from repro.serve.trace import percentile as nearest_rank_percentile
+from repro.jpeg.codec import decode_coefficients
+from repro.jpeg.decoder import coefficients_to_pixels
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only: importing the
+    # system package here would close an import cycle back onto the
+    # proxy module, which builds on this engine.
+    from repro.system.reverse import TransformEstimate
+
+#: Default bound on the secret-part cache (tier 2).
+DEFAULT_SECRET_CACHE_LIMIT = 128
+#: Default bound on the decoded-variant cache (tier 1).
+DEFAULT_VARIANT_CACHE_LIMIT = 256
+#: Default TTL on decoded variants, seconds (PSPs may reprocess photos).
+DEFAULT_VARIANT_TTL_S = 300.0
+
+
+def _key_digest(key: bytes | None) -> str:
+    """A short key fingerprint for cache keys.
+
+    The digest only partitions the cache (wrong key == different
+    partition == miss); it never decrypts anything, so a colliding
+    fingerprint would cost a spurious hit of *someone's* correctly
+    reconstructed pixels, not a key compromise.
+    """
+    if key is None:
+        return "public"
+    return hashlib.sha256(key).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One viewer request, as the serving tier sees it.
+
+    ``key=None`` is the key-less viewer: only the public part is
+    decoded (``album`` may then be omitted).  ``provider`` pins the
+    public-part fetch to one named provider of a
+    :class:`~repro.api.fanout.FanoutPSP` (no failover).
+    """
+
+    photo_id: str
+    album: str | None = None
+    key: bytes | None = None
+    requester: str = "anonymous"
+    resolution: int | None = None
+    crop_box: tuple[int, int, int, int] | None = None
+    provider: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.key is not None and self.album is None:
+            raise ValueError("a keyed request must name its album")
+
+    @property
+    def public_only(self) -> bool:
+        return self.key is None
+
+    def variant_key(self) -> tuple:
+        """Cache identity of the finished pixels this request yields."""
+        return (
+            self.photo_id,
+            self.album,
+            _key_digest(self.key),
+            self.resolution,
+            self.crop_box,
+            self.provider,
+        )
+
+    def secret_key(self) -> tuple:
+        """Cache identity of the decrypted secret part."""
+        return (self.album, self.photo_id, _key_digest(self.key))
+
+
+@dataclass
+class ServeTiming:
+    """Wall-clock seconds spent per stage of one serve."""
+
+    fetch_public_s: float = 0.0
+    fetch_secret_s: float = 0.0
+    reconstruct_s: float = 0.0
+    total_s: float = 0.0
+
+
+@dataclass
+class ServeResult:
+    """Pixels plus the provenance and timing of how they were made."""
+
+    pixels: np.ndarray
+    photo_id: str
+    variant_hit: bool = False
+    secret_hit: bool = False
+    coalesced: bool = False
+    public_only: bool = False
+    timing: ServeTiming = field(default_factory=ServeTiming)
+
+    @property
+    def source(self) -> str:
+        if self.variant_hit:
+            return "variant-cache"
+        if self.coalesced:
+            return "coalesced"
+        return "reconstructed"
+
+
+class ServingStats:
+    """Rolling request statistics for one engine (thread-safe)."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.reconstructions = 0
+        self.coalesced = 0
+        self.variant_hits = 0
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    def record(self, result: ServeResult) -> None:
+        with self._lock:
+            self.requests += 1
+            if result.variant_hit:
+                self.variant_hits += 1
+            elif result.coalesced:
+                self.coalesced += 1
+            else:
+                self.reconstructions += 1
+            self._latencies.append(result.timing.total_s)
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile (seconds) over the rolling window."""
+        with self._lock:
+            snapshot = list(self._latencies)
+        return nearest_rank_percentile(snapshot, p)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            requests = self.requests
+            reconstructions = self.reconstructions
+            coalesced = self.coalesced
+            variant_hits = self.variant_hits
+        return {
+            "requests": requests,
+            "reconstructions": reconstructions,
+            "coalesced": coalesced,
+            "variant_hits": variant_hits,
+            "p50_ms": round(self.percentile(50) * 1000, 3),
+            "p99_ms": round(self.percentile(99) * 1000, 3),
+        }
+
+
+class ServingEngine:
+    """The shared, concurrent core of the P3 read path.
+
+    One engine fronts one (PSP, blob store) pair — single backends or
+    fan-out/replicated composites alike — and may be shared by any
+    number of per-user proxies or gateway tenants.  All methods are
+    thread-safe.
+    """
+
+    def __init__(
+        self,
+        psp: PSPBackend,
+        storage: BlobStore,
+        *,
+        transform_estimate: TransformEstimate | None = None,
+        fast: bool = True,
+        fast_crypto: bool = True,
+        secret_cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+        variant_cache_limit: int | None = DEFAULT_VARIANT_CACHE_LIMIT,
+        variant_ttl_s: float | None = DEFAULT_VARIANT_TTL_S,
+        coalesce: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        timing_hook: Callable[[ServeRequest, ServeResult], None] | None = None,
+    ) -> None:
+        self.psp = psp
+        self.storage = storage
+        self.transform_estimate = transform_estimate
+        self.fast = fast
+        self.fast_crypto = fast_crypto
+        self.coalesce = coalesce
+        self.timing_hook = timing_hook
+        self.secret_cache = LRUCache(
+            secret_cache_limit, stats=CacheStats(), name="secret-part"
+        )
+        self.variant_cache = LRUCache(
+            variant_cache_limit,
+            ttl=variant_ttl_s or None,
+            clock=clock,
+            stats=CacheStats(),
+            name="decoded-variant",
+        )
+        self.stats = ServingStats()
+        self._variant_flights = SingleFlight()
+        self._secret_flights = SingleFlight()
+        # Backends exposing check_access get the no-round-trip cache
+        # hit path; for all others every serve still calls download()
+        # so the provider's in-band access enforcement keeps running.
+        self._has_access_hook = (
+            getattr(psp, "check_access", None) is not None
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        psp: PSPBackend,
+        storage: BlobStore,
+        config,
+        *,
+        transform_estimate: TransformEstimate | None = None,
+        secret_cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+        **overrides,
+    ) -> "ServingEngine":
+        """Build an engine from a :class:`~repro.core.config.P3Config`."""
+        return cls(
+            psp,
+            storage,
+            transform_estimate=transform_estimate,
+            fast=config.fast_codec,
+            fast_crypto=config.fast_crypto,
+            secret_cache_limit=secret_cache_limit,
+            variant_cache_limit=config.variant_cache,
+            variant_ttl_s=config.variant_ttl_s,
+            **overrides,
+        )
+
+    # -- the serve path -------------------------------------------------------
+
+    def serve(
+        self, request: ServeRequest, *, preauthorized: bool = False
+    ) -> ServeResult:
+        """Serve one request through access check, caches and coalescing.
+
+        Callers own the returned array (mutating it cannot poison the
+        cache).  The PSP's access policy, when it exposes
+        ``check_access``, is enforced before the caches are consulted,
+        so a cached variant never leaks to a viewer the provider would
+        have refused.  A caller that already ran
+        :meth:`check_access` for this request (the proxy/session
+        check-before-key-lookup ordering) passes ``preauthorized=True``
+        to avoid paying for the round trip twice.
+        """
+        start = time.perf_counter()
+        if not preauthorized:
+            self._check_access(request)
+        variant_key = request.variant_key()
+        cached = self.variant_cache.get(variant_key)
+        if cached is not None and not self._has_access_hook:
+            # The backend enforces access only inside download() (no
+            # check_access hook), so a cache hit must still make the
+            # provider round trip — the pre-refactor guarantee that
+            # *every* serve gets the PSP's verdict.  The reconstruction
+            # itself is still skipped, which is the dominant cost.
+            self._fetch_public(request)
+        if cached is not None:
+            result = ServeResult(
+                pixels=cached.pixels.copy(),
+                photo_id=request.photo_id,
+                variant_hit=True,
+                secret_hit=cached.secret_hit,
+                public_only=request.public_only,
+            )
+        else:
+            if self.coalesce:
+                built, leader = self._variant_flights.do(
+                    variant_key, lambda: self._build_variant(request)
+                )
+            else:
+                built, leader = self._build_variant(request), True
+            result = ServeResult(
+                pixels=built.pixels.copy(),
+                photo_id=request.photo_id,
+                secret_hit=built.secret_hit,
+                coalesced=not leader,
+                public_only=request.public_only,
+                timing=ServeTiming(
+                    fetch_public_s=built.timing.fetch_public_s,
+                    fetch_secret_s=built.timing.fetch_secret_s,
+                    reconstruct_s=built.timing.reconstruct_s,
+                ),
+            )
+        result.timing.total_s = time.perf_counter() - start
+        self.stats.record(result)
+        if self.timing_hook is not None:
+            self.timing_hook(request, result)
+        return result
+
+    def download(
+        self,
+        photo_id: str,
+        album: str | None = None,
+        key: bytes | None = None,
+        *,
+        requester: str = "anonymous",
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+        provider: str | None = None,
+    ) -> np.ndarray:
+        """Pixels-only convenience over :meth:`serve`."""
+        return self.serve(
+            ServeRequest(
+                photo_id=photo_id,
+                album=album,
+                key=key,
+                requester=requester,
+                resolution=resolution,
+                crop_box=crop_box,
+                provider=provider,
+            )
+        ).pixels
+
+    # -- the batch-pipeline seam ----------------------------------------------
+
+    def fetch_task(self, request: ServeRequest):
+        """Fetch the raw served parts as a picklable ``DecryptTask``.
+
+        The batch pipeline reconstructs in worker processes, so it
+        needs bytes, not cached Python objects: this deliberately
+        bypasses both cache tiers (and therefore still exercises
+        read-repair on replicated stores) while sharing the engine's
+        fetch logic — provider pinning included — and the single
+        reconstruction core inside the task.
+        """
+        from repro.api.pipeline import DecryptTask
+
+        public_jpeg = self._fetch_public(request)
+        if request.public_only:
+            return DecryptTask(
+                key=None, public_jpeg=public_jpeg, fast=self.fast
+            )
+        return DecryptTask(
+            key=request.key,
+            public_jpeg=public_jpeg,
+            secret_envelope=self.storage.get(
+                secret_blob_key(request.album, request.photo_id)
+            ),
+            resolution=request.resolution,
+            crop_box=request.crop_box,
+            transform_estimate=self.transform_estimate,
+            fast=self.fast,
+            fast_crypto=self.fast_crypto,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def check_access(self, photo_id: str, requester: str) -> None:
+        """Enforce the PSP's access policy when the backend exposes one.
+
+        Runs on every serve (cache hits included); callers that need
+        the PSP's verdict *before* touching their own keyring — the
+        interposed order of operations, where a stranger is denied by
+        the provider rather than failing on their own missing album
+        key — call it directly first.
+        """
+        checker = getattr(self.psp, "check_access", None)
+        if checker is not None:
+            checker(photo_id, requester)
+
+    def _check_access(self, request: ServeRequest) -> None:
+        self.check_access(request.photo_id, request.requester)
+
+    def _fetch_public(self, request: ServeRequest) -> bytes:
+        """The served public part, honoring a pinned provider."""
+        if request.provider is not None:
+            download_from = getattr(self.psp, "download_from", None)
+            if download_from is None:
+                raise ValueError(
+                    f"psp {getattr(self.psp, 'name', '?')!r} is a single "
+                    f"provider; provider={request.provider!r} needs a "
+                    "FanoutPSP"
+                )
+            return download_from(
+                request.provider,
+                request.photo_id,
+                requester=request.requester,
+                resolution=request.resolution,
+                crop_box=request.crop_box,
+            )
+        return self.psp.download(
+            request.photo_id,
+            requester=request.requester,
+            resolution=request.resolution,
+            crop_box=request.crop_box,
+        )
+
+    def _build_variant(self, request: ServeRequest) -> ServeResult:
+        """Cache miss: fetch, reconstruct, and install the variant.
+
+        Returns the *master* result whose pixels live in the cache
+        (frozen read-only); :meth:`serve` hands copies to callers.
+        """
+        timing = ServeTiming()
+        clock = time.perf_counter
+        t0 = clock()
+        public_jpeg = self._fetch_public(request)
+        timing.fetch_public_s = clock() - t0
+        secret_hit = False
+        if request.public_only:
+            t0 = clock()
+            pixels = coefficients_to_pixels(
+                decode_coefficients(public_jpeg, fast=self.fast)
+            )
+            timing.reconstruct_s = clock() - t0
+        else:
+            t0 = clock()
+            secret_part, secret_hit = self._fetch_secret(request)
+            timing.fetch_secret_s = clock() - t0
+            t0 = clock()
+            pixels = reconstruct_served(
+                public_jpeg,
+                secret_part,
+                resolution=request.resolution,
+                crop_box=request.crop_box,
+                transform_estimate=self.transform_estimate,
+                fast=self.fast,
+            )
+            timing.reconstruct_s = clock() - t0
+        pixels.setflags(write=False)
+        result = ServeResult(
+            pixels=pixels,
+            photo_id=request.photo_id,
+            secret_hit=secret_hit,
+            public_only=request.public_only,
+            timing=timing,
+        )
+        self.variant_cache.put(request.variant_key(), result)
+        return result
+
+    def _fetch_secret(
+        self, request: ServeRequest
+    ) -> tuple[SecretPart, bool]:
+        """Tier-2 lookup: decrypted secret part, single-flighted.
+
+        Concurrent misses on *different variants* of one photo share a
+        single storage fetch + envelope decrypt.
+        """
+        key = request.secret_key()
+        cached = self.secret_cache.get(key)
+        if cached is not None:
+            return cached, True
+
+        def fetch() -> SecretPart:
+            envelope = self.storage.get(
+                secret_blob_key(request.album, request.photo_id)
+            )
+            secret_part = P3Decryptor(
+                request.key, fast=self.fast, fast_crypto=self.fast_crypto
+            ).open_secret(envelope)
+            self.secret_cache.put(key, secret_part)
+            return secret_part
+
+        secret_part, _ = self._secret_flights.do(key, fetch)
+        return secret_part, False
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able view of the engine's health counters."""
+        return {
+            "serving": self.stats.snapshot(),
+            "variant_cache": self.variant_cache.stats.snapshot(),
+            "secret_cache": self.secret_cache.stats.snapshot(),
+            "variant_entries": len(self.variant_cache),
+            "secret_entries": len(self.secret_cache),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingEngine(psp={getattr(self.psp, 'name', '?')!r}, "
+            f"variants={len(self.variant_cache)}, "
+            f"secrets={len(self.secret_cache)}, "
+            f"requests={self.stats.requests})"
+        )

@@ -1,0 +1,30 @@
+"""Storage-key naming for secret parts (shared by every serving path)."""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+
+def _encode_key_component(part: str) -> str:
+    """Percent-encode a key component so it cannot escape its slot.
+
+    ``quote(safe="")`` handles ``/`` (and ``%`` itself); ``.`` is
+    additionally encoded so IDs cannot collide with the ``.secret``
+    suffix or smuggle ``..`` path segments.  ``quote`` never emits a
+    literal ``.``, so the composition stays injective.
+    """
+    return quote(part, safe="").replace(".", "%2E")
+
+
+def secret_blob_key(album: str, photo_id: str) -> str:
+    """Storage key for a photo's secret part.
+
+    Album and photo ID are percent-encoded: IDs containing ``/`` or
+    ``.`` could otherwise collide with other albums' keys or escape
+    the ``p3/`` prefix.  Plain alphanumeric names (every built-in PSP)
+    are unchanged.
+    """
+    return (
+        f"p3/{_encode_key_component(album)}/"
+        f"{_encode_key_component(photo_id)}.secret"
+    )

@@ -1,0 +1,95 @@
+"""The reconstruction core: served public part + secret part -> pixels.
+
+This is the *single* reconstruction path in the codebase.  The
+recipient proxy, the session layer, the batch pipeline's
+:class:`~repro.api.pipeline.DecryptTask` and the serving engine all
+call :func:`reconstruct_served`, so every download — interposed,
+batched, or gateway-served — is byte-for-byte identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.linear import planes_to_image, reconstruct_transformed_planes
+from repro.core.reconstruction import recombine
+from repro.core.serialization import SecretPart
+from repro.jpeg.codec import decode_coefficients
+from repro.jpeg.decoder import coefficients_to_pixels, coefficients_to_planes
+from repro.transforms.resize import Resize
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only: importing the
+    # system package here would close an import cycle back onto the
+    # proxy module, which re-exports this core.
+    from repro.system.reverse import TransformEstimate
+
+
+def build_served_operator(
+    public,
+    secret_image,
+    resolution: int | None,
+    crop_box: tuple[int, int, int, int] | None,
+    transform_estimate: TransformEstimate | None = None,
+):
+    """Build the Eq. 2 operator for the served public geometry.
+
+    For cropped downloads the PSP's pipeline is resize-then-crop; the
+    cropping geometry and the size "are both encoded in the HTTP get
+    URL, so the proxy is able to determine those parameters"
+    (Section 4.1) — here they arrive as the request arguments.
+    """
+    from repro.transforms.crop import Crop
+    from repro.transforms.operators import Compose
+    from repro.transforms.resize import fit_within
+
+    if crop_box is None:
+        resize_h, resize_w = public.height, public.width
+    else:
+        if resolution is None:
+            raise ValueError("cropped downloads must specify the resolution")
+        resize_h, resize_w = fit_within(
+            secret_image.height,
+            secret_image.width,
+            resolution,
+            resolution,
+        )
+    if transform_estimate is not None:
+        base = transform_estimate.operator(resize_h, resize_w)
+    else:
+        base = Resize(resize_h, resize_w, kernel="bilinear")
+    if crop_box is None:
+        return base
+    return Compose(operators=(base, Crop(*crop_box)))
+
+
+def reconstruct_served(
+    public_jpeg: bytes,
+    secret_part: SecretPart,
+    *,
+    resolution: int | None = None,
+    crop_box: tuple[int, int, int, int] | None = None,
+    transform_estimate: TransformEstimate | None = None,
+    fast: bool = True,
+) -> np.ndarray:
+    """Reconstruct a photo from its served public part + secret part.
+
+    Exact coefficient-domain recombination (Eq. 1) when the PSP left
+    the public part untouched, the pixel-domain Eq. 2 path otherwise.
+    """
+    public = decode_coefficients(public_jpeg, fast=fast)
+    untouched = public.same_geometry(
+        secret_part.image
+    ) and public.same_quantization(secret_part.image)
+    if untouched and crop_box is None:
+        combined = recombine(public, secret_part.image, secret_part.threshold)
+        return coefficients_to_pixels(combined)
+    operator = build_served_operator(
+        public, secret_part.image, resolution, crop_box, transform_estimate
+    )
+    public_planes = coefficients_to_planes(public, level_shift=True)
+    planes = reconstruct_transformed_planes(
+        public_planes, secret_part.image, secret_part.threshold, operator
+    )
+    return planes_to_image(planes)

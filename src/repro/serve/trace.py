@@ -1,0 +1,53 @@
+"""Workload traces for serving-tier benchmarks.
+
+Real photo-serving traffic is heavily skewed — a few photos are viewed
+constantly while the long tail is touched once — so cache benchmarks
+that replay a *uniform* trace overstate miss rates and understate the
+value of coalescing.  Following the workload-trace methodology of RAG
+serving studies, the serving benchmarks here replay a zipfian
+popularity trace instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(count: int, s: float = 1.1) -> np.ndarray:
+    """Normalized zipfian popularity over ``count`` ranked items."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if s < 0:
+        raise ValueError(f"zipf exponent must be >= 0, got {s}")
+    weights = 1.0 / np.arange(1, count + 1, dtype=np.float64) ** s
+    return weights / weights.sum()
+
+
+def zipf_trace(
+    count: int, requests: int, s: float = 1.1, seed: int = 7
+) -> list[int]:
+    """A reproducible request trace: ``requests`` draws over ``count``
+    items with zipfian popularity (rank 0 most popular)."""
+    rng = np.random.default_rng(seed)
+    return rng.choice(count, size=requests, p=zipf_weights(count, s)).tolist()
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile in the input's own units (0 if empty).
+
+    The single percentile definition for the serving tier: the
+    engine's rolling :class:`~repro.serve.engine.ServingStats` and the
+    benchmark/CLI trace replays all report through this, so their
+    figures are directly comparable.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(p / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def percentile_ms(latencies_s: list[float], p: float) -> float:
+    """A latency percentile in milliseconds (0 for an empty trace)."""
+    return percentile(latencies_s, p) * 1000.0

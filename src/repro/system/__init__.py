@@ -13,7 +13,8 @@ batch layers on top.
 
 from repro.api.backends import BlobStore, PSPBackend
 from repro.system.client import PhotoSharingClient
-from repro.system.http import HttpRequest, HttpResponse
+from repro.system.gateway import P3Gateway, pixels_from_response
+from repro.system.http import HttpRequest, HttpResponse, build_url
 from repro.system.proxy import (
     RecipientProxy,
     SenderProxy,
@@ -33,6 +34,9 @@ from repro.system.storage import CloudStorage
 
 __all__ = [
     "PhotoSharingClient",
+    "P3Gateway",
+    "pixels_from_response",
+    "build_url",
     "SenderProxy",
     "RecipientProxy",
     "PSPBackend",

@@ -5,6 +5,14 @@ plain HTTP uploads and downloads; the configured local proxy interposes
 transparently, exactly as in the paper's architecture (Figure 3).  The
 app never sees keys, splitting, or reconstruction — it sends a JPEG and
 receives pixels.
+
+A client may be wired to per-user proxies (the paper's one-device
+deployment) *or* to a shared :class:`~repro.system.gateway.P3Gateway`
+(:meth:`PhotoSharingClient.for_gateway`) — in gateway mode the HTTP
+requests in :attr:`request_log` are not just a model of the traffic,
+they *are* the traffic: every operation round-trips through
+``gateway.handle`` and decodes the ``HttpResponse`` like a real app
+would.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.system.proxy import RecipientProxy, SenderProxy, UploadReceipt
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.api.session import P3Session
+    from repro.system.gateway import P3Gateway
 
 
 class PhotoSharingClient:
@@ -33,10 +42,12 @@ class PhotoSharingClient:
         user: str,
         sender_proxy: SenderProxy | None = None,
         recipient_proxy: RecipientProxy | None = None,
+        gateway: "P3Gateway | None" = None,
     ) -> None:
         self.user = user
         self.sender_proxy = sender_proxy
         self.recipient_proxy = recipient_proxy
+        self.gateway = gateway
         self.request_log: list[HttpRequest] = []
 
     @classmethod
@@ -53,6 +64,39 @@ class PhotoSharingClient:
             recipient_proxy=session.recipient,
         )
 
+    @classmethod
+    def for_gateway(
+        cls, gateway: "P3Gateway", user: str
+    ) -> "PhotoSharingClient":
+        """An app whose traffic goes through a shared multi-user gateway.
+
+        The user is registered with the gateway if they are not
+        already; all operations then run as real request/response
+        round trips against ``gateway.handle``.
+        """
+        gateway.add_user(user)
+        return cls(user, gateway=gateway)
+
+    # -- gateway transport -----------------------------------------------------
+
+    def _gateway_base(self) -> str:
+        return f"https://{self.gateway.psp.name}.example"
+
+    def _send(self, request: HttpRequest) -> HttpResponse:
+        """One real round trip through the gateway."""
+        from repro.system.gateway import USER_HEADER
+
+        request.headers.setdefault(USER_HEADER, self.user)
+        self.request_log.append(request)
+        response = self.gateway.handle(request)
+        if not response.ok:
+            raise RuntimeError(
+                f"gateway returned {response.status} for "
+                f"{request.method} {request.path}: "
+                f"{response.body.decode('utf-8', 'replace')}"
+            )
+        return response
+
     # -- the unmodified app's operations --------------------------------------
 
     def upload_photo(
@@ -61,7 +105,26 @@ class PhotoSharingClient:
         album: str,
         viewers: set[str] | None = None,
     ) -> UploadReceipt:
-        """POST a photo; the sender proxy interposes on the request."""
+        """POST a photo; the sender proxy (or gateway) interposes."""
+        if self.gateway is not None:
+            params = {"album": album}
+            if viewers:
+                params["viewers"] = ",".join(sorted(viewers))
+            response = self._send(
+                HttpRequest(
+                    method="POST",
+                    url=build_url(
+                        self._gateway_base(), "/photos/upload", params
+                    ),
+                    headers={"content-type": "image/jpeg"},
+                    body=jpeg_bytes,
+                )
+            )
+            return UploadReceipt(
+                photo_id=response.headers["x-photo-id"],
+                public_bytes=int(response.headers["x-public-bytes"]),
+                secret_bytes=int(response.headers["x-secret-bytes"]),
+            )
         if self.sender_proxy is None:
             raise RuntimeError(f"{self.user} has no sender proxy configured")
         request = HttpRequest(
@@ -84,20 +147,34 @@ class PhotoSharingClient:
         resolution: int | None = None,
         crop_box: tuple[int, int, int, int] | None = None,
     ) -> np.ndarray:
-        """GET a photo; the recipient proxy reconstructs transparently.
+        """GET a photo; the recipient proxy (or gateway) reconstructs.
 
         The photo ID rides in the URL, which is how the proxy learns
         which secret part to fetch (Section 4.1).
         """
-        if self.recipient_proxy is None:
-            raise RuntimeError(
-                f"{self.user} has no recipient proxy configured"
-            )
-        params = {"id": photo_id}
+        params = {"album": album} if self.gateway is not None else {
+            "id": photo_id
+        }
         if resolution is not None:
             params["size"] = str(resolution)
         if crop_box is not None:
             params["crop"] = ",".join(str(v) for v in crop_box)
+        if self.gateway is not None:
+            from repro.system.gateway import pixels_from_response
+
+            response = self._send(
+                HttpRequest(
+                    method="GET",
+                    url=build_url(
+                        self._gateway_base(), f"/photos/{photo_id}", params
+                    ),
+                )
+            )
+            return pixels_from_response(response)
+        if self.recipient_proxy is None:
+            raise RuntimeError(
+                f"{self.user} has no recipient proxy configured"
+            )
         request = HttpRequest(
             method="GET",
             url=build_url(
@@ -115,6 +192,21 @@ class PhotoSharingClient:
         self, photo_id: str, resolution: int | None = None
     ) -> np.ndarray:
         """What a recipient lacking the album key renders (public only)."""
+        if self.gateway is not None:
+            from repro.system.gateway import pixels_from_response
+
+            params = {}
+            if resolution is not None:
+                params["size"] = str(resolution)
+            response = self._send(
+                HttpRequest(
+                    method="GET",
+                    url=build_url(
+                        self._gateway_base(), f"/photos/{photo_id}", params
+                    ),
+                )
+            )
+            return pixels_from_response(response)
         if self.recipient_proxy is None:
             raise RuntimeError(
                 f"{self.user} has no recipient proxy configured"

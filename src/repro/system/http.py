@@ -8,7 +8,7 @@ can assert on exactly what crosses each trust boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from urllib.parse import parse_qsl, urlencode, urlparse
+from urllib.parse import parse_qsl, urlencode, urlparse, urlunparse
 
 
 @dataclass
@@ -47,8 +47,29 @@ class HttpResponse:
 
 
 def build_url(base: str, path: str, params: dict[str, str] | None = None) -> str:
-    """Join a base host, path and query parameters into a URL."""
-    url = base.rstrip("/") + "/" + path.lstrip("/")
+    """Join a base URL, a path and query parameters into one URL.
+
+    Query strings are *merged*, never blindly appended: a ``base``
+    that already carries ``?...`` (as real PSP endpoints do — signed
+    CDN bases, API keys) or a ``path`` with its own query keeps every
+    parameter, with ``params`` last.  The old ``base + "?" +
+    urlencode(params)`` produced a malformed second ``?`` in that
+    case.
+    """
+    parsed = urlparse(base)
+    path_part, _, path_query = path.partition("?")
+    joined_path = parsed.path.rstrip("/") + "/" + path_part.lstrip("/")
+    pairs = parse_qsl(parsed.query, keep_blank_values=True)
+    pairs += parse_qsl(path_query, keep_blank_values=True)
     if params:
-        url += "?" + urlencode(params)
-    return url
+        pairs += list(params.items())
+    return urlunparse(
+        (
+            parsed.scheme,
+            parsed.netloc,
+            joined_path,
+            parsed.params,
+            urlencode(pairs),
+            parsed.fragment,
+        )
+    )

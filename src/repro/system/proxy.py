@@ -4,10 +4,14 @@
 sends the public part to the PSP, and stores the encrypted secret part
 with the storage provider under the photo ID the PSP returned.
 
-``RecipientProxy`` interposes on downloads: it forwards the request to
-the PSP, concurrently fetches (and caches) the secret part, estimates
-the PSP's transform when needed, reconstructs, and hands the finished
-image to the application.
+``RecipientProxy`` interposes on downloads.  Since the serving-tier
+refactor it is a thin per-user front over a
+:class:`~repro.serve.engine.ServingEngine` — the engine owns the
+two-tier cache (decoded variants + secret parts), single-flight
+coalescing and the single reconstruction path, and may be *shared*
+between many proxies (see :class:`~repro.system.gateway.P3Gateway`);
+a proxy constructed bare simply owns a private engine, preserving the
+paper's one-user-one-proxy story.
 
 Both proxies run on the client device, inside the trust boundary.  They
 are written against the :class:`~repro.api.backends.PSPBackend` and
@@ -17,52 +21,39 @@ backend — not just the built-in simulators — can sit on the far side.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from urllib.parse import quote
 
 import numpy as np
 
 from repro.api.backends import BlobStore, PSPBackend, best_effort_delete
 from repro.core.config import P3Config
-from repro.core.decryptor import P3Decryptor
 from repro.core.encryptor import EncryptedPhoto, P3Encryptor
-from repro.core.linear import planes_to_image, reconstruct_transformed_planes
-from repro.core.reconstruction import recombine
-from repro.core.serialization import SecretPart
 from repro.crypto.keyring import Keyring
-from repro.jpeg.codec import decode_coefficients
-from repro.jpeg.decoder import coefficients_to_pixels, coefficients_to_planes
+from repro.serve.engine import (
+    DEFAULT_SECRET_CACHE_LIMIT,
+    ServeRequest,
+    ServingEngine,
+)
+from repro.serve.keys import secret_blob_key  # noqa: F401  (re-export:
+# the historical home of the key layout; serve/ owns it now)
+from repro.serve.reconstruct import (  # noqa: F401  (re-export: the
+    # reconstruction core moved to the serving tier; older callers
+    # keep importing it from here)
+    build_served_operator,
+    reconstruct_served,
+)
 from repro.system.reverse import TransformEstimate
-from repro.transforms.resize import Resize
 
-#: Default bound on the recipient proxy's secret-part cache.
-DEFAULT_SECRET_CACHE_LIMIT = 128
-
-
-def _encode_key_component(part: str) -> str:
-    """Percent-encode a key component so it cannot escape its slot.
-
-    ``quote(safe="")`` handles ``/`` (and ``%`` itself); ``.`` is
-    additionally encoded so IDs cannot collide with the ``.secret``
-    suffix or smuggle ``..`` path segments.  ``quote`` never emits a
-    literal ``.``, so the composition stays injective.
-    """
-    return quote(part, safe="").replace(".", "%2E")
-
-
-def secret_blob_key(album: str, photo_id: str) -> str:
-    """Storage key for a photo's secret part.
-
-    Album and photo ID are percent-encoded: IDs containing ``/`` or
-    ``.`` could otherwise collide with other albums' keys or escape
-    the ``p3/`` prefix.  Plain alphanumeric names (every built-in PSP)
-    are unchanged.
-    """
-    return (
-        f"p3/{_encode_key_component(album)}/"
-        f"{_encode_key_component(photo_id)}.secret"
-    )
+__all__ = [
+    "DEFAULT_SECRET_CACHE_LIMIT",
+    "UploadReceipt",
+    "publish_encrypted",
+    "SenderProxy",
+    "RecipientProxy",
+    "secret_blob_key",
+    "build_served_operator",
+    "reconstruct_served",
+]
 
 
 @dataclass
@@ -89,7 +80,7 @@ def publish_encrypted(
     (best-effort — the protocol's ``delete`` is optional) before the
     error propagates, so a failed publish never strands a public part
     whose secret half exists nowhere.  This is the single publish path
-    for the sender proxy and the session batch pipeline.
+    for the sender proxy, the session batch pipeline and the gateway.
     """
     photo_id = psp.upload(
         photo.public_jpeg, owner=owner, viewers=viewers
@@ -150,89 +141,29 @@ class SenderProxy:
         )
 
 
-# -- reconstruction core (shared with the batch pipeline) ---------------------
+class _SecretCacheView:
+    """Photo-ID view of the engine's (album, id, key)-keyed tier-2 cache.
 
-
-def build_served_operator(
-    public,
-    secret_image,
-    resolution: int | None,
-    crop_box: tuple[int, int, int, int] | None,
-    transform_estimate: TransformEstimate | None = None,
-):
-    """Build the Eq. 2 operator for the served public geometry.
-
-    For cropped downloads the PSP's pipeline is resize-then-crop; the
-    cropping geometry and the size "are both encoded in the HTTP get
-    URL, so the proxy is able to determine those parameters"
-    (Section 4.1) — here they arrive as the request arguments.
+    Historical callers (and tests) reason about the recipient proxy's
+    secret cache by photo ID alone; the shared engine keys by
+    ``(album, photo_id, key-digest)`` so tenants cannot collide.  This
+    read-only view bridges the two.
     """
-    from repro.transforms.crop import Crop
-    from repro.transforms.operators import Compose
-    from repro.transforms.resize import fit_within
 
-    if crop_box is None:
-        resize_h, resize_w = public.height, public.width
-    else:
-        if resolution is None:
-            raise ValueError("cropped downloads must specify the resolution")
-        resize_h, resize_w = fit_within(
-            secret_image.height,
-            secret_image.width,
-            resolution,
-            resolution,
+    def __init__(self, engine: ServingEngine) -> None:
+        self._engine = engine
+
+    def __len__(self) -> int:
+        return len(self._engine.secret_cache)
+
+    def __contains__(self, photo_id: str) -> bool:
+        return any(
+            key[1] == photo_id for key in self._engine.secret_cache.keys()
         )
-    if transform_estimate is not None:
-        base = transform_estimate.operator(resize_h, resize_w)
-    else:
-        base = Resize(resize_h, resize_w, kernel="bilinear")
-    if crop_box is None:
-        return base
-    return Compose(operators=(base, Crop(*crop_box)))
-
-
-def reconstruct_served(
-    public_jpeg: bytes,
-    secret_part: SecretPart,
-    *,
-    resolution: int | None = None,
-    crop_box: tuple[int, int, int, int] | None = None,
-    transform_estimate: TransformEstimate | None = None,
-    fast: bool = True,
-) -> np.ndarray:
-    """Reconstruct a photo from its served public part + secret part.
-
-    This is the single reconstruction path for interposed downloads
-    and the batch pipeline: exact coefficient-domain recombination
-    (Eq. 1) when the PSP left the public part untouched, the
-    pixel-domain Eq. 2 path otherwise.
-    """
-    public = decode_coefficients(public_jpeg, fast=fast)
-    untouched = public.same_geometry(
-        secret_part.image
-    ) and public.same_quantization(secret_part.image)
-    if untouched and crop_box is None:
-        combined = recombine(public, secret_part.image, secret_part.threshold)
-        return coefficients_to_pixels(combined)
-    operator = build_served_operator(
-        public, secret_part.image, resolution, crop_box, transform_estimate
-    )
-    public_planes = coefficients_to_planes(public, level_shift=True)
-    planes = reconstruct_transformed_planes(
-        public_planes, secret_part.image, secret_part.threshold, operator
-    )
-    return planes_to_image(planes)
-
-
-@dataclass
-class _CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
 
 
 class RecipientProxy:
-    """Trusted recipient-side middlebox with a secret-part cache."""
+    """Trusted recipient-side middlebox over a serving engine."""
 
     def __init__(
         self,
@@ -243,18 +174,69 @@ class RecipientProxy:
         fast: bool = True,
         fast_crypto: bool = True,
         cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
+        engine: ServingEngine | None = None,
     ) -> None:
         if cache_limit is not None and cache_limit < 1:
             raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
+        if engine is None:
+            # A bare proxy is the paper's one-user-one-device deploy:
+            # it keeps the secret-part cache but not the decoded-
+            # variant tier (the app in front of it caches rendered
+            # images itself).  Serving-tier deployments pass a shared,
+            # config-built engine where both tiers are on.
+            engine = ServingEngine(
+                psp,
+                storage,
+                transform_estimate=transform_estimate,
+                fast=fast,
+                fast_crypto=fast_crypto,
+                secret_cache_limit=cache_limit,
+                variant_cache_limit=0,
+            )
+        elif (
+            transform_estimate is not None
+            and engine.transform_estimate is not transform_estimate
+        ):
+            raise ValueError(
+                "a shared engine already carries its transform estimate; "
+                "passing a different one to the proxy would silently "
+                "diverge — configure it on the engine"
+            )
         self.keyring = keyring
-        self.psp = psp
-        self.storage = storage
-        self.transform_estimate = transform_estimate
-        self.fast = fast  # vectorized entropy decode on the hot path
-        self.fast_crypto = fast_crypto  # vectorized AES on the envelope
-        self.cache_limit = cache_limit  # None = unbounded
-        self._secret_cache: OrderedDict[str, SecretPart] = OrderedDict()
-        self.cache_stats = _CacheStats()
+        self.engine = engine
+        self.psp = engine.psp
+        self.storage = engine.storage
+        self.transform_estimate = engine.transform_estimate
+        self.fast = engine.fast  # vectorized entropy decode on the hot path
+        self.fast_crypto = engine.fast_crypto  # vectorized AES
+
+    # -- cache surface (delegates to the engine's tier-2 cache) ---------------
+
+    @property
+    def cache_limit(self) -> int | None:
+        """Bound on the secret-part cache (None = unbounded).
+
+        Settable on a live proxy; shrinking converges on the next
+        insert.  Shared-engine proxies share the bound.
+        """
+        return self.engine.secret_cache.maxsize
+
+    @cache_limit.setter
+    def cache_limit(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ValueError(f"cache_limit must be >= 1, got {value}")
+        self.engine.secret_cache.maxsize = value
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/eviction counters of the secret-part cache."""
+        return self.engine.secret_cache.stats
+
+    @property
+    def _secret_cache(self) -> _SecretCacheView:
+        return _SecretCacheView(self.engine)
+
+    # -- downloads ------------------------------------------------------------
 
     def download(
         self,
@@ -267,22 +249,36 @@ class RecipientProxy:
 
         The secret part is fetched once per photo and cached, so viewing
         a thumbnail and then the large version downloads it only once
-        (the bandwidth optimization described in Section 4.1).
+        (the bandwidth optimization described in Section 4.1); finished
+        variants are additionally cached by the engine's tier-1 cache.
         """
-        public_jpeg = self.psp.download(
-            photo_id,
-            requester=self.keyring.owner,
-            resolution=resolution,
-            crop_box=crop_box,
-        )
-        secret_part = self._fetch_secret(photo_id, album)
-        return reconstruct_served(
-            public_jpeg,
-            secret_part,
-            resolution=resolution,
-            crop_box=crop_box,
-            transform_estimate=self.transform_estimate,
-            fast=self.fast,
+        return self.serve(
+            photo_id, album, resolution=resolution, crop_box=crop_box
+        ).pixels
+
+    def serve(
+        self,
+        photo_id: str,
+        album: str,
+        resolution: int | None = None,
+        crop_box: tuple[int, int, int, int] | None = None,
+    ):
+        """Like :meth:`download` but returns the full
+        :class:`~repro.serve.engine.ServeResult` (timings, provenance)."""
+        # The PSP's access decision comes before the local key lookup,
+        # as in the interposed flow: a stranger is denied by the
+        # provider, not tripped up by their own missing album key.
+        self.engine.check_access(photo_id, self.keyring.owner)
+        return self.engine.serve(
+            ServeRequest(
+                photo_id=photo_id,
+                album=album,
+                key=self.keyring.key_for(album),
+                requester=self.keyring.owner,
+                resolution=resolution,
+                crop_box=crop_box,
+            ),
+            preauthorized=True,
         )
 
     def download_public_only(
@@ -292,38 +288,11 @@ class RecipientProxy:
         crop_box: tuple[int, int, int, int] | None = None,
     ) -> np.ndarray:
         """What a viewer *without* the album key sees (Figure 4, right)."""
-        public_jpeg = self.psp.download(
-            photo_id,
-            requester=self.keyring.owner,
-            resolution=resolution,
-            crop_box=crop_box,
-        )
-        return coefficients_to_pixels(
-            decode_coefficients(public_jpeg, fast=self.fast)
-        )
-
-    # -- internals ------------------------------------------------------------
-
-    def _fetch_secret(self, photo_id: str, album: str) -> SecretPart:
-        """LRU-cached secret-part fetch, bounded by ``cache_limit``."""
-        cached = self._secret_cache.get(photo_id)
-        if cached is not None:
-            self.cache_stats.hits += 1
-            self._secret_cache.move_to_end(photo_id)
-            return cached
-        self.cache_stats.misses += 1
-        envelope = self.storage.get(secret_blob_key(album, photo_id))
-        decryptor = P3Decryptor(
-            self.keyring.key_for(album),
-            fast=self.fast,
-            fast_crypto=self.fast_crypto,
-        )
-        secret_part = decryptor.open_secret(envelope)
-        self._secret_cache[photo_id] = secret_part
-        while (
-            self.cache_limit is not None
-            and len(self._secret_cache) > self.cache_limit
-        ):
-            self._secret_cache.popitem(last=False)
-            self.cache_stats.evictions += 1
-        return secret_part
+        return self.engine.serve(
+            ServeRequest(
+                photo_id=photo_id,
+                requester=self.keyring.owner,
+                resolution=resolution,
+                crop_box=crop_box,
+            )
+        ).pixels

@@ -23,6 +23,7 @@ can play the adversary).
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,11 +83,19 @@ class PhotoSharingProvider:
         self._counter = 0
         self.bytes_served = 0
         self.bytes_received = 0
+        # Concurrent ingest (fan-out executors) and serving (gateway
+        # threads) share one provider instance: every touch of the
+        # photo table / counters happens under this lock.  The
+        # CPU-heavy transcodes deliberately run outside it.
+        self._lock = threading.RLock()
 
     # -- naming ---------------------------------------------------------------
 
     def _new_photo_id(self, data: bytes) -> str:
-        """Opaque, unguessable ID (hash-based), as real PSPs assign."""
+        """Opaque, unguessable ID (hash-based), as real PSPs assign.
+
+        Callers hold ``_lock`` (the counter is shared state).
+        """
         self._counter += 1
         digest = hashlib.sha256(
             data + self._counter.to_bytes(8, "big") + self.name.encode()
@@ -104,7 +113,8 @@ class PhotoSharingProvider:
         reproducing the paper's observation that end-to-end encryption
         simply does not pass PSP ingestion.
         """
-        self.bytes_received += len(data)
+        with self._lock:
+            self.bytes_received += len(data)
         try:
             pixels = decode(data)
         except Exception as error:
@@ -122,13 +132,14 @@ class PhotoSharingProvider:
             variants[resolution] = self._transcode(
                 rgb, resolution, grayscale
             )
-        photo_id = self._new_photo_id(data)
-        self._photos[photo_id] = _StoredPhoto(
-            owner=owner,
-            viewers=set(viewers or set()) | {owner},
-            variants=variants,
-            original_size=(rgb.shape[0], rgb.shape[1]),
-        )
+        with self._lock:
+            photo_id = self._new_photo_id(data)
+            self._photos[photo_id] = _StoredPhoto(
+                owner=owner,
+                viewers=set(viewers or set()) | {owner},
+                variants=variants,
+                original_size=(rgb.shape[0], rgb.shape[1]),
+            )
         return photo_id
 
     def _transcode(
@@ -198,16 +209,18 @@ class PhotoSharingProvider:
         re-encode generation-loss round trip toward a resolution the
         provider never had.
         """
-        largest = max(photo.variants)
-        if resolution is None or resolution > largest:
-            resolution = largest
-        source_resolution = min(
-            r for r in photo.variants if r >= resolution
-        )
-        data = photo.variants[source_resolution]
+        with self._lock:
+            largest = max(photo.variants)
+            if resolution is None or resolution > largest:
+                resolution = largest
+            source_resolution = min(
+                r for r in photo.variants if r >= resolution
+            )
+            data = photo.variants[source_resolution]
         if source_resolution != resolution or crop_box is not None:
             data = self._dynamic_transform(data, resolution, crop_box)
-        self.bytes_served += len(data)
+        with self._lock:
+            self.bytes_served += len(data)
         return data
 
     def _dynamic_transform(
@@ -252,12 +265,24 @@ class PhotoSharingProvider:
         Client rollback paths (a publish whose secret-part put failed)
         call this best-effort, so it must tolerate already-gone IDs.
         """
-        self._photos.pop(photo_id, None)
+        with self._lock:
+            self._photos.pop(photo_id, None)
+
+    def check_access(self, photo_id: str, requester: str) -> None:
+        """Enforce the viewer policy without serving bytes.
+
+        The serving tier calls this on *every* request — cache hits
+        included — so a cached reconstruction never bypasses the
+        provider's access control.  Raises ``KeyError`` for unknown
+        photos and :class:`AccessDeniedError` for non-viewers.
+        """
+        self._get_checked(photo_id, requester)
 
     def _get_checked(self, photo_id: str, requester: str) -> _StoredPhoto:
-        if photo_id not in self._photos:
-            raise KeyError(f"no photo {photo_id!r}")
-        photo = self._photos[photo_id]
+        with self._lock:
+            if photo_id not in self._photos:
+                raise KeyError(f"no photo {photo_id!r}")
+            photo = self._photos[photo_id]
         if requester not in photo.viewers:
             raise AccessDeniedError(
                 f"{requester!r} may not view photo {photo_id!r}"
@@ -272,10 +297,12 @@ class PhotoSharingProvider:
         Used by the evaluation to run recognition attacks on exactly
         what the provider holds.
         """
-        return self._photos[photo_id].variants[resolution]
+        with self._lock:
+            return self._photos[photo_id].variants[resolution]
 
     def all_photo_ids(self) -> list[str]:
-        return list(self._photos)
+        with self._lock:
+            return list(self._photos)
 
     def run_analysis(self, analyzer, resolution: int | None = None) -> dict:
         """Run an attack callable over every stored photo.
@@ -287,7 +314,9 @@ class PhotoSharingProvider:
         fallback).
         """
         results = {}
-        for photo_id, photo in self._photos.items():
+        with self._lock:
+            photos = dict(self._photos)
+        for photo_id, photo in photos.items():
             chosen = max(photo.variants) if resolution is None else resolution
             if chosen not in photo.variants:
                 raise KeyError(
@@ -350,6 +379,13 @@ class PhotoBucketPSP(PhotoSharingProvider):
         self._counter += 1
         return f"img{self._counter:06d}"
 
+    def check_access(self, photo_id: str, requester: str) -> None:
+        # No viewer policy to enforce (that is the vulnerability);
+        # only existence is checked.
+        with self._lock:
+            if photo_id not in self._photos:
+                raise KeyError(f"no photo {photo_id!r}")
+
     def download(
         self,
         photo_id: str,
@@ -359,7 +395,8 @@ class PhotoBucketPSP(PhotoSharingProvider):
     ) -> bytes:
         # No access control: the fusking vulnerability.  The serving
         # machinery itself is the shared base implementation.
-        photo = self._photos.get(photo_id)
+        with self._lock:
+            photo = self._photos.get(photo_id)
         if photo is None:
             raise KeyError(f"no photo {photo_id!r}")
         return self._serve(photo, resolution, crop_box)

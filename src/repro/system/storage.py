@@ -10,6 +10,8 @@ that modified envelopes are detected by the HMAC.
 
 from __future__ import annotations
 
+import threading
+
 from repro.api.backends import BlobStore  # noqa: F401  (re-export: the
 # protocol this reference implementation satisfies)
 from repro.api.fanout import (  # noqa: F401  (re-export: the composite
@@ -21,49 +23,62 @@ from repro.api.fanout import (  # noqa: F401  (re-export: the composite
 
 
 class CloudStorage:
-    """A key-value blob store with adversarial inspection hooks."""
+    """A key-value blob store with adversarial inspection hooks.
+
+    Thread-safe: concurrent replica puts (fan-out ingest executors)
+    and serving-tier reads share instances, so every access to the
+    blob table and its byte/read counters goes through one lock.
+    """
 
     def __init__(self, name: str = "dropbox") -> None:
         self.name = name
         self._blobs: dict[str, bytes] = {}
         self.bytes_stored = 0
         self.get_count = 0
+        self._lock = threading.Lock()
 
     def put(self, key: str, blob: bytes) -> None:
         """Store a blob under a key (overwrites)."""
-        if key in self._blobs:
-            self.bytes_stored -= len(self._blobs[key])
-        self._blobs[key] = bytes(blob)
-        self.bytes_stored += len(blob)
+        with self._lock:
+            if key in self._blobs:
+                self.bytes_stored -= len(self._blobs[key])
+            self._blobs[key] = bytes(blob)
+            self.bytes_stored += len(blob)
 
     def get(self, key: str) -> bytes:
         """Fetch a blob; raises KeyError when absent."""
-        self.get_count += 1
-        return self._blobs[key]
+        with self._lock:
+            self.get_count += 1
+            return self._blobs[key]
 
     def exists(self, key: str) -> bool:
-        return key in self._blobs
+        with self._lock:
+            return key in self._blobs
 
     def delete(self, key: str) -> None:
-        blob = self._blobs.pop(key, None)
-        if blob is not None:
-            self.bytes_stored -= len(blob)
+        with self._lock:
+            blob = self._blobs.pop(key, None)
+            if blob is not None:
+                self.bytes_stored -= len(blob)
 
     def keys(self) -> list[str]:
-        return sorted(self._blobs)
+        with self._lock:
+            return sorted(self._blobs)
 
     # -- the adversarial side -------------------------------------------------
 
     def snoop(self, key: str) -> bytes:
         """The provider reading stored bytes (no access control here)."""
-        return self._blobs[key]
+        with self._lock:
+            return self._blobs[key]
 
     def tamper(self, key: str, offset: int, value: int) -> None:
         """Flip a byte of a stored blob (active attacker simulation)."""
-        blob = bytearray(self._blobs[key])
-        if not blob:
-            raise ValueError(
-                f"cannot tamper with {key!r}: the stored blob is empty"
-            )
-        blob[offset % len(blob)] ^= value & 0xFF
-        self._blobs[key] = bytes(blob)
+        with self._lock:
+            blob = bytearray(self._blobs[key])
+            if not blob:
+                raise ValueError(
+                    f"cannot tamper with {key!r}: the stored blob is empty"
+                )
+            blob[offset % len(blob)] ^= value & 0xFF
+            self._blobs[key] = bytes(blob)

@@ -558,6 +558,13 @@ class TestMultiBackendSession:
             storage.stores[victim].delete(stored)
         assert not storage.stores[victim].exists(key)
 
+        # The serving engine would happily keep answering from its
+        # caches without noticing the wipe; drop them (as TTL expiry
+        # or a fresh serving tier would) so the re-read actually hits
+        # storage and triggers read-repair.
+        fan.engine.variant_cache.clear()
+        fan.engine.secret_cache.clear()
+
         repairs_before = storage.repairs
         for name in self.PROVIDERS:
             assert reconstruction(name) == singles[name]

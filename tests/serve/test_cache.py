@@ -1,0 +1,193 @@
+"""Tests for the serving tier's LRU+TTL cache and its stats."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import CacheStats, LRUCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" is now the most recent
+        cache.put("c", 3)  # so "b" is the victim
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_shrinking_maxsize_converges_on_next_insert(self):
+        cache = LRUCache(4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.maxsize = 1
+        assert len(cache) == 4  # no trim until the next write
+        cache.put("e", "e")
+        assert len(cache) == 1
+        assert cache.keys() == ["e"]
+        assert cache.stats.evictions == 4
+
+    def test_unbounded_and_disabled(self):
+        unbounded = LRUCache(None)
+        for index in range(500):
+            unbounded.put(index, index)
+        assert len(unbounded) == 500
+
+        disabled = LRUCache(0)
+        disabled.put("a", 1)
+        assert len(disabled) == 0
+        assert disabled.get("a") is None
+        assert disabled.stats.misses == 1
+
+    def test_setting_maxsize_zero_disables_immediately(self):
+        """Regression: disabling a live cache must drop existing
+        entries now — put() no-ops afterwards, so there is no 'next
+        insert' for the usual lazy convergence to happen at."""
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.maxsize = 0
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.evictions == 2
+        cache.put("c", 3)  # disabled: no-op
+        assert len(cache) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            LRUCache(-1)
+        with pytest.raises(ValueError, match="ttl"):
+            LRUCache(4, ttl=0)
+
+
+class TestTTL:
+    def test_entries_expire_lazily(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1  # still fresh
+        clock.advance(0.2)  # now 10.1s old
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 0  # expiry is not an eviction
+
+    def test_put_resets_the_clock(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)  # re-stamped
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+    def test_contains_is_ttl_aware_and_silent(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(11.0)
+        assert "a" not in cache
+        # Membership checks never touch the counters.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = LRUCache(8, ttl=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        assert cache.get("a") == 1
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.requests == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_snapshot_is_json_shaped(self):
+        stats = CacheStats()
+        stats._add("hits", 3)
+        stats._add("misses")
+        snapshot = stats.snapshot()
+        assert snapshot["hits"] == 3
+        assert snapshot["misses"] == 1
+        assert 0.0 <= snapshot["hit_rate"] <= 1.0
+
+    def test_concurrent_increments_are_exact(self):
+        stats = CacheStats()
+
+        def bump():
+            for _ in range(1000):
+                stats._add("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.hits == 8000
+
+
+class TestConcurrency:
+    def test_hammer_put_get_never_corrupts(self):
+        cache = LRUCache(32)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for index in range(300):
+                    key = (seed * index) % 64
+                    cache.put(key, key)
+                    value = cache.get(key)
+                    assert value is None or value == key
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(1, 7)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32

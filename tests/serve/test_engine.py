@@ -1,0 +1,356 @@
+"""Tests for the ServingEngine: two-tier cache, coalescing, access."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import P3Config
+from repro.crypto.keyring import Keyring
+from repro.jpeg.codec import encode_rgb
+from repro.serve.engine import ServeRequest, ServingEngine
+from repro.system.proxy import SenderProxy
+from repro.system.psp import AccessDeniedError, FacebookPSP
+from repro.system.storage import CloudStorage
+
+
+class CountingPSP:
+    """Delegating PSP wrapper that counts calls per method."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.downloads = 0
+        self.access_checks = 0
+        self._lock = threading.Lock()
+
+    def upload(self, data, owner, viewers=None):
+        return self.inner.upload(data, owner=owner, viewers=viewers)
+
+    def download(self, photo_id, requester, resolution=None, crop_box=None):
+        with self._lock:
+            self.downloads += 1
+        return self.inner.download(
+            photo_id, requester, resolution=resolution, crop_box=crop_box
+        )
+
+    def check_access(self, photo_id, requester):
+        with self._lock:
+            self.access_checks += 1
+        self.inner.check_access(photo_id, requester)
+
+    def delete(self, photo_id):
+        self.inner.delete(photo_id)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def world(scene_corpus):
+    """A published photo behind a counting PSP, plus alice's keyring."""
+    keys = Keyring("alice")
+    keys.create_album("trip")
+    psp = CountingPSP(FacebookPSP())
+    storage = CloudStorage()
+    sender = SenderProxy(keys, psp, storage, P3Config(quality=85))
+    jpeg = encode_rgb(scene_corpus[0], quality=85)
+    receipt = sender.upload(jpeg, "trip", viewers={"bob"})
+    return psp, storage, keys, receipt.photo_id
+
+
+def request_for(keys, photo_id, **kwargs):
+    return ServeRequest(
+        photo_id=photo_id,
+        album="trip",
+        key=keys.key_for("trip"),
+        requester=keys.owner,
+        **kwargs,
+    )
+
+
+class TestVariantCache:
+    def test_warm_serve_skips_fetch_and_reconstruct(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        cold = engine.serve(request)
+        downloads_after_cold = psp.downloads
+        warm = engine.serve(request)
+        assert psp.downloads == downloads_after_cold  # no second fetch
+        assert warm.variant_hit and not cold.variant_hit
+        assert warm.pixels.tobytes() == cold.pixels.tobytes()
+        assert engine.variant_cache.stats.hits == 1
+
+    def test_cached_serve_is_byte_identical_to_uncached(self, world):
+        psp, storage, keys, photo_id = world
+        cached = ServingEngine(psp, storage)
+        uncached = ServingEngine(psp, storage, variant_cache_limit=0)
+        request = request_for(keys, photo_id, resolution=130)
+        cached.serve(request)  # warm it
+        assert (
+            cached.serve(request).pixels.tobytes()
+            == uncached.serve(request).pixels.tobytes()
+        )
+
+    def test_callers_own_their_pixels(self, world):
+        """Mutating a served array must not poison the cache."""
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=75)
+        first = engine.serve(request).pixels
+        reference = first.tobytes()
+        first[:] = 0
+        assert engine.serve(request).pixels.tobytes() == reference
+
+    def test_distinct_geometries_are_distinct_variants(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        small = engine.serve(request_for(keys, photo_id, resolution=75))
+        large = engine.serve(request_for(keys, photo_id, resolution=130))
+        assert small.pixels.shape != large.pixels.shape
+        assert len(engine.variant_cache) == 2
+
+    def test_ttl_expiry_reconstructs_again(self, world):
+        psp, storage, keys, photo_id = world
+        clock = FakeClock()
+        engine = ServingEngine(psp, storage, variant_ttl_s=60.0, clock=clock)
+        request = request_for(keys, photo_id, resolution=130)
+        cold = engine.serve(request)
+        clock.now = 59.0
+        assert engine.serve(request).variant_hit
+        clock.now = 61.0
+        downloads_before = psp.downloads
+        stale = engine.serve(request)
+        assert not stale.variant_hit  # expired -> reconstructed afresh
+        assert psp.downloads == downloads_before + 1
+        assert engine.variant_cache.stats.expirations == 1
+        assert stale.pixels.tobytes() == cold.pixels.tobytes()
+
+
+class TestSecretCacheTier:
+    def test_secret_fetched_once_across_resolutions(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        before = storage.get_count
+        for resolution in (75, 130, 720):
+            engine.serve(request_for(keys, photo_id, resolution=resolution))
+        assert storage.get_count == before + 1
+        assert engine.secret_cache.stats.hits == 2
+
+    def test_public_only_never_touches_storage(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        before = storage.get_count
+        result = engine.serve(
+            ServeRequest(photo_id=photo_id, requester="alice", resolution=130)
+        )
+        assert result.public_only
+        assert storage.get_count == before
+        assert len(engine.secret_cache) == 0
+
+    def test_public_and_keyed_variants_never_mix(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        keyed = engine.serve(request_for(keys, photo_id, resolution=130))
+        public = engine.serve(
+            ServeRequest(photo_id=photo_id, requester="alice", resolution=130)
+        )
+        assert not public.variant_hit  # distinct cache identity
+        assert keyed.pixels.tobytes() != public.pixels.tobytes()
+
+
+class TestAccessControl:
+    def test_access_enforced_on_cache_hits(self, world):
+        """A cached variant must not leak past the PSP's viewer policy."""
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        engine.serve(request_for(keys, photo_id, resolution=130))  # warm
+        mallory = ServeRequest(
+            photo_id=photo_id, requester="mallory", resolution=130
+        )
+        with pytest.raises(AccessDeniedError):
+            engine.serve(mallory)
+
+    def test_download_enforcing_backend_without_hook_still_enforced(
+        self, world
+    ):
+        """A protocol-conforming PSP that enforces access only inside
+        download() (no check_access hook) must keep getting a round
+        trip on cache hits — the pre-refactor per-download guarantee."""
+        psp, storage, keys, photo_id = world
+
+        class HookFreePSP:
+            """Enforces in download(); exposes no check_access."""
+
+            def __init__(self, inner):
+                self.inner = inner.inner  # unwrap the counter
+                self.name = self.inner.name
+                self.downloads = 0
+                self.allowed = {"alice"}
+
+            def upload(self, data, owner, viewers=None):
+                return self.inner.upload(data, owner=owner, viewers=viewers)
+
+            def download(self, photo_id, requester, resolution=None,
+                         crop_box=None):
+                self.downloads += 1
+                if requester not in self.allowed:
+                    raise PermissionError(f"{requester} may not view")
+                return self.inner.download(
+                    photo_id, requester,
+                    resolution=resolution, crop_box=crop_box,
+                )
+
+        hook_free = HookFreePSP(psp)
+        engine = ServingEngine(hook_free, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        engine.serve(request)  # alice warms the cache
+        warm = engine.serve(request)
+        assert warm.variant_hit
+        assert hook_free.downloads == 2  # the hit still took a round trip
+        mallory = ServeRequest(
+            photo_id=photo_id,
+            album="trip",
+            key=keys.key_for("trip"),
+            requester="mallory",
+            resolution=130,
+        )
+        with pytest.raises(PermissionError):
+            engine.serve(mallory)  # cold: denied
+        engine.serve(request)
+        with pytest.raises(PermissionError):
+            engine.serve(mallory)  # warm cache: still denied
+
+    def test_unknown_photo_raises_keyerror_even_when_cached(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        engine.serve(request)
+        psp.delete(photo_id)
+        with pytest.raises(KeyError):
+            engine.serve(request)
+
+
+class TestCoalescing:
+    def test_concurrent_viewers_trigger_one_reconstruction(self, world):
+        psp, storage, keys, photo_id = world
+        gate = threading.Event()
+        inner_download = psp.inner.download
+
+        def gated_download(*args, **kwargs):
+            assert gate.wait(timeout=10)
+            return inner_download(*args, **kwargs)
+
+        psp.inner.download = gated_download
+        try:
+            engine = ServingEngine(psp, storage)
+            request = request_for(keys, photo_id, resolution=130)
+            results = []
+            errors = []
+
+            def view():
+                try:
+                    results.append(engine.serve(request))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=view) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            # Wait until the three followers are queued behind the leader,
+            # then open the gate.
+            deadline = time.monotonic() + 10
+            while engine._variant_flights.waiters(request.variant_key()) < 3:
+                assert time.monotonic() < deadline, "waiters never arrived"
+                time.sleep(0.002)
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            psp.inner.download = inner_download
+
+        assert not errors
+        assert len(results) == 4
+        assert psp.downloads == 1  # one fetch, one reconstruction
+        assert engine.stats.reconstructions == 1
+        assert engine.stats.coalesced == 3
+        reference = results[0].pixels.tobytes()
+        assert all(r.pixels.tobytes() == reference for r in results)
+
+    def test_coalescing_can_be_disabled(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage, coalesce=False)
+        request = request_for(keys, photo_id, resolution=75)
+        engine.serve(request)
+        assert engine.serve(request).variant_hit  # cache still works
+        assert engine.stats.coalesced == 0
+
+
+class TestTimingHooks:
+    def test_every_serve_reports_stage_timings(self, world):
+        psp, storage, keys, photo_id = world
+        seen = []
+        engine = ServingEngine(
+            psp, storage, timing_hook=lambda req, res: seen.append((req, res))
+        )
+        request = request_for(keys, photo_id, resolution=130)
+        cold = engine.serve(request)
+        warm = engine.serve(request)
+        assert cold.timing.reconstruct_s > 0
+        assert cold.timing.fetch_public_s > 0
+        assert cold.timing.total_s >= cold.timing.reconstruct_s
+        assert warm.timing.total_s > 0
+        assert warm.timing.reconstruct_s == 0.0  # served from cache
+        assert [res.source for _, res in seen] == [
+            "reconstructed",
+            "variant-cache",
+        ]
+
+    def test_stats_percentiles_and_snapshot(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=75)
+        for _ in range(5):
+            engine.serve(request)
+        snapshot = engine.snapshot()
+        assert snapshot["serving"]["requests"] == 5
+        assert snapshot["serving"]["reconstructions"] == 1
+        assert snapshot["serving"]["p50_ms"] >= 0
+        assert snapshot["variant_cache"]["hits"] == 4
+        assert engine.stats.percentile(99) >= engine.stats.percentile(50)
+
+
+class TestBatchSeam:
+    def test_fetch_task_reconstructs_byte_identically(self, world):
+        from repro.api.pipeline import run_decrypt_task
+
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        task = engine.fetch_task(request)
+        served = engine.serve(request)
+        assert (
+            run_decrypt_task(task).tobytes() == served.pixels.tobytes()
+        )
+
+    def test_fetch_task_bypasses_caches(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        engine.serve(request)  # warm both tiers
+        before = storage.get_count
+        engine.fetch_task(request)
+        assert storage.get_count == before + 1  # really hit storage
+
+
+class TestRequestValidation:
+    def test_keyed_request_needs_album(self):
+        with pytest.raises(ValueError, match="album"):
+            ServeRequest(photo_id="x", key=b"\x00" * 16)

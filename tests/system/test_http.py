@@ -35,3 +35,63 @@ class TestBuildUrl:
 
     def test_no_params(self):
         assert build_url("https://a.example", "x") == "https://a.example/x"
+
+    def test_base_with_query_is_merged_not_mangled(self):
+        """The regression: a base already carrying ``?`` used to get a
+        second ``?`` appended, producing a malformed URL."""
+        url = build_url(
+            "https://cdn.example/serve?token=abc",
+            "/photos/p1",
+            {"size": "130"},
+        )
+        assert url.count("?") == 1
+        assert url == "https://cdn.example/serve/photos/p1?token=abc&size=130"
+
+    def test_path_with_query_is_merged(self):
+        url = build_url(
+            "https://a.example", "/photos/p1?id=p1", {"size": "75"}
+        )
+        assert url.count("?") == 1
+        assert (
+            HttpRequest(method="GET", url=url).query
+            == {"id": "p1", "size": "75"}
+        )
+
+    def test_all_three_sources_merge_in_order(self):
+        url = build_url(
+            "https://a.example/api?key=k1",
+            "/photos?id=p9",
+            {"size": "130"},
+        )
+        assert url == "https://a.example/api/photos?key=k1&id=p9&size=130"
+
+    def test_merged_urls_parse_back(self):
+        request = HttpRequest(
+            method="GET",
+            url=build_url(
+                "https://a.example/api?key=k1",
+                "/photos/p1",
+                {"size": "720", "crop": "1,2,3,4"},
+            ),
+        )
+        assert request.host == "a.example"
+        assert request.path == "/api/photos/p1"
+        assert request.query == {
+            "key": "k1",
+            "size": "720",
+            "crop": "1,2,3,4",
+        }
+
+    def test_slash_handling(self):
+        assert (
+            build_url("https://a.example/", "photos")
+            == "https://a.example/photos"
+        )
+        assert (
+            build_url("https://a.example/api/", "/photos")
+            == "https://a.example/api/photos"
+        )
+
+    def test_blank_query_values_survive(self):
+        url = build_url("https://a.example/x?flag=", "/y", {"q": ""})
+        assert url == "https://a.example/x/y?flag=&q="
