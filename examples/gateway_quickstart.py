@@ -8,11 +8,25 @@ same trusted logic as a *shared* middlebox — a
 
 Alice publishes an album through the gateway; five viewers hit the
 same photo over plain HTTP round trips.  The first view reconstructs;
-every later view — whoever asks — is served from the shared
-decoded-variant cache in microseconds, concurrent viewers of a cold
-photo coalesce onto a single reconstruction, and a tenant who was
-never given the album key still only ever sees the degraded public
-part.
+every later view — whoever asks — is served from the shared cache in
+microseconds, concurrent viewers of a cold photo coalesce onto a
+single reconstruction, and a tenant who was never given the album key
+still only ever sees the degraded public part.
+
+The shared engine stacks three cache tiers: decoded variants
+(finished pixels, LRU + TTL), decrypted secret parts, and raw secret
+*envelopes* straight from storage — the last shared with the batch
+pipeline, so `batch_download` warms interactive serves and vice
+versa.  Each tier is partitioned by tenant key (album for envelopes)
+with a protected per-partition quota
+(``P3Config.cache_partition_quota``), so one viral album cannot evict
+every other tenant's working set; ``engine.snapshot()["partitions"]``
+— also on the gateway's ``/stats`` endpoint — breaks hits, misses and
+evictions down per partition.  Cold reconstructions can also be
+pushed onto a persistent worker pool
+(``P3Config(serve_executor="process", serve_workers=4)``) so
+concurrent cache misses scale across cores; release it with
+``gateway.close()``.
 """
 
 from __future__ import annotations
@@ -104,6 +118,13 @@ def main() -> None:
         f"variant hit rate {snapshot['variant_cache']['hit_rate']:.2f}, "
         f"p50 {snapshot['serving']['p50_ms']} ms"
     )
+    # Per-tenant cache accounting (the same breakdown /stats serves).
+    for partition, stats in snapshot["partitions"]["variant_cache"].items():
+        print(
+            f"  variant partition {partition}: {stats['entries']} entries, "
+            f"{stats['hits']} hits, {stats['evictions']} evictions"
+        )
+    gateway.close()
 
 
 if __name__ == "__main__":

@@ -19,17 +19,24 @@ strategies share that contract:
 The strategy is selected by :class:`~repro.core.config.P3Config`'s
 ``executor``/``workers`` fields via :func:`make_executor`.
 
-The pooled strategies build their pool per :meth:`Executor.map` call —
-a deliberate simplicity/lifecycle tradeoff: executors stay stateless
-(nothing to shut down, safe to share), and batches are corpus-sized,
-so pool startup is amortized over many items.  A long-lived pool would
-only pay off for many tiny batches; revisit if that workload appears.
+By default the pooled strategies build their pool per
+:meth:`Executor.map` call — a deliberate simplicity/lifecycle
+tradeoff: executors stay stateless (nothing to shut down, safe to
+share), and batches are corpus-sized, so pool startup is amortized
+over many items.  The serving tier is the workload that tradeoff does
+not fit — many *single* cold reconstructions arriving from concurrent
+request threads — so the pooled strategies also support
+``persistent=True``: the pool is created lazily on first use, shared
+by every :meth:`Executor.run_one`/:meth:`Executor.map` call (that is
+what lets independent requests batch across the same workers), and
+lives until :meth:`Executor.shutdown`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -92,6 +99,21 @@ class Executor:
             return []
         return self._run_all(fn, items)
 
+    def run_one(self, fn: Callable[[Any], Any], item: Any) -> Any:
+        """Run a single task on this strategy; exceptions propagate.
+
+        This is the serving tier's entry point: one cold
+        reconstruction per call, with concurrent callers sharing a
+        persistent pool (where the strategy has one) so independent
+        requests batch across the same workers.  Unlike :meth:`map`,
+        errors are *not* captured — a failed serve must raise to its
+        requester.
+        """
+        return fn(item)
+
+    def shutdown(self) -> None:
+        """Release any persistent pool (no-op for stateless strategies)."""
+
     def _run_all(self, fn, items) -> list[TaskOutcome]:
         raise NotImplementedError
 
@@ -126,22 +148,61 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared futures-pool driving logic for thread/process strategies."""
+    """Shared futures-pool driving logic for thread/process strategies.
+
+    ``persistent=True`` keeps one lazily-created pool alive across
+    calls (created on first use, released by :meth:`shutdown`); the
+    default builds a pool per :meth:`map` call and keeps the executor
+    stateless.
+    """
 
     _pool_class: type
 
-    def _run_all(self, fn, items) -> list[TaskOutcome]:
+    def __init__(
+        self, workers: int | None = None, *, persistent: bool = False
+    ) -> None:
+        super().__init__(workers)
+        self.persistent = persistent
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    def _live_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._pool_class(max_workers=self.workers)
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def run_one(self, fn, item) -> Any:
+        if not self.persistent:
+            # A per-call pool would pay full startup for one task;
+            # without a persistent pool the inline path is strictly
+            # better (and what SerialExecutor does anyway).
+            return fn(item)
+        return self._live_pool().submit(fn, item).result()
+
+    def _collect(self, futures) -> list[TaskOutcome]:
         outcomes: list[TaskOutcome] = []
-        with self._pool_class(max_workers=self.workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            for index, future in enumerate(futures):
-                try:
-                    outcomes.append(TaskOutcome(index, value=future.result()))
-                except Exception as error:
-                    outcomes.append(
-                        TaskOutcome(index, error=describe_error(error))
-                    )
+        for index, future in enumerate(futures):
+            try:
+                outcomes.append(TaskOutcome(index, value=future.result()))
+            except Exception as error:
+                outcomes.append(
+                    TaskOutcome(index, error=describe_error(error))
+                )
         return outcomes
+
+    def _run_all(self, fn, items) -> list[TaskOutcome]:
+        if self.persistent:
+            pool = self._live_pool()
+            return self._collect([pool.submit(fn, item) for item in items])
+        with self._pool_class(max_workers=self.workers) as pool:
+            return self._collect([pool.submit(fn, item) for item in items])
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -208,20 +269,24 @@ class AsyncExecutor(Executor):
         return outcomes
 
 
-def make_executor(kind: str, workers: int | None = None) -> Executor:
+def make_executor(
+    kind: str, workers: int | None = None, *, persistent: bool = False
+) -> Executor:
     """Build an executor from config-level settings.
 
     ``kind`` is one of ``"serial"``, ``"thread"``, ``"process"``;
     ``workers=None`` (or 0) means one worker per CPU for the pooled
-    strategies.
+    strategies.  ``persistent=True`` gives the thread/process
+    strategies a long-lived pool (see :class:`_PoolExecutor`); the
+    other strategies are stateless and ignore it.
     """
     normalized = kind.lower().strip()
     if normalized == "serial":
         return SerialExecutor()
     if normalized == "thread":
-        return ThreadExecutor(workers)
+        return ThreadExecutor(workers, persistent=persistent)
     if normalized == "process":
-        return ProcessExecutor(workers)
+        return ProcessExecutor(workers, persistent=persistent)
     if normalized == "async":
         return AsyncExecutor(workers)
     raise ValueError(

@@ -359,6 +359,23 @@ class P3Session:
             engine=self.engine,
         )
 
+    def close(self) -> None:
+        """Release the serving engine's pooled resources.
+
+        Only meaningful when ``config.serve_executor`` keeps a
+        persistent worker pool; safe to call repeatedly, and the
+        engine transparently rebuilds the pool if served again.
+        Viewer sessions share the engine, so close once, from the
+        session that owns it.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "P3Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def share(self, album: str, recipient: "P3Session | Keyring") -> None:
         """Hand the album key to another participant (out of band)."""
         target = (
@@ -406,7 +423,7 @@ class P3Session:
         """Fetch + reconstruct one photo via the serving engine.
 
         Every flavour — keyed, public-only, provider-pinned — runs the
-        single engine path (two-tier cache, coalescing, timing), so
+        single engine path (three-tier cache, coalescing, timing), so
         outputs are byte-for-byte the same wherever they are served
         from.
         """
@@ -595,8 +612,15 @@ class P3Session:
         )
 
     def _fetch_task(self, request: DownloadRequest) -> DecryptTask:
-        """The batch pipeline's fetch stage, on the engine's seam."""
-        return self.engine.fetch_task(self._serve_request(request))
+        """The batch pipeline's fetch stage, on the engine's seam.
+
+        ``_serve_request`` has already taken the PSP's access verdict,
+        so the engine-level re-check is skipped (``preauthorized``) —
+        one round trip per item, not two.
+        """
+        return self.engine.fetch_task(
+            self._serve_request(request), preauthorized=True
+        )
 
     @staticmethod
     def _as_upload_request(

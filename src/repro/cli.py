@@ -435,6 +435,8 @@ def _cmd_serve_bench(args) -> int:
         quality=args.quality,
         variant_cache=args.variant_cache,
         variant_ttl_s=args.variant_ttl,
+        serve_executor=args.serve_executor,
+        serve_workers=args.serve_workers,
     )
     psp = DEFAULT_REGISTRY.create_psp(args.psp)
     storage = DEFAULT_REGISTRY.create_storage("dropbox")
@@ -460,10 +462,16 @@ def _cmd_serve_bench(args) -> int:
         for jpeg in corpus
     ]
     gateway.share_album("owner", "bench", *[v.user for v in viewers])
+    pool = (
+        "inline"
+        if engine.executor is None
+        else f"{config.serve_executor} pool x{engine.executor.workers}"
+    )
     print(
         f"published {len(receipts)} photo(s) ({args.size}px q{args.quality}) "
         f"to {psp.name}; replaying {args.requests} zipfian requests "
-        f"(s={args.zipf}) from {args.viewers} viewer(s)"
+        f"(s={args.zipf}) from {args.viewers} viewer(s); "
+        f"cold reconstruction: {pool}"
     )
 
     trace = zipf_trace(len(receipts), args.requests, s=args.zipf, seed=7)
@@ -495,9 +503,20 @@ def _cmd_serve_bench(args) -> int:
     # their own (warm) serves to the engine's counters.
     snapshot = engine.snapshot()
 
-    # Byte-identity: cached serves vs a cache-free engine, same backends.
+    # Byte-identity: cached (and possibly pooled) serves vs a
+    # cache-free, inline reference engine on the same backends.  Every
+    # tier is disabled — the envelope cache too, or the "uncached" leg
+    # would quietly share bytes with the engine under test.
     bare = ServingEngine.from_config(
-        psp, storage, dataclasses.replace(config, variant_cache=0)
+        psp,
+        storage,
+        dataclasses.replace(
+            config,
+            variant_cache=0,
+            envelope_cache=0,
+            serve_executor="serial",
+        ),
+        secret_cache_limit=0,
     )
     keyring = gateway.keyring_for("owner")
     mismatches = 0
@@ -543,6 +562,7 @@ def _cmd_serve_bench(args) -> int:
         f"byte-identity vs cache-free engine: "
         f"{'OK' if mismatches == 0 else f'{mismatches} MISMATCH(ES)'}"
     )
+    gateway.close()
     return 0 if mismatches == 0 else 1
 
 
@@ -750,6 +770,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-coalesce",
         action="store_true",
         help="disable single-flight request coalescing",
+    )
+    serve_bench.add_argument(
+        "--serve-executor",
+        choices=("serial", "thread", "process"),
+        default=_DEFAULTS.serve_executor,
+        help="where cold reconstructions run: inline ('serial') or on "
+        "a persistent worker pool shared by concurrent requests",
+    )
+    serve_bench.add_argument(
+        "--serve-workers",
+        type=int,
+        default=_DEFAULTS.serve_workers,
+        help="pool width for --serve-executor (0 = one per CPU)",
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
 

@@ -53,7 +53,26 @@ class P3Config:
     seconds, at most ``variant_cache`` entries (0 disables the tier;
     ``variant_ttl_s=0`` means no expiry).  The secret-part cache
     (tier 2) is sized by the session's ``cache_limit`` argument as
-    before.
+    before, and ``envelope_cache`` bounds the raw secret-*envelope*
+    cache (tier 3, shared by interactive serves and
+    ``batch_download``'s fetch stage; 0 disables it).
+
+    ``cache_partition_quota`` is the eviction-isolation knob: every
+    engine cache is partitioned by album-key digest (tenant key) and
+    no single partition may occupy more than this fraction of a
+    cache's capacity, so one viral photo's tenant evicts its own
+    oldest entries rather than every other tenant's working set.
+    ``1.0`` disables isolation (any tenant may fill a cache) while
+    keeping per-partition stats.
+
+    ``serve_executor`` / ``serve_workers`` put *cold* serves on a pool:
+    cache-miss reconstructions (CPU-bound entropy decode + inverse
+    transform) are shipped to a persistent ``"process"`` (or
+    ``"thread"``) pool as picklable
+    :class:`~repro.api.pipeline.DecryptTask` units, so concurrent
+    requests from many viewers batch across cores instead of
+    serializing on one request thread.  ``"serial"`` (the default)
+    reconstructs inline.  ``serve_workers=0`` means one per CPU.
 
     ``ingest_executor`` / ``ingest_workers`` make the *write* path
     concurrent: multi-provider fan-out uploads and replicated
@@ -85,6 +104,10 @@ class P3Config:
     replication: int = 1
     variant_cache: int = 256
     variant_ttl_s: float = 300.0
+    envelope_cache: int = 512
+    cache_partition_quota: float = 0.5
+    serve_executor: str = "serial"
+    serve_workers: int = 0
     ingest_executor: str = "serial"
     ingest_workers: int = 0
 
@@ -140,6 +163,28 @@ class P3Config:
             raise ValueError(
                 f"variant_ttl_s must be >= 0 (0 = no expiry), "
                 f"got {self.variant_ttl_s}"
+            )
+        if self.envelope_cache < 0:
+            raise ValueError(
+                f"envelope_cache must be >= 0 (0 disables the tier), "
+                f"got {self.envelope_cache}"
+            )
+        if not 0.0 < self.cache_partition_quota <= 1.0:
+            raise ValueError(
+                f"cache_partition_quota must be in (0, 1] (the fraction "
+                f"of a cache one tenant may hold; 1.0 = no isolation), "
+                f"got {self.cache_partition_quota}"
+            )
+        if self.serve_executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown serve_executor {self.serve_executor!r}; "
+                "expected 'serial', 'thread' or 'process' (reconstruction "
+                "is CPU-bound — 'async' would only add overhead)"
+            )
+        if self.serve_workers < 0:
+            raise ValueError(
+                f"serve_workers must be >= 0 (0 = one per CPU), "
+                f"got {self.serve_workers}"
             )
         if self.ingest_executor not in ("serial", "thread", "async"):
             raise ValueError(

@@ -5,14 +5,46 @@ Everything a download needs lives here, shared by every caller:
 * :mod:`repro.serve.reconstruct` — the single reconstruction core
   (:func:`reconstruct_served`), used by the recipient proxy, the
   session layer, the batch pipeline and the gateway alike;
-* :class:`ServingEngine` — the request path: a two-tier cache
-  (decoded-variant LRU+TTL over a secret-part LRU), single-flight
-  coalescing of concurrent identical requests, per-request stage
-  timings, and PSP access enforcement on cache hits;
-* :class:`LRUCache` / :class:`CacheStats` / :class:`SingleFlight` —
-  the building blocks, reusable on their own;
+* :class:`ServingEngine` — the request path: a three-tier cache,
+  single-flight coalescing of concurrent identical requests,
+  per-request stage timings, PSP access enforcement on cache hits and
+  batch fetches, and optional pooled cold reconstruction (a
+  persistent process/thread pool that concurrent cache-miss serves
+  batch across, configured via ``P3Config.serve_executor``);
+* :mod:`repro.serve.keys` — the tier's identity space:
+  :func:`secret_blob_key` (where an envelope lives in storage) and
+  :func:`key_digest` (the album-key fingerprint that namespaces and
+  *partitions* every cache);
+* :class:`LRUCache` / :class:`PartitionedLRUCache` /
+  :class:`CacheStats` / :class:`SingleFlight` — the building blocks,
+  reusable on their own;
 * :mod:`repro.serve.trace` — zipfian workload traces for cache
   benchmarks.
+
+The three cache tiers, top to bottom:
+
+1. **decoded-variant** (LRU + TTL) — finished reconstructions, keyed
+   by photo/album/key-digest/geometry/provider.  A hit skips
+   everything.
+2. **secret-part** (LRU) — decrypted
+   :class:`~repro.core.serialization.SecretPart` objects, keyed by
+   album/photo/key-digest.  A hit skips the storage fetch and the
+   envelope decrypt (a new resolution of a seen photo).
+3. **secret-envelope** (LRU) — the raw encrypted bytes exactly as
+   fetched from storage, keyed by album/photo.  Shared by interactive
+   serves *and* ``batch_download``'s fetch stage (whose
+   reconstructions happen in worker processes and need bytes, not
+   Python objects), so the batch path hits and populates the same
+   tier the serve path does.  A true miss still reaches storage and
+   exercises read-repair on replicated stores.
+
+Every tier is partitioned — by tenant-key digest for tiers 1-2, by
+album for tier 3 — with a protected per-partition quota
+(``P3Config.cache_partition_quota``, default half the cache): a
+partition within its quota can never be evicted by another partition's
+inserts, so one viral photo cannot flush every other tenant's working
+set.  Per-partition hit/miss/eviction stats surface in
+``engine.snapshot()`` and the gateway's ``/stats``.
 
 Quickstart::
 
@@ -25,11 +57,13 @@ Quickstart::
     result.pixels        # reconstructed image
     result.source        # "reconstructed" | "variant-cache" | "coalesced"
     result.timing        # per-stage wall clock
-    engine.snapshot()    # hit rates, p50/p99, entry counts
+    engine.snapshot()    # hit rates, p50/p99, per-partition stats
 """
 
-from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.cache import CacheStats, LRUCache, PartitionedLRUCache
 from repro.serve.engine import (
+    DEFAULT_CACHE_PARTITION_QUOTA,
+    DEFAULT_ENVELOPE_CACHE_LIMIT,
     DEFAULT_SECRET_CACHE_LIMIT,
     DEFAULT_VARIANT_CACHE_LIMIT,
     DEFAULT_VARIANT_TTL_S,
@@ -39,22 +73,26 @@ from repro.serve.engine import (
     ServingEngine,
     ServingStats,
 )
-from repro.serve.keys import secret_blob_key
+from repro.serve.keys import key_digest, secret_blob_key
 from repro.serve.reconstruct import build_served_operator, reconstruct_served
 from repro.serve.singleflight import SingleFlight
 
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "PartitionedLRUCache",
     "SingleFlight",
     "ServeRequest",
     "ServeResult",
     "ServeTiming",
     "ServingEngine",
     "ServingStats",
+    "DEFAULT_CACHE_PARTITION_QUOTA",
+    "DEFAULT_ENVELOPE_CACHE_LIMIT",
     "DEFAULT_SECRET_CACHE_LIMIT",
     "DEFAULT_VARIANT_CACHE_LIMIT",
     "DEFAULT_VARIANT_TTL_S",
+    "key_digest",
     "secret_blob_key",
     "build_served_operator",
     "reconstruct_served",

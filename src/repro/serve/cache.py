@@ -1,12 +1,21 @@
 """Thread-safe caches for the serving tier.
 
-One cache class serves both tiers of the serving engine: the
-secret-part cache is a plain LRU (secret parts never go stale — the
-envelope is immutable once published), while the decoded-variant cache
-adds a TTL so a long-running gateway eventually re-fetches what the
-PSP serves (providers can reprocess stored photos).  Both tiers share
-the :class:`CacheStats` shape, so hit rates are comparable across
-tiers and across proxies sharing one engine.
+One cache family serves all three tiers of the serving engine: the
+secret-part and envelope caches are plain LRUs (secret parts never go
+stale — the envelope is immutable once published), while the
+decoded-variant cache adds a TTL so a long-running gateway eventually
+re-fetches what the PSP serves (providers can reprocess stored
+photos).  All tiers share the :class:`CacheStats` shape, so hit rates
+are comparable across tiers and across proxies sharing one engine.
+
+:class:`PartitionedLRUCache` adds multi-tenant *eviction isolation*:
+entries are grouped into partitions (the engine partitions by
+album-key digest — see :func:`repro.serve.keys.key_digest`) and each
+partition gets an eviction quota, so one viral photo's tenant filling
+the cache evicts its own oldest entries rather than every other
+tenant's working set — the zipfian-skew failure mode real serving
+traces exhibit.  Per-partition hit/miss/eviction stats feed the
+gateway's ``/stats``.
 """
 
 from __future__ import annotations
@@ -111,15 +120,22 @@ class LRUCache:
     def maxsize(self, value: int | None) -> None:
         if value is not None and value < 0:
             raise ValueError(f"maxsize must be >= 0 or None, got {value}")
-        self._maxsize = value
-        if value == 0:
-            # "Disabled" must take effect now: put() no-ops from here
-            # on, so there is no next insert to converge at, and stale
-            # entries would otherwise stay hittable forever.
-            with self._lock:
+        with self._lock:
+            # Both the new bound and the disable-drain must land inside
+            # one critical section: put() checks maxsize under the same
+            # lock, so a concurrent insert either happens before the
+            # drain (and is drained) or after (and sees 0, no-op).  A
+            # stale entry can never survive in a just-disabled cache.
+            self._maxsize = value
+            if value == 0:
+                # "Disabled" must take effect now: put() no-ops from
+                # here on, so there is no next insert to converge at,
+                # and stale entries would otherwise stay hittable
+                # forever.
                 while self._entries:
-                    self._entries.popitem(last=False)
-                    self.stats._add("evictions")
+                    victim = next(iter(self._entries))
+                    self._remove(victim)
+                    self._bump("evictions", victim)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up a key, refreshing its recency; counts hit/miss."""
@@ -128,36 +144,74 @@ class LRUCache:
             if entry is not None:
                 value, stamp = entry
                 if self.ttl is not None and self.clock() - stamp > self.ttl:
-                    del self._entries[key]
-                    self.stats._add("expirations")
+                    self._remove(key)
+                    self._bump("expirations", key)
                 else:
                     self._entries.move_to_end(key)
-                    self.stats._add("hits")
+                    self._bump("hits", key)
                     return value
-            self.stats._add("misses")
+            self._bump("misses", key)
             return default
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh a key, trimming LRU entries past ``maxsize``."""
-        if self._maxsize == 0:
-            return
         with self._lock:
-            self._entries[key] = (value, self.clock())
-            self._entries.move_to_end(key)
+            if self._maxsize == 0:
+                # Checked under the lock: racing the maxsize setter's
+                # disable-drain outside it could land a stale entry in
+                # a just-disabled cache that stays hittable forever.
+                return
+            self._store(key, value)
             while (
                 self._maxsize is not None
                 and len(self._entries) > self._maxsize
             ):
-                self._entries.popitem(last=False)
-                self.stats._add("evictions")
+                victim = self._victim()
+                self._remove(victim)
+                self._bump("evictions", victim)
+
+    # -- under-lock internals (subclass seams) --------------------------------
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh one entry; caller holds the lock."""
+        if key not in self._entries:
+            self._added(key)
+        self._entries[key] = (value, self.clock())
+        self._entries.move_to_end(key)
+
+    def _remove(self, key: Hashable) -> None:
+        """Drop one present entry; caller holds the lock."""
+        del self._entries[key]
+        self._removed(key)
+
+    def _victim(self) -> Hashable:
+        """The entry a capacity eviction should drop (lock held)."""
+        return next(iter(self._entries))
+
+    def _added(self, key: Hashable) -> None:
+        """Hook: a new key is about to be inserted (lock held)."""
+
+    def _removed(self, key: Hashable) -> None:
+        """Hook: a key was just removed (lock held)."""
+
+    def _bump(self, field: str, key: Hashable) -> None:
+        """Count one cache event, attributed to ``key`` (lock held).
+
+        Evictions pass the *evicted* key, so
+        :class:`PartitionedLRUCache` charges them to the partition that
+        lost the entry, not the one that inserted.
+        """
+        self.stats._add(field)
 
     def discard(self, key: Hashable) -> None:
         with self._lock:
-            self._entries.pop(key, None)
+            if key in self._entries:
+                self._remove(key)
 
     def clear(self) -> None:
         with self._lock:
-            self._entries.clear()
+            while self._entries:
+                self._remove(next(iter(self._entries)))
 
     def keys(self) -> list[Hashable]:
         """Current keys, oldest first (expired entries included until
@@ -183,4 +237,123 @@ class LRUCache:
         return (
             f"LRUCache(name={self.name!r}, size={len(self)}, "
             f"maxsize={self._maxsize}, ttl={self.ttl})"
+        )
+
+
+class PartitionedLRUCache(LRUCache):
+    """An LRU cache with per-partition eviction quotas and stats.
+
+    ``partition`` maps a cache key to its partition label (the serving
+    engine partitions by album-key digest, so a partition is "one
+    tenant key's working set").  ``quota_fraction`` is each
+    partition's *protected share* of ``maxsize``: a partition holding
+    at most ``quota_fraction * maxsize`` entries can never be evicted
+    by another partition's inserts.  The quota is soft — while the
+    cache has spare capacity any partition may grow past it — but once
+    the cache is full, the eviction victim is the globally-LRU entry
+    of an *over-quota* partition, so a hot tenant flooding the cache
+    reclaims its own excess first and only thrashes itself.  Plain
+    global LRU is the fallback when no partition is over quota (many
+    tenants, all within their shares).
+
+    A single-partition workload therefore behaves exactly like
+    :class:`LRUCache` (the lone partition is always the over-quota
+    one), which is what keeps the paper's one-user-one-proxy deploy
+    unchanged.  The quota is computed from the *live* ``maxsize`` on
+    every eviction, so resizing a running cache (the recipient proxy's
+    ``cache_limit`` setter) rescales every partition's share with it.
+    ``quota_fraction=1.0`` disables isolation while keeping
+    per-partition stats; an unbounded cache (``maxsize=None``) has no
+    quota either.
+
+    Per-partition :class:`CacheStats` (plus current entry counts) are
+    exposed via :meth:`partitions`; evictions are charged to the
+    partition that *lost* the entry.
+    """
+
+    def __init__(
+        self,
+        maxsize: int | None,
+        *,
+        partition: Callable[[Hashable], Hashable],
+        quota_fraction: float = 1.0,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        stats: CacheStats | None = None,
+        name: str = "cache",
+    ) -> None:
+        if not 0.0 < quota_fraction <= 1.0:
+            raise ValueError(
+                f"quota_fraction must be in (0, 1], got {quota_fraction}"
+            )
+        super().__init__(
+            maxsize, ttl=ttl, clock=clock, stats=stats, name=name
+        )
+        self.partition_of = partition
+        self.quota_fraction = quota_fraction
+        self._counts: dict[Hashable, int] = {}
+        self._partition_stats: dict[Hashable, CacheStats] = {}
+
+    @property
+    def partition_quota(self) -> int | None:
+        """Entries per partition protected from cross-partition
+        eviction (None = unbounded cache, no quota)."""
+        if self._maxsize is None:
+            return None
+        return max(1, int(self._maxsize * self.quota_fraction))
+
+    # -- under-lock hooks ------------------------------------------------------
+
+    def _victim(self) -> Hashable:
+        quota = self.partition_quota
+        if quota is not None:
+            for key in self._entries:  # oldest first
+                if self._counts.get(self.partition_of(key), 0) > quota:
+                    return key
+        return next(iter(self._entries))
+
+    def _added(self, key: Hashable) -> None:
+        part = self.partition_of(key)
+        self._counts[part] = self._counts.get(part, 0) + 1
+
+    def _removed(self, key: Hashable) -> None:
+        part = self.partition_of(key)
+        remaining = self._counts.get(part, 0) - 1
+        if remaining > 0:
+            self._counts[part] = remaining
+        else:
+            self._counts.pop(part, None)
+
+    def _bump(self, field: str, key: Hashable) -> None:
+        super()._bump(field, key)
+        part = self.partition_of(key)
+        stats = self._partition_stats.get(part)
+        if stats is None:
+            stats = self._partition_stats.setdefault(part, CacheStats())
+        stats._add(field)
+
+    # -- observability ---------------------------------------------------------
+
+    def partitions(self) -> dict[Hashable, dict[str, int | float]]:
+        """Per-partition snapshot: stats counters plus current size."""
+        with self._lock:
+            counts = dict(self._counts)
+            stats = dict(self._partition_stats)
+        report = {}
+        for part in sorted(set(counts) | set(stats), key=str):
+            partition_stats = stats.get(part)
+            entry = (
+                partition_stats.snapshot()
+                if partition_stats is not None
+                else CacheStats().snapshot()
+            )
+            entry["entries"] = counts.get(part, 0)
+            report[str(part)] = entry
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedLRUCache(name={self.name!r}, size={len(self)}, "
+            f"maxsize={self._maxsize}, quota={self.partition_quota}, "
+            f"partitions={len(self._counts)}, ttl={self.ttl})"
         )

@@ -3,15 +3,32 @@
 The engine owns everything between "a viewer asked for photo X" and
 "here are the pixels":
 
-* a **two-tier cache** — tier 1 is the decoded-variant cache (LRU +
+* a **three-tier cache** — tier 1 is the decoded-variant cache (LRU +
   TTL, keyed by photo/album/key/geometry/provider) holding finished
   reconstructions; tier 2 is the secret-part LRU holding decrypted
   :class:`~repro.core.serialization.SecretPart` objects, so a variant
   miss (a resolution not seen before) still skips the storage fetch +
-  envelope decrypt;
+  envelope decrypt; tier 3 is the secret-*envelope* cache holding the
+  raw encrypted bytes as fetched from storage, shared by interactive
+  serves and the batch pipeline's :meth:`ServingEngine.fetch_task`
+  (so ``batch_download`` hits and populates the same tier the serve
+  path does — a true miss still reaches storage and exercises
+  read-repair on replicated stores);
+* **partitioned eviction** — every tier is partitioned by album-key
+  digest (:func:`repro.serve.keys.key_digest`; the envelope tier,
+  which is key-independent ciphertext, partitions by album) with
+  per-partition protected quotas, so one viral photo's tenant cannot
+  evict every other tenant's working set; per-partition stats feed
+  ``/stats``;
 * **single-flight coalescing** — N concurrent viewers of the same
   variant trigger exactly one reconstruction (and concurrent misses
   on different variants of one photo share a single secret fetch);
+* **pooled cold reconstruction** — with a ``serve_executor``
+  configured, cache-miss reconstructions are packaged as picklable
+  :class:`~repro.api.pipeline.DecryptTask` units and dispatched to a
+  persistent process (or thread) pool, so concurrent cold requests
+  from many viewers batch across cores instead of serializing on
+  request threads — byte-identical to the inline path;
 * **per-request timing** — every serve returns a
   :class:`ServeResult` with stage timings and cache provenance, and
   an optional ``timing_hook`` plus rolling :class:`ServingStats`
@@ -23,12 +40,11 @@ therefore include a digest of the album key — a viewer who presents a
 different (or no) key can never be served pixels reconstructed under
 someone else's — and, when the PSP exposes ``check_access``, the
 provider's access policy is enforced on *every* request, cache hits
-included.
+and batch fetches included.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from collections import deque
@@ -38,10 +54,11 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from repro.api.backends import BlobStore, PSPBackend
+from repro.api.executors import Executor, make_executor
 from repro.core.decryptor import P3Decryptor
 from repro.core.serialization import SecretPart
-from repro.serve.cache import CacheStats, LRUCache
-from repro.serve.keys import secret_blob_key
+from repro.serve.cache import CacheStats, PartitionedLRUCache
+from repro.serve.keys import key_digest, secret_blob_key
 from repro.serve.reconstruct import reconstruct_served
 from repro.serve.singleflight import SingleFlight
 from repro.serve.trace import percentile as nearest_rank_percentile
@@ -59,19 +76,10 @@ DEFAULT_SECRET_CACHE_LIMIT = 128
 DEFAULT_VARIANT_CACHE_LIMIT = 256
 #: Default TTL on decoded variants, seconds (PSPs may reprocess photos).
 DEFAULT_VARIANT_TTL_S = 300.0
-
-
-def _key_digest(key: bytes | None) -> str:
-    """A short key fingerprint for cache keys.
-
-    The digest only partitions the cache (wrong key == different
-    partition == miss); it never decrypts anything, so a colliding
-    fingerprint would cost a spurious hit of *someone's* correctly
-    reconstructed pixels, not a key compromise.
-    """
-    if key is None:
-        return "public"
-    return hashlib.sha256(key).hexdigest()[:16]
+#: Default bound on the secret-envelope cache (tier 3).
+DEFAULT_ENVELOPE_CACHE_LIMIT = 512
+#: Default protected share of each cache one tenant partition gets.
+DEFAULT_CACHE_PARTITION_QUOTA = 0.5
 
 
 @dataclass(frozen=True)
@@ -105,7 +113,7 @@ class ServeRequest:
         return (
             self.photo_id,
             self.album,
-            _key_digest(self.key),
+            key_digest(self.key),
             self.resolution,
             self.crop_box,
             self.provider,
@@ -113,7 +121,12 @@ class ServeRequest:
 
     def secret_key(self) -> tuple:
         """Cache identity of the decrypted secret part."""
-        return (self.album, self.photo_id, _key_digest(self.key))
+        return (self.album, self.photo_id, key_digest(self.key))
+
+    def envelope_key(self) -> tuple:
+        """Cache identity of the raw secret envelope (key-independent:
+        the envelope is ciphertext straight from storage)."""
+        return (self.album, self.photo_id)
 
 
 @dataclass
@@ -170,24 +183,38 @@ class ServingStats:
             self._latencies.append(result.timing.total_s)
 
     def percentile(self, p: float) -> float:
-        """Latency percentile (seconds) over the rolling window."""
+        """Latency percentile (seconds) over the rolling window.
+
+        An empty window reports 0.0 — explicitly, not by leaning on
+        the shared nearest-rank helper's edge behavior.
+        """
         with self._lock:
             snapshot = list(self._latencies)
+        if not snapshot:
+            return 0.0
         return nearest_rank_percentile(snapshot, p)
 
     def snapshot(self) -> dict[str, Any]:
+        """One *consistent* view: counters and percentiles are read
+        under a single lock acquisition, so the reported p50/p99 come
+        from exactly the requests the counters describe (re-acquiring
+        per field could interleave with concurrent serves and mix
+        instants)."""
         with self._lock:
             requests = self.requests
             reconstructions = self.reconstructions
             coalesced = self.coalesced
             variant_hits = self.variant_hits
+            latencies = list(self._latencies)
+        p50 = nearest_rank_percentile(latencies, 50) if latencies else 0.0
+        p99 = nearest_rank_percentile(latencies, 99) if latencies else 0.0
         return {
             "requests": requests,
             "reconstructions": reconstructions,
             "coalesced": coalesced,
             "variant_hits": variant_hits,
-            "p50_ms": round(self.percentile(50) * 1000, 3),
-            "p99_ms": round(self.percentile(99) * 1000, 3),
+            "p50_ms": round(p50 * 1000, 3),
+            "p99_ms": round(p99 * 1000, 3),
         }
 
 
@@ -211,6 +238,9 @@ class ServingEngine:
         secret_cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
         variant_cache_limit: int | None = DEFAULT_VARIANT_CACHE_LIMIT,
         variant_ttl_s: float | None = DEFAULT_VARIANT_TTL_S,
+        envelope_cache_limit: int | None = DEFAULT_ENVELOPE_CACHE_LIMIT,
+        cache_partition_quota: float = DEFAULT_CACHE_PARTITION_QUOTA,
+        executor: Executor | None = None,
         coalesce: bool = True,
         clock: Callable[[], float] = time.monotonic,
         timing_hook: Callable[[ServeRequest, ServeResult], None] | None = None,
@@ -222,19 +252,40 @@ class ServingEngine:
         self.fast_crypto = fast_crypto
         self.coalesce = coalesce
         self.timing_hook = timing_hook
-        self.secret_cache = LRUCache(
-            secret_cache_limit, stats=CacheStats(), name="secret-part"
+        # The cold-reconstruction executor: None reconstructs inline on
+        # the request thread; a (persistent) thread/process executor
+        # batches concurrent cold serves across its workers.
+        self.executor = executor
+        # Tier partitioning: variant and secret-part keys carry the
+        # album-key digest (one partition per tenant key); the envelope
+        # tier holds key-independent ciphertext and partitions by album.
+        self.secret_cache = PartitionedLRUCache(
+            secret_cache_limit,
+            partition=lambda key: key[2],
+            quota_fraction=cache_partition_quota,
+            stats=CacheStats(),
+            name="secret-part",
         )
-        self.variant_cache = LRUCache(
+        self.variant_cache = PartitionedLRUCache(
             variant_cache_limit,
+            partition=lambda key: key[2],
+            quota_fraction=cache_partition_quota,
             ttl=variant_ttl_s or None,
             clock=clock,
             stats=CacheStats(),
             name="decoded-variant",
         )
+        self.envelope_cache = PartitionedLRUCache(
+            envelope_cache_limit,
+            partition=lambda key: key[0],
+            quota_fraction=cache_partition_quota,
+            stats=CacheStats(),
+            name="secret-envelope",
+        )
         self.stats = ServingStats()
         self._variant_flights = SingleFlight()
         self._secret_flights = SingleFlight()
+        self._envelope_flights = SingleFlight()
         # Backends exposing check_access get the no-round-trip cache
         # hit path; for all others every serve still calls download()
         # so the provider's in-band access enforcement keeps running.
@@ -253,7 +304,19 @@ class ServingEngine:
         secret_cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
         **overrides,
     ) -> "ServingEngine":
-        """Build an engine from a :class:`~repro.core.config.P3Config`."""
+        """Build an engine from a :class:`~repro.core.config.P3Config`.
+
+        ``config.serve_executor``/``serve_workers`` select the cold-
+        reconstruction strategy: ``"serial"`` reconstructs inline,
+        ``"thread"``/``"process"`` build a *persistent* pool that every
+        cold serve dispatches to (release it with :meth:`close`).
+        """
+        if "executor" not in overrides and config.serve_executor != "serial":
+            overrides["executor"] = make_executor(
+                config.serve_executor,
+                config.serve_workers or None,
+                persistent=True,
+            )
         return cls(
             psp,
             storage,
@@ -263,8 +326,19 @@ class ServingEngine:
             secret_cache_limit=secret_cache_limit,
             variant_cache_limit=config.variant_cache,
             variant_ttl_s=config.variant_ttl_s,
+            envelope_cache_limit=config.envelope_cache,
+            cache_partition_quota=config.cache_partition_quota,
             **overrides,
         )
+
+    def close(self) -> None:
+        """Release the cold-serve pool, if one is configured.
+
+        Safe to call repeatedly; the engine keeps working afterwards
+        (the pooled strategies lazily rebuild their pool on the next
+        cold serve)."""
+        if self.executor is not None:
+            self.executor.shutdown()
 
     # -- the serve path -------------------------------------------------------
 
@@ -353,29 +427,40 @@ class ServingEngine:
 
     # -- the batch-pipeline seam ----------------------------------------------
 
-    def fetch_task(self, request: ServeRequest):
+    def fetch_task(
+        self, request: ServeRequest, *, preauthorized: bool = False
+    ):
         """Fetch the raw served parts as a picklable ``DecryptTask``.
 
         The batch pipeline reconstructs in worker processes, so it
-        needs bytes, not cached Python objects: this deliberately
-        bypasses both cache tiers (and therefore still exercises
-        read-repair on replicated stores) while sharing the engine's
-        fetch logic — provider pinning included — and the single
-        reconstruction core inside the task.
+        needs bytes, not cached Python objects: the secret part is
+        taken from (and installed into) the shared *envelope* cache —
+        the same tier interactive serves fill — so a batch over a warm
+        working set skips the storage round trips, while a true miss
+        still reaches storage and exercises read-repair on replicated
+        stores.  Fetch logic — provider pinning included — and the
+        reconstruction core inside the task are the serve path's own.
+
+        The PSP's access policy is enforced here exactly as
+        :meth:`serve` enforces it, envelope-cache hits included:
+        direct engine callers get the same verdict the session seam
+        applies.  A caller that already ran :meth:`check_access` for
+        this request passes ``preauthorized=True``.
         """
         from repro.api.pipeline import DecryptTask
 
+        if not preauthorized:
+            self._check_access(request)
         public_jpeg = self._fetch_public(request)
         if request.public_only:
             return DecryptTask(
                 key=None, public_jpeg=public_jpeg, fast=self.fast
             )
+        envelope, _ = self._fetch_envelope(request)
         return DecryptTask(
             key=request.key,
             public_jpeg=public_jpeg,
-            secret_envelope=self.storage.get(
-                secret_blob_key(request.album, request.photo_id)
-            ),
+            secret_envelope=envelope,
             resolution=request.resolution,
             crop_box=request.crop_box,
             transform_estimate=self.transform_estimate,
@@ -428,6 +513,13 @@ class ServingEngine:
     def _build_variant(self, request: ServeRequest) -> ServeResult:
         """Cache miss: fetch, reconstruct, and install the variant.
 
+        With a cold-serve executor configured the reconstruction runs
+        as a :class:`~repro.api.pipeline.DecryptTask` on the shared
+        pool (concurrent cold serves from many request threads batch
+        across its workers); inline otherwise.  Either way the pixels
+        come out of :func:`~repro.api.pipeline.run_decrypt_task`'s
+        reconstruction core, byte-identical across strategies.
+
         Returns the *master* result whose pixels live in the cache
         (frozen read-only); :meth:`serve` hands copies to callers.
         """
@@ -437,7 +529,11 @@ class ServingEngine:
         public_jpeg = self._fetch_public(request)
         timing.fetch_public_s = clock() - t0
         secret_hit = False
-        if request.public_only:
+        if self.executor is not None:
+            pixels, secret_hit = self._pooled_reconstruct(
+                request, public_jpeg, timing
+            )
+        elif request.public_only:
             t0 = clock()
             pixels = coefficients_to_pixels(
                 decode_coefficients(public_jpeg, fast=self.fast)
@@ -468,13 +564,56 @@ class ServingEngine:
         self.variant_cache.put(request.variant_key(), result)
         return result
 
+    def _pooled_reconstruct(
+        self, request: ServeRequest, public_jpeg: bytes, timing: ServeTiming
+    ) -> tuple[np.ndarray, bool]:
+        """Ship one cold reconstruction to the serve executor.
+
+        The task carries raw bytes (the worker runs in another
+        process), so the secret part comes from the *envelope* tier
+        rather than the decrypted tier-2 — ``secret_hit`` then means
+        "the envelope bytes were already cached".  The envelope
+        decrypt is re-done in the worker; it is AES-CTR over a few
+        kilobytes, noise next to the entropy decode the pool exists to
+        parallelize.
+        """
+        from repro.api.pipeline import DecryptTask, run_decrypt_task
+
+        clock = time.perf_counter
+        secret_hit = False
+        if request.public_only:
+            task = DecryptTask(
+                key=None, public_jpeg=public_jpeg, fast=self.fast
+            )
+        else:
+            t0 = clock()
+            envelope, secret_hit = self._fetch_envelope(request)
+            timing.fetch_secret_s = clock() - t0
+            task = DecryptTask(
+                key=request.key,
+                public_jpeg=public_jpeg,
+                secret_envelope=envelope,
+                resolution=request.resolution,
+                crop_box=request.crop_box,
+                transform_estimate=self.transform_estimate,
+                fast=self.fast,
+                fast_crypto=self.fast_crypto,
+            )
+        t0 = clock()
+        pixels = self.executor.run_one(run_decrypt_task, task)
+        timing.reconstruct_s = clock() - t0
+        return pixels, secret_hit
+
     def _fetch_secret(
         self, request: ServeRequest
     ) -> tuple[SecretPart, bool]:
         """Tier-2 lookup: decrypted secret part, single-flighted.
 
         Concurrent misses on *different variants* of one photo share a
-        single storage fetch + envelope decrypt.
+        single storage fetch + envelope decrypt.  The raw envelope
+        passes through (and fills) the tier-3 envelope cache on the
+        way, so interactive serves and batch fetches stay one storage
+        round trip apart at most.
         """
         key = request.secret_key()
         cached = self.secret_cache.get(key)
@@ -482,9 +621,7 @@ class ServingEngine:
             return cached, True
 
         def fetch() -> SecretPart:
-            envelope = self.storage.get(
-                secret_blob_key(request.album, request.photo_id)
-            )
+            envelope, _ = self._fetch_envelope(request)
             secret_part = P3Decryptor(
                 request.key, fast=self.fast, fast_crypto=self.fast_crypto
             ).open_secret(envelope)
@@ -494,14 +631,52 @@ class ServingEngine:
         secret_part, _ = self._secret_flights.do(key, fetch)
         return secret_part, False
 
+    def _fetch_envelope(self, request: ServeRequest) -> tuple[bytes, bool]:
+        """Tier-3 lookup: raw secret envelope, single-flighted.
+
+        The one seam every secret-part read goes through —
+        interactive serves (via :meth:`_fetch_secret` or the pooled
+        path) and the batch pipeline's :meth:`fetch_task` alike — so
+        all paths hit and populate the same tier.  A miss is a real
+        ``storage.get`` and therefore still exercises read-repair on
+        replicated stores.
+        """
+        key = request.envelope_key()
+        cached = self.envelope_cache.get(key)
+        if cached is not None:
+            return cached, True
+
+        def fetch() -> bytes:
+            envelope = self.storage.get(
+                secret_blob_key(request.album, request.photo_id)
+            )
+            self.envelope_cache.put(key, envelope)
+            return envelope
+
+        envelope, _ = self._envelope_flights.do(key, fetch)
+        return envelope, False
+
     def snapshot(self) -> dict[str, Any]:
-        """One JSON-able view of the engine's health counters."""
+        """One JSON-able view of the engine's health counters.
+
+        Each cache tier reports its global counters plus per-partition
+        breakdowns (tenant-key digest for the variant/secret tiers,
+        album for the envelope tier), so a gateway's ``/stats`` shows
+        exactly which tenant is hot and who is getting evicted.
+        """
         return {
             "serving": self.stats.snapshot(),
             "variant_cache": self.variant_cache.stats.snapshot(),
             "secret_cache": self.secret_cache.stats.snapshot(),
+            "envelope_cache": self.envelope_cache.stats.snapshot(),
             "variant_entries": len(self.variant_cache),
             "secret_entries": len(self.secret_cache),
+            "envelope_entries": len(self.envelope_cache),
+            "partitions": {
+                "variant_cache": self.variant_cache.partitions(),
+                "secret_cache": self.secret_cache.partitions(),
+                "envelope_cache": self.envelope_cache.partitions(),
+            },
         }
 
     def __repr__(self) -> str:

@@ -1,8 +1,33 @@
-"""Storage-key naming for secret parts (shared by every serving path)."""
+"""Key derivation for the serving tier: storage-key naming for secret
+parts and the album-key digest that partitions every cache.
+
+Both live here — rather than on the engine — because they define the
+*identity space* the whole serving tier agrees on: the blob key is how
+any path (proxy, session, batch, gateway) finds an envelope, and the
+key digest is how cache entries are namespaced per tenant key (and how
+partitioned eviction decides whose entry a hot tenant may displace).
+"""
 
 from __future__ import annotations
 
+import hashlib
 from urllib.parse import quote
+
+
+def key_digest(key: bytes | None) -> str:
+    """A short album-key fingerprint for cache keys and partitions.
+
+    The digest only namespaces the caches (wrong key == different
+    partition == miss); it never decrypts anything, so a colliding
+    fingerprint would cost a spurious hit of *someone's* correctly
+    reconstructed pixels, not a key compromise.  It doubles as the
+    cache *partition* label: per-partition eviction quotas are applied
+    per digest, so one hot tenant key cannot evict every other
+    tenant's working set.
+    """
+    if key is None:
+        return "public"
+    return hashlib.sha256(key).hexdigest()[:16]
 
 
 def _encode_key_component(part: str) -> str:

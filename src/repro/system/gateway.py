@@ -118,6 +118,11 @@ class P3Gateway:
         self._keyrings: dict[str, Keyring] = {}
         self._lock = threading.Lock()
 
+    def close(self) -> None:
+        """Release the engine's pooled resources (persistent serve
+        executor, if configured).  Safe to call repeatedly."""
+        self.engine.close()
+
     # -- tenancy --------------------------------------------------------------
 
     def add_user(self, user: str, keyring: Keyring | None = None) -> Keyring:

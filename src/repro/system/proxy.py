@@ -7,7 +7,8 @@ with the storage provider under the photo ID the PSP returned.
 ``RecipientProxy`` interposes on downloads.  Since the serving-tier
 refactor it is a thin per-user front over a
 :class:`~repro.serve.engine.ServingEngine` — the engine owns the
-two-tier cache (decoded variants + secret parts), single-flight
+three-tier cache (decoded variants, secret parts, raw envelopes),
+partitioned per-tenant eviction, single-flight
 coalescing and the single reconstruction path, and may be *shared*
 between many proxies (see :class:`~repro.system.gateway.P3Gateway`);
 a proxy constructed bare simply owns a private engine, preserving the
@@ -183,7 +184,7 @@ class RecipientProxy:
             # it keeps the secret-part cache but not the decoded-
             # variant tier (the app in front of it caches rendered
             # images itself).  Serving-tier deployments pass a shared,
-            # config-built engine where both tiers are on.
+            # config-built engine where every tier is on.
             engine = ServingEngine(
                 psp,
                 storage,

@@ -105,3 +105,57 @@ class TestConstruction:
 
     def test_make_executor_none_workers(self):
         assert make_executor("process", None).workers >= 1
+
+
+class TestPersistentPools:
+    """The serving tier's pool lifecycle: lazy creation, reuse across
+    run_one calls, shutdown, transparent rebuild."""
+
+    def test_run_one_propagates_errors(self):
+        # Unlike map(), run_one must raise — a failed serve propagates
+        # to its requester rather than being captured per item.
+        for executor in (SerialExecutor(), ThreadExecutor(2)):
+            with pytest.raises(ValueError, match="three"):
+                executor.run_one(_explode_on_three, 3)
+
+    def test_nonpersistent_run_one_is_inline(self):
+        executor = ThreadExecutor(2)
+        assert executor.run_one(_square, 7) == 49
+        assert executor._pool is None  # no pool was built
+
+    def test_persistent_pool_created_lazily_and_reused(self):
+        executor = ThreadExecutor(2, persistent=True)
+        assert executor._pool is None
+        assert executor.run_one(_square, 7) == 49
+        pool = executor._pool
+        assert pool is not None
+        assert executor.run_one(_square, 8) == 64
+        assert executor._pool is pool  # same pool, not one per call
+        outcomes = executor.map(_square, [1, 2, 3])
+        assert [outcome.value for outcome in outcomes] == [1, 4, 9]
+        assert executor._pool is pool  # map shares it too
+        executor.shutdown()
+        assert executor._pool is None
+
+    def test_shutdown_is_idempotent_and_pool_rebuilds(self):
+        executor = ThreadExecutor(2, persistent=True)
+        executor.run_one(_square, 3)
+        executor.shutdown()
+        executor.shutdown()  # second shutdown is a no-op
+        assert executor.run_one(_square, 4) == 16  # lazily rebuilt
+        executor.shutdown()
+
+    def test_persistent_process_pool_round_trips(self):
+        executor = ProcessExecutor(1, persistent=True)
+        try:
+            assert executor.run_one(_square, 6) == 36
+            assert executor.run_one(_square, 7) == 49
+        finally:
+            executor.shutdown()
+
+    def test_make_executor_passes_persistent(self):
+        executor = make_executor("thread", 2, persistent=True)
+        assert executor.persistent
+        assert not make_executor("thread", 2).persistent
+        # Stateless strategies simply ignore the flag.
+        assert make_executor("serial", persistent=True).kind == "serial"

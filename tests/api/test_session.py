@@ -564,6 +564,7 @@ class TestMultiBackendSession:
         # storage and triggers read-repair.
         fan.engine.variant_cache.clear()
         fan.engine.secret_cache.clear()
+        fan.engine.envelope_cache.clear()
 
         repairs_before = storage.repairs
         for name in self.PROVIDERS:
@@ -587,3 +588,69 @@ class TestMultiBackendSession:
         )
         assert down.ok, down.failures
         assert all(p.ndim == 3 for p in down.results)
+
+
+class TestBatchCacheSharing:
+    """batch_download and interactive serves share the envelope tier:
+    warm, cold and cache-bypassed batches must all be byte-identical,
+    whatever executor reconstructs them (satellite of the batch-path
+    cache-bypass fix)."""
+
+    def _world(self, jpegs):
+        session = P3Session.create(
+            psp="facebook",
+            storage="dropbox",
+            user="alice",
+            config=P3Config(threshold=15, quality=85),
+        )
+        records = [session.upload(jpeg, album="trip") for jpeg in jpegs[:2]]
+        return session, [record.photo_id for record in records]
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_warm_cold_and_bypassed_batches_are_identical(
+        self, jpegs, executor
+    ):
+        session, ids = self._world(jpegs)
+        cold = session.batch_download(
+            ids, album="trip", resolution=75, executor=executor
+        )
+        assert cold.ok, cold.failures
+        misses_after_cold = session.engine.envelope_cache.stats.misses
+        warm = session.batch_download(
+            ids, album="trip", resolution=75, executor=executor
+        )
+        assert warm.ok, warm.failures
+        # The second batch ran entirely off the shared envelope tier.
+        assert session.engine.envelope_cache.stats.hits >= len(ids)
+        assert session.engine.envelope_cache.stats.misses == misses_after_cold
+
+        # A session with every cache disabled: the reference bytes.
+        bare = P3Session(
+            session.keyring,
+            session.psp,
+            session.storage,
+            config=P3Config(
+                threshold=15,
+                quality=85,
+                variant_cache=0,
+                envelope_cache=0,
+            ),
+            cache_limit=0,
+        )
+        bypassed = bare.batch_download(
+            ids, album="trip", resolution=75, executor=executor
+        )
+        assert bypassed.ok, bypassed.failures
+        for a, b, c in zip(cold.results, warm.results, bypassed.results):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    def test_interactive_serve_warms_the_batch_path(self, jpegs):
+        session, ids = self._world(jpegs)
+        for photo_id in ids:
+            session.download(photo_id, album="trip", resolution=75)
+        gets_before = session.storage.get_count
+        report = session.batch_download(ids, album="trip", resolution=75)
+        assert report.ok
+        # Every envelope came from the tier the serves populated.
+        assert session.storage.get_count == gets_before

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.cache import CacheStats, LRUCache, PartitionedLRUCache
 
 
 class FakeClock:
@@ -191,3 +191,165 @@ class TestConcurrency:
             thread.join()
         assert not errors
         assert len(cache) <= 32
+
+    def test_disable_race_leaves_no_stale_entries(self):
+        """Regression: put() once checked maxsize==0 outside the lock,
+        so an insert racing the setter's disable-drain could land a
+        stale entry in a just-disabled cache that stayed hittable
+        forever.  Hammer the race; after every disable the cache must
+        be empty."""
+        for _ in range(50):
+            cache = LRUCache(32)
+            barrier = threading.Barrier(5)
+            stop = threading.Event()
+
+            def inserter(seed: int) -> None:
+                barrier.wait()
+                index = 0
+                while not stop.is_set():
+                    cache.put((seed, index % 16), index)
+                    index += 1
+
+            threads = [
+                threading.Thread(target=inserter, args=(seed,))
+                for seed in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            cache.maxsize = 0
+            stop.set()
+            for thread in threads:
+                thread.join()
+            # The disable must hold against every in-flight insert.
+            assert len(cache) == 0
+            assert cache.get((0, 0)) is None
+
+
+class TestPartitionedCache:
+    @staticmethod
+    def build(maxsize, quota_fraction=0.5, **kwargs):
+        return PartitionedLRUCache(
+            maxsize,
+            partition=lambda key: key[0],
+            quota_fraction=quota_fraction,
+            **kwargs,
+        )
+
+    def test_quota_fraction_validation(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="quota_fraction"):
+                self.build(8, quota_fraction=bad)
+
+    def test_single_partition_degrades_to_plain_lru(self):
+        """One tenant (the paper's one-user-one-proxy deploy) must see
+        exactly the LRUCache eviction order, quota or no quota."""
+        plain = LRUCache(3)
+        partitioned = self.build(3, quota_fraction=0.5)
+        for index in range(6):
+            plain.put(("a", index), index)
+            partitioned.put(("a", index), index)
+        plain.get(("a", 3))
+        partitioned.get(("a", 3))
+        plain.put(("a", 6), 6)
+        partitioned.put(("a", 6), 6)
+        assert partitioned.keys() == plain.keys()
+        assert partitioned.stats.evictions == plain.stats.evictions
+
+    def test_hot_partition_cannot_evict_protected_tenant(self):
+        """The flood scenario: tenant b's within-quota working set
+        survives tenant a inserting far more than the whole cache."""
+        cache = self.build(8, quota_fraction=0.5)  # quota: 4 entries
+        for index in range(4):
+            cache.put(("b", index), index)
+        for index in range(100):
+            cache.put(("a", index), index)
+        survivors = [key for key in cache.keys() if key[0] == "b"]
+        assert len(survivors) == 4  # b untouched, at quota
+        assert len(cache) == 8  # a holds the rest
+        # Every eviction was charged to the flooding partition.
+        report = cache.partitions()
+        assert report["b"]["evictions"] == 0
+        assert report["a"]["evictions"] == 96
+
+    def test_over_quota_partition_reclaims_its_own_excess(self):
+        """While capacity is free a partition may exceed its quota;
+        once full, its own oldest entries go first."""
+        cache = self.build(8, quota_fraction=0.5)
+        for index in range(8):
+            cache.put(("a", index), index)  # soft: fills the cache
+        assert len(cache) == 8
+        cache.put(("b", 0), 0)
+        # a was over quota, so a's oldest entry paid for b's insert.
+        assert ("a", 0) not in cache
+        assert ("b", 0) in cache
+
+    def test_global_lru_when_no_partition_over_quota(self):
+        cache = self.build(4, quota_fraction=0.5)  # quota: 2 each
+        cache.put(("a", 0), 0)
+        cache.put(("b", 0), 0)
+        cache.put(("c", 0), 0)
+        cache.put(("d", 0), 0)
+        cache.put(("e", 0), 0)  # nobody over quota: plain LRU
+        assert ("a", 0) not in cache
+        assert len(cache) == 4
+
+    def test_live_resize_rescales_quotas(self):
+        cache = self.build(8, quota_fraction=0.5)
+        assert cache.partition_quota == 4
+        cache.maxsize = 4
+        assert cache.partition_quota == 2
+        cache.maxsize = None
+        assert cache.partition_quota is None
+
+    def test_partitions_report_includes_stat_free_partitions(self):
+        cache = self.build(8)
+        cache.put(("a", 0), 0)
+        cache.get(("a", 0))
+        cache.get(("b", 0))  # miss in a partition with no entries
+        report = cache.partitions()
+        assert report["a"]["hits"] == 1
+        assert report["a"]["entries"] == 1
+        assert report["b"]["misses"] == 1
+        assert report["b"]["entries"] == 0
+
+    def test_partition_counts_track_discard_and_clear(self):
+        cache = self.build(8)
+        cache.put(("a", 0), 0)
+        cache.put(("a", 1), 1)
+        cache.discard(("a", 0))
+        assert cache.partitions()["a"]["entries"] == 1
+        cache.clear()
+        # No entries and no recorded events: the partition drops out
+        # of the report entirely rather than lingering as a zero row.
+        assert cache.partitions().get("a", {}).get("entries", 0) == 0
+
+    def test_hammer_partitions_never_corrupt(self):
+        cache = self.build(16, quota_fraction=0.25)
+        errors = []
+
+        def worker(part: str) -> None:
+            try:
+                for index in range(300):
+                    cache.put((part, index % 24), index)
+                    cache.get((part, (index * 7) % 24))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(part,))
+            for part in ("a", "b", "c", "d", "e")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+        # Internal per-partition counts must agree with the entries.
+        report = cache.partitions()
+        live: dict[str, int] = {}
+        for key in cache.keys():
+            live[key[0]] = live.get(key[0], 0) + 1
+        for part, count in live.items():
+            assert report[part]["entries"] == count

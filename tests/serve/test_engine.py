@@ -1,4 +1,5 @@
-"""Tests for the ServingEngine: two-tier cache, coalescing, access."""
+"""Tests for the ServingEngine: three-tier cache, coalescing, access,
+pooled cold reconstruction, and partition isolation."""
 
 import threading
 import time
@@ -9,7 +10,14 @@ import pytest
 from repro.core.config import P3Config
 from repro.crypto.keyring import Keyring
 from repro.jpeg.codec import encode_rgb
-from repro.serve.engine import ServeRequest, ServingEngine
+from repro.api.executors import make_executor
+from repro.serve.engine import (
+    ServeRequest,
+    ServeResult,
+    ServingEngine,
+    ServingStats,
+)
+from repro.serve.keys import key_digest
 from repro.system.proxy import SenderProxy
 from repro.system.psp import AccessDeniedError, FacebookPSP
 from repro.system.storage import CloudStorage
@@ -340,17 +348,232 @@ class TestBatchSeam:
             run_decrypt_task(task).tobytes() == served.pixels.tobytes()
         )
 
-    def test_fetch_task_bypasses_caches(self, world):
+    def test_fetch_task_hits_shared_envelope_tier(self, world):
+        # The historical bug: batch_download's fetch stage went
+        # straight to storage, bypassing every cache an interactive
+        # serve had just warmed.  Now both paths share the envelope
+        # tier: a serve-warmed engine builds the task without any
+        # storage round trip.
         psp, storage, keys, photo_id = world
         engine = ServingEngine(psp, storage)
         request = request_for(keys, photo_id, resolution=130)
-        engine.serve(request)  # warm both tiers
+        engine.serve(request)  # warms the envelope tier too
         before = storage.get_count
         engine.fetch_task(request)
-        assert storage.get_count == before + 1  # really hit storage
+        assert storage.get_count == before  # served from the shared tier
+
+    def test_fetch_task_populates_envelope_tier(self, world):
+        # ...and the sharing goes both ways: a cold batch fetch leaves
+        # the envelope cached, so a later interactive serve of the
+        # same photo skips storage.
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        request = request_for(keys, photo_id, resolution=130)
+        before = storage.get_count
+        engine.fetch_task(request)
+        assert storage.get_count == before + 1  # true miss hit storage
+        engine.serve(request)
+        assert storage.get_count == before + 1  # no second round trip
+
+    def test_fetch_task_enforces_access(self, world):
+        # The historical hole: fetch_task never consulted the PSP, so
+        # batch_download leaked variants serve() would have denied.
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage)
+        engine.fetch_task(request_for(keys, photo_id, resolution=130))
+        mallory = ServeRequest(
+            photo_id=photo_id,
+            album="trip",
+            key=keys.key_for("trip"),
+            requester="mallory",
+            resolution=130,
+        )
+        with pytest.raises(AccessDeniedError):
+            engine.fetch_task(mallory)
+        checks_before = psp.access_checks
+        # preauthorized skips the hook (the session layer has already
+        # run the check for the whole batch); the PSP's own in-band
+        # enforcement on the public download still applies.
+        bob = ServeRequest(
+            photo_id=photo_id,
+            album="trip",
+            key=keys.key_for("trip"),
+            requester="bob",
+            resolution=130,
+        )
+        engine.fetch_task(bob, preauthorized=True)
+        assert psp.access_checks == checks_before
 
 
 class TestRequestValidation:
     def test_keyed_request_needs_album(self):
         with pytest.raises(ValueError, match="album"):
             ServeRequest(photo_id="x", key=b"\x00" * 16)
+
+
+class TestPooledReconstruction:
+    def test_from_config_builds_persistent_pool(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine.from_config(
+            psp, storage, P3Config(serve_executor="thread", serve_workers=2)
+        )
+        try:
+            assert engine.executor is not None
+            assert engine.executor.kind == "thread"
+            assert engine.executor.persistent
+            assert engine.executor.workers == 2
+        finally:
+            engine.close()
+        serial = ServingEngine.from_config(psp, storage, P3Config())
+        assert serial.executor is None  # default stays inline
+
+    def test_thread_pool_serves_byte_identical(self, world):
+        psp, storage, keys, photo_id = world
+        serial = ServingEngine(psp, storage)
+        pooled = ServingEngine(
+            psp,
+            storage,
+            executor=make_executor("thread", 2, persistent=True),
+        )
+        request = request_for(keys, photo_id, resolution=130)
+        try:
+            assert (
+                pooled.serve(request).pixels.tobytes()
+                == serial.serve(request).pixels.tobytes()
+            )
+            # The pooled cold serve fills the same tiers: warm hits.
+            assert pooled.serve(request).variant_hit
+        finally:
+            pooled.close()
+
+    def test_process_pool_serves_byte_identical(self, world):
+        psp, storage, keys, photo_id = world
+        serial = ServingEngine(psp, storage)
+        pooled = ServingEngine(
+            psp,
+            storage,
+            executor=make_executor("process", 1, persistent=True),
+        )
+        keyed = request_for(keys, photo_id, resolution=130)
+        public = ServeRequest(
+            photo_id=photo_id, requester="alice", resolution=130
+        )
+        try:
+            assert (
+                pooled.serve(keyed).pixels.tobytes()
+                == serial.serve(keyed).pixels.tobytes()
+            )
+            assert (
+                pooled.serve(public).pixels.tobytes()
+                == serial.serve(public).pixels.tobytes()
+            )
+        finally:
+            pooled.close()
+
+    def test_close_is_reentrant_and_engine_survives(self, world):
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(
+            psp,
+            storage,
+            executor=make_executor("thread", 2, persistent=True),
+        )
+        request = request_for(keys, photo_id, resolution=75)
+        first = engine.serve(request).pixels.tobytes()
+        engine.close()
+        engine.close()  # idempotent
+        engine.variant_cache.clear()
+        engine.secret_cache.clear()
+        engine.envelope_cache.clear()
+        # The pool lazily rebuilds: serving after close still works.
+        assert engine.serve(request).pixels.tobytes() == first
+        engine.close()
+
+
+class TestServingStatsSnapshot:
+    def test_empty_window_percentile_is_zero(self):
+        stats = ServingStats()
+        assert stats.percentile(50) == 0.0
+        assert stats.percentile(99) == 0.0
+        snapshot = stats.snapshot()
+        assert snapshot["p50_ms"] == 0.0
+        assert snapshot["p99_ms"] == 0.0
+        assert snapshot["requests"] == 0
+
+    def test_snapshot_is_internally_consistent_under_load(self):
+        """Counters and percentiles must describe the same instant:
+        hammer record() while snapshotting and check every snapshot's
+        counters sum up exactly."""
+        stats = ServingStats()
+        stop = threading.Event()
+        bad: list[dict] = []
+
+        def recorder():
+            pixels = np.zeros((1, 1, 3), dtype=np.uint8)
+            while not stop.is_set():
+                result = ServeResult(pixels=pixels, photo_id="x")
+                stats.record(result)
+
+        def snapshotter():
+            while not stop.is_set():
+                snap = stats.snapshot()
+                total = (
+                    snap["reconstructions"]
+                    + snap["coalesced"]
+                    + snap["variant_hits"]
+                )
+                if total != snap["requests"]:
+                    bad.append(snap)
+
+        threads = [threading.Thread(target=recorder) for _ in range(3)]
+        threads.append(threading.Thread(target=snapshotter))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not bad, f"inconsistent snapshots: {bad[:3]}"
+
+
+class TestPartitionIsolation:
+    def test_hot_tenant_cannot_flush_protected_partition(
+        self, world, scene_corpus
+    ):
+        """An engine-level flood: carol serving many distinct variants
+        of her album must not evict bob's within-quota working set."""
+        psp, storage, keys, photo_id = world
+        carol_keys = Keyring("carol")
+        carol_keys.create_album("other")
+        sender = SenderProxy(carol_keys, psp, storage, P3Config(quality=85))
+        hot_id = sender.upload(
+            encode_rgb(scene_corpus[0], quality=85), "other"
+        ).photo_id
+
+        engine = ServingEngine(
+            psp,
+            storage,
+            variant_cache_limit=4,
+            cache_partition_quota=0.5,  # 2 protected entries each
+        )
+        for resolution in (75, 130):
+            engine.serve(request_for(keys, photo_id, resolution=resolution))
+        for resolution in range(60, 72):  # 12 distinct hot variants
+            engine.serve(
+                ServeRequest(
+                    photo_id=hot_id,
+                    album="other",
+                    key=carol_keys.key_for("other"),
+                    requester="carol",
+                    resolution=resolution,
+                )
+            )
+        # The flood only ever evicted carol's own excess.
+        for resolution in (75, 130):
+            result = engine.serve(
+                request_for(keys, photo_id, resolution=resolution)
+            )
+            assert result.variant_hit, "protected partition was evicted"
+        report = engine.snapshot()["partitions"]["variant_cache"]
+        trip = report[key_digest(keys.key_for("trip"))]
+        assert trip["evictions"] == 0
+        assert trip["entries"] == 2
