@@ -158,6 +158,8 @@ class _PoolExecutor(Executor):
 
     _pool_class: type
 
+    _GUARDED_BY = {"_pool": "_pool_lock"}
+
     def __init__(
         self, workers: int | None = None, *, persistent: bool = False
     ) -> None:

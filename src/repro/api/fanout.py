@@ -81,7 +81,7 @@ def rendezvous_order(key: str, count: int) -> list[int]:
 # -- blob-store composites ----------------------------------------------------
 
 
-class ReplicatedBlobStore:
+class ReplicatedBlobStore:  # relint: implements BlobStore
     """R-way replicated, rendezvous-sharded composite blob store.
 
     ``put`` walks the key's preference order until ``replicas`` stores
@@ -95,6 +95,13 @@ class ReplicatedBlobStore:
     missing replicas from it (read-repair), so a wiped store heals as
     its keys are read.
     """
+
+    # Written under the counter lock from executor and serving threads
+    # alike; read plain by repr/benchmarks (atomic int replacement).
+    _GUARDED_BY = {
+        "repairs": "_counter_lock:writes",
+        "degraded_puts": "_counter_lock:writes",
+    }
 
     def __init__(
         self,
@@ -246,7 +253,7 @@ class ReplicatedBlobStore:
         )
 
 
-class ShardedBlobStore(ReplicatedBlobStore):
+class ShardedBlobStore(ReplicatedBlobStore):  # relint: implements BlobStore
     """Pure sharding: each key lives on exactly one backing store.
 
     The ``replicas=1`` corner of :class:`ReplicatedBlobStore` — same
@@ -265,7 +272,7 @@ class ShardedBlobStore(ReplicatedBlobStore):
 # -- the PSP composite --------------------------------------------------------
 
 
-class FanoutPSP:
+class FanoutPSP:  # relint: implements PSPBackend
     """One logical provider backed by several real ones.
 
     ``upload`` publishes to every registered provider — concurrently
@@ -286,6 +293,14 @@ class FanoutPSP:
     (:attr:`last_ingest_timings`, cumulative :attr:`ingest_seconds`),
     so callers can report where publish time actually goes.
     """
+
+    _GUARDED_BY = {
+        "_routes": "_lock",
+        # Timing maps are atomically replaced / monotonically grown
+        # under the lock; readers take plain snapshots.
+        "last_ingest_timings": "_lock:writes",
+        "ingest_seconds": "_lock:writes",
+    }
 
     def __init__(
         self,

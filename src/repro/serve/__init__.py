@@ -46,6 +46,28 @@ inserts, so one viral photo cannot flush every other tenant's working
 set.  Per-partition hit/miss/eviction stats surface in
 ``engine.snapshot()`` and the gateway's ``/stats``.
 
+**Concurrency discipline.**  The tier is built for many threads
+sharing one engine, and the rules are mechanical enough to be
+machine-checked — ``python -m tools.relint src/repro`` enforces them
+in CI (see ``tools/relint/README.md``):
+
+* Every class that creates a lock declares what the lock protects in a
+  class-level ``_GUARDED_BY`` map (``{"_entries": "_lock"}``); guarded
+  attributes are only touched inside ``with self._lock``.  Counter
+  attributes use the ``"_lock:writes"`` mode — mutations need the
+  lock, snapshot reads of an atomically-replaced int don't.
+* Private helpers that assume the lock is already held say so with a
+  ``# guarded-by: _lock`` comment on the ``def`` line; relint verifies
+  both the assumption and every caller.
+* Locks here are **non-reentrant** ``threading.Lock``: never call a
+  public method (or ``len(self)``/``repr``) from inside a critical
+  section, and never nest two locks without a codebase-wide consistent
+  order — relint's lock-order rule fails the build on cycles.
+* No blocking work under a lock: storage/PSP I/O, executor fan-out and
+  reconstruction happen outside critical sections; the lock only
+  guards the bookkeeping around them (the double-checked pattern in
+  :class:`SingleFlight` and the caches is the template).
+
 Quickstart::
 
     from repro.serve import ServeRequest, ServingEngine

@@ -36,6 +36,15 @@ class CacheStats:
 
     __slots__ = ("_lock", "hits", "misses", "evictions", "expirations")
 
+    # Counters are written under the lock, read plain (atomic int
+    # replacement) — the ":writes" guard mode expresses exactly that.
+    _GUARDED_BY = {
+        "hits": "_lock:writes",
+        "misses": "_lock:writes",
+        "evictions": "_lock:writes",
+        "expirations": "_lock:writes",
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.hits = 0
@@ -90,6 +99,13 @@ class LRUCache:
     insert, mirroring the recipient proxy's historical ``cache_limit``
     semantics.
     """
+
+    _GUARDED_BY = {
+        "_entries": "_lock",
+        # The setter mutates under the lock; the property getter and
+        # repr read the atomically-replaced value plain.
+        "_maxsize": "_lock:writes",
+    }
 
     def __init__(
         self,
@@ -172,29 +188,29 @@ class LRUCache:
 
     # -- under-lock internals (subclass seams) --------------------------------
 
-    def _store(self, key: Hashable, value: Any) -> None:
+    def _store(self, key: Hashable, value: Any) -> None:  # guarded-by: _lock
         """Insert or refresh one entry; caller holds the lock."""
         if key not in self._entries:
             self._added(key)
         self._entries[key] = (value, self.clock())
         self._entries.move_to_end(key)
 
-    def _remove(self, key: Hashable) -> None:
+    def _remove(self, key: Hashable) -> None:  # guarded-by: _lock
         """Drop one present entry; caller holds the lock."""
         del self._entries[key]
         self._removed(key)
 
-    def _victim(self) -> Hashable:
+    def _victim(self) -> Hashable:  # guarded-by: _lock
         """The entry a capacity eviction should drop (lock held)."""
         return next(iter(self._entries))
 
-    def _added(self, key: Hashable) -> None:
+    def _added(self, key: Hashable) -> None:  # guarded-by: _lock
         """Hook: a new key is about to be inserted (lock held)."""
 
-    def _removed(self, key: Hashable) -> None:
+    def _removed(self, key: Hashable) -> None:  # guarded-by: _lock
         """Hook: a key was just removed (lock held)."""
 
-    def _bump(self, field: str, key: Hashable) -> None:
+    def _bump(self, field: str, key: Hashable) -> None:  # guarded-by: _lock
         """Count one cache event, attributed to ``key`` (lock held).
 
         Evictions pass the *evicted* key, so
@@ -271,6 +287,11 @@ class PartitionedLRUCache(LRUCache):
     partition that *lost* the entry.
     """
 
+    _GUARDED_BY = {
+        "_counts": "_lock",
+        "_partition_stats": "_lock",
+    }
+
     def __init__(
         self,
         maxsize: int | None,
@@ -304,7 +325,7 @@ class PartitionedLRUCache(LRUCache):
 
     # -- under-lock hooks ------------------------------------------------------
 
-    def _victim(self) -> Hashable:
+    def _victim(self) -> Hashable:  # guarded-by: _lock
         quota = self.partition_quota
         if quota is not None:
             for key in self._entries:  # oldest first
@@ -312,11 +333,11 @@ class PartitionedLRUCache(LRUCache):
                     return key
         return next(iter(self._entries))
 
-    def _added(self, key: Hashable) -> None:
+    def _added(self, key: Hashable) -> None:  # guarded-by: _lock
         part = self.partition_of(key)
         self._counts[part] = self._counts.get(part, 0) + 1
 
-    def _removed(self, key: Hashable) -> None:
+    def _removed(self, key: Hashable) -> None:  # guarded-by: _lock
         part = self.partition_of(key)
         remaining = self._counts.get(part, 0) - 1
         if remaining > 0:
@@ -324,7 +345,7 @@ class PartitionedLRUCache(LRUCache):
         else:
             self._counts.pop(part, None)
 
-    def _bump(self, field: str, key: Hashable) -> None:
+    def _bump(self, field: str, key: Hashable) -> None:  # guarded-by: _lock
         super()._bump(field, key)
         part = self.partition_of(key)
         stats = self._partition_stats.get(part)
@@ -352,8 +373,13 @@ class PartitionedLRUCache(LRUCache):
         return report
 
     def __repr__(self) -> str:
+        # Snapshot both sizes in one critical section; len(self) would
+        # re-acquire the non-reentrant lock, so read _entries directly.
+        with self._lock:
+            size = len(self._entries)
+            partitions = len(self._counts)
         return (
-            f"PartitionedLRUCache(name={self.name!r}, size={len(self)}, "
+            f"PartitionedLRUCache(name={self.name!r}, size={size}, "
             f"maxsize={self._maxsize}, quota={self.partition_quota}, "
-            f"partitions={len(self._counts)}, ttl={self.ttl})"
+            f"partitions={partitions}, ttl={self.ttl})"
         )

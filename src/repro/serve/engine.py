@@ -163,6 +163,17 @@ class ServeResult:
 class ServingStats:
     """Rolling request statistics for one engine (thread-safe)."""
 
+    # Counters are written under the lock, read plain (atomic int
+    # replacement); the latency window is a deque and needs the lock
+    # for every access.
+    _GUARDED_BY = {
+        "requests": "_lock:writes",
+        "reconstructions": "_lock:writes",
+        "coalesced": "_lock:writes",
+        "variant_hits": "_lock:writes",
+        "_latencies": "_lock",
+    }
+
     def __init__(self, window: int = 4096) -> None:
         self._lock = threading.Lock()
         self.requests = 0
@@ -226,6 +237,13 @@ class ServingEngine:
     number of per-user proxies or gateway tenants.  All methods are
     thread-safe.
     """
+
+    # The engine holds no lock of its own: every mutable structure it
+    # touches (caches, flight tables, stats) synchronizes internally,
+    # and the remaining attributes are set once in __init__ and read
+    # only.  Declared empty so the absence of guards is a statement,
+    # not an omission.
+    _GUARDED_BY: dict[str, str] = {}
 
     def __init__(
         self,

@@ -39,6 +39,12 @@ class SingleFlight:
     retries.
     """
 
+    _GUARDED_BY = {
+        "_flights": "_lock",
+        # Bumped under the lock; read plain by stats endpoints.
+        "coalesced": "_lock:writes",
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._flights: dict[Hashable, _Flight] = {}

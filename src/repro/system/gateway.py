@@ -100,6 +100,8 @@ class P3Gateway:
     single-user proxies (rollback on partial failure included).
     """
 
+    _GUARDED_BY = {"_keyrings": "_lock"}
+
     def __init__(
         self,
         psp: PSPBackend,
@@ -288,8 +290,10 @@ class P3Gateway:
         return pixel_response(result)
 
     def __repr__(self) -> str:
+        with self._lock:
+            users = len(self._keyrings)
         return (
-            f"P3Gateway(users={len(self._keyrings)}, "
+            f"P3Gateway(users={users}, "
             f"psp={getattr(self.psp, 'name', '?')!r}, "
             f"requests={self.engine.stats.requests})"
         )

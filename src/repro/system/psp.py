@@ -64,8 +64,16 @@ class PipelineConfig:
     strip_markers: bool
 
 
-class PhotoSharingProvider:
+class PhotoSharingProvider:  # relint: implements PSPBackend
     """Base PSP with upload/variant/dynamic-download machinery."""
+
+    _GUARDED_BY = {
+        "_photos": "_lock",
+        "_counter": "_lock",
+        # Byte counters mutate under the lock, are read plain.
+        "bytes_served": "_lock:writes",
+        "bytes_received": "_lock:writes",
+    }
 
     name = "generic"
     static_resolutions: tuple[int, ...] = (720, 130, 75)
@@ -91,7 +99,7 @@ class PhotoSharingProvider:
 
     # -- naming ---------------------------------------------------------------
 
-    def _new_photo_id(self, data: bytes) -> str:
+    def _new_photo_id(self, data: bytes) -> str:  # guarded-by: _lock
         """Opaque, unguessable ID (hash-based), as real PSPs assign.
 
         Callers hold ``_lock`` (the counter is shared state).
@@ -375,7 +383,7 @@ class PhotoBucketPSP(PhotoSharingProvider):
         strip_markers=False,
     )
 
-    def _new_photo_id(self, data: bytes) -> str:
+    def _new_photo_id(self, data: bytes) -> str:  # guarded-by: _lock
         self._counter += 1
         return f"img{self._counter:06d}"
 

@@ -22,13 +22,21 @@ from repro.api.fanout import (  # noqa: F401  (re-export: the composite
 )
 
 
-class CloudStorage:
+class CloudStorage:  # relint: implements BlobStore
     """A key-value blob store with adversarial inspection hooks.
 
     Thread-safe: concurrent replica puts (fan-out ingest executors)
     and serving-tier reads share instances, so every access to the
     blob table and its byte/read counters goes through one lock.
     """
+
+    _GUARDED_BY = {
+        "_blobs": "_lock",
+        # Counters mutate under the lock; unsynchronized reads see an
+        # atomically-replaced int (benchmarks read them plain).
+        "bytes_stored": "_lock:writes",
+        "get_count": "_lock:writes",
+    }
 
     def __init__(self, name: str = "dropbox") -> None:
         self.name = name

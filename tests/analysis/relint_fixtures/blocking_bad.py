@@ -1,0 +1,36 @@
+"""Fixture: slow work inside critical sections the blocking rule catches."""
+
+import threading
+import time
+
+
+class HoldsLockAcrossIO:
+    def __init__(self, storage: "BlobStore", executor: "Executor"):
+        self._lock = threading.Lock()
+        self.storage = storage
+        self.executor = executor
+        self.data = {}
+
+    def fetch(self, key):
+        with self._lock:
+            if key not in self.data:
+                # VIOLATION: storage round trip inside the lock.
+                self.data[key] = self.storage.get(key)
+            return self.data[key]
+
+    def sleepy(self):
+        with self._lock:
+            time.sleep(0.01)  # VIOLATION
+
+    def dispatch(self, fn, item):
+        with self._lock:
+            # VIOLATION: executor dispatch blocks on a worker.
+            return self.executor.run_one(fn, item)
+
+    def awaits(self, future):
+        with self._lock:
+            return future.result()  # VIOLATION: waiting primitive
+
+    def in_helper(self):  # guarded-by: _lock
+        # VIOLATION: the caller-holds marker means the lock IS held here.
+        return self.storage.get("k")

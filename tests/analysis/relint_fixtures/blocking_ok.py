@@ -1,0 +1,49 @@
+"""Fixture: shapes the blocking-under-lock rule must NOT flag."""
+
+import threading
+import time
+
+
+class CopyThenWork:
+    def __init__(self, storage: "BlobStore", helpers=None):
+        self._lock = threading.Lock()
+        self.storage = storage
+        self.helpers = helpers
+        self.data = {}
+
+    def fetch(self, key):
+        # The double-checked pattern: I/O happens between the two
+        # critical sections, never inside one.
+        with self._lock:
+            cached = self.data.get(key)
+        if cached is not None:
+            return cached
+        value = self.storage.get(key)
+        with self._lock:
+            self.data[key] = value
+        return value
+
+    def sleep_outside(self):
+        time.sleep(0.001)
+        with self._lock:
+            self.data.clear()
+
+    def unknown_receiver(self, key):
+        with self._lock:
+            # 'helpers' has no inferable type: conservatively allowed
+            # even though the method is named like blob-store I/O.
+            return self.helpers.get(key)
+
+    def deferred_io(self):
+        with self._lock:
+            # The thunk runs after the lock is released.
+            thunk = lambda: self.storage.get("k")
+        return thunk
+
+
+class NoLocksAtAll:
+    def __init__(self, storage: "BlobStore"):
+        self.storage = storage
+
+    def fetch(self, key):
+        return self.storage.get(key)

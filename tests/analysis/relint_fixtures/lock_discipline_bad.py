@@ -1,0 +1,42 @@
+"""Fixture: every lock-discipline violation shape relint must catch.
+
+Not imported by anything — parsed by tests/analysis/test_relint.py.
+"""
+
+import threading
+
+
+class BadMap:
+    _GUARDED_BY = {"items": "_lock", "count": "_lock:writes"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+        self.count = 0
+
+    def unlocked_read(self):
+        return list(self.items)  # VIOLATION: read without _lock
+
+    def unlocked_write(self):
+        self.count += 1  # VIOLATION: ':writes' still guards mutations
+
+    def helper_without_lock(self):
+        self._mutate()  # VIOLATION: helper assumes callers hold _lock
+
+    def _mutate(self):  # guarded-by: _lock
+        self.items.append(1)
+
+    def closure_leak(self):
+        with self._lock:
+            # VIOLATION: the thunk runs after the with block exits, so
+            # the lock is NOT held when self.items is touched.
+            return lambda: self.items.pop()
+
+
+class BadInline:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.table = {}  # guarded-by: _lock
+
+    def unlocked_write(self, key, value):
+        self.table = {key: value}  # VIOLATION: rebind without _lock

@@ -1,0 +1,46 @@
+"""Fixture: near-misses the lock-discipline rule must NOT flag."""
+
+import threading
+
+
+class CleanMap:
+    _GUARDED_BY = {"items": "_lock", "count": "_lock:writes"}
+
+    def __init__(self):
+        # Construction is exempt: the instance has not escaped yet.
+        self._lock = threading.Lock()
+        self.items = []
+        self.count = 0
+
+    def locked_access(self):
+        with self._lock:
+            self.items.append(1)
+            self.count += 1
+
+    def counter_read_is_free(self):
+        # ':writes' mode: unsynchronized reads of the atomically
+        # replaced int are the declared contract.
+        return self.count
+
+    def calls_helper_under_lock(self):
+        with self._lock:
+            self._mutate()
+
+    def _mutate(self):  # guarded-by: _lock
+        # Body is analyzed as lock-held: no violation here.
+        self.items.pop()
+
+    def nested_with_still_held(self):
+        with self._lock:
+            with open("/dev/null"):
+                self.items.append(2)
+
+
+class Unguarded:
+    """Same attribute names, no declaration: nothing to enforce."""
+
+    def __init__(self):
+        self.items = []
+
+    def touch(self):
+        return self.items

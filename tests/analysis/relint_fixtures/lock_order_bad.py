@@ -1,0 +1,66 @@
+"""Fixture: nested-acquisition cycles the lock-order rule must catch."""
+
+import threading
+
+
+class Inverted:
+    """The textbook AB/BA deadlock inside one class."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def a_then_b(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def b_then_a(self):
+        with self._b:
+            with self._a:  # CYCLE with a_then_b
+                pass
+
+
+class Ping:
+    """Cross-class cycle through call-graph resolution."""
+
+    def __init__(self, peer: "Pong"):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def fire(self):
+        with self._lock:
+            self.peer.handle()  # acquires Pong._lock under Ping._lock
+
+    def handle(self):
+        with self._lock:
+            pass
+
+
+class Pong:
+    def __init__(self, peer: Ping):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def fire(self):
+        with self._lock:
+            self.peer.handle()  # acquires Ping._lock under Pong._lock
+
+    def handle(self):
+        with self._lock:
+            pass
+
+
+class SelfDeadlock:
+    """A non-reentrant lock re-acquired through a helper call."""
+
+    def __init__(self):
+        self._m = threading.Lock()
+
+    def outer(self):
+        with self._m:
+            self.inner()  # VIOLATION: inner re-acquires the plain Lock
+
+    def inner(self):
+        with self._m:
+            pass

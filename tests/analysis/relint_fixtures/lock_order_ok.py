@@ -1,0 +1,63 @@
+"""Fixture: acquisition shapes the lock-order rule must NOT flag."""
+
+import threading
+
+
+class ConsistentOrder:
+    """Nested acquisition is fine when every path agrees on the order."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def first_path(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def second_path(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def sequential_not_nested(self):
+        # Release before the next acquire: no held-while-acquiring edge.
+        with self._b:
+            pass
+        with self._a:
+            pass
+
+
+class ReentrantSelf:
+    """RLock re-acquisition through a helper is reentrant by design."""
+
+    def __init__(self):
+        self._r = threading.RLock()
+
+    def outer(self):
+        with self._r:
+            self.inner()
+
+    def inner(self):
+        with self._r:
+            pass
+
+
+class DeferredAcquire:
+    """A closure acquiring the other lock runs later, not while held."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def make_thunk(self):
+        with self._b:
+            def later():
+                with self._a:
+                    pass
+            return later
+
+    def use_order(self):
+        with self._a:
+            with self._b:
+                pass

@@ -1,0 +1,76 @@
+"""Fixture: backend/Protocol drift the conformance rule must catch."""
+
+from typing import Protocol
+
+
+class PSPBackend(Protocol):
+    name: str
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None) -> str: ...
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes: ...
+
+
+class BlobStore(Protocol):
+    def put(self, key: str, blob: bytes) -> None: ...
+
+    def get(self, key: str) -> bytes: ...
+
+
+class RenamedParam:
+    """upload's second parameter drifted: keyword calls explode."""
+
+    name = "renamed"
+
+    def upload(self, data: bytes, who: str, viewers: set | None = None) -> str:
+        return "x"
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes:
+        return b""
+
+
+class LostDefault:
+    """viewers lost its default: protocol-shaped calls raise TypeError."""
+
+    name = "lost-default"
+
+    def upload(self, data: bytes, owner: str, viewers: set) -> str:
+        return "x"
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes:
+        return b""
+
+
+class MissingMethod:
+    """No download at all — runtime isinstance would catch this, but
+    only at registration time; relint catches it in CI."""
+
+    name = "missing"
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None) -> str:
+        return "x"
+
+
+class ExtraRequired:
+    """A new required parameter the protocol cannot supply."""
+
+    def put(self, key: str, blob: bytes, fsync: bool) -> None:
+        pass
+
+    def get(self, key: str) -> bytes:
+        return b""
+
+
+class Registry:
+    def register_psp(self, name, factory):
+        pass
+
+    def register_storage(self, name, factory):
+        pass
+
+
+REGISTRY = Registry()
+REGISTRY.register_psp("renamed", RenamedParam)
+REGISTRY.register_psp("lost-default", LostDefault)
+REGISTRY.register_psp("missing", MissingMethod)
+REGISTRY.register_storage("extra", lambda **kwargs: ExtraRequired(**kwargs))

@@ -1,0 +1,72 @@
+"""Fixture: conforming backends the protocol rule must NOT flag."""
+
+from typing import Protocol
+
+
+class PSPBackend(Protocol):
+    name: str
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None) -> str: ...
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes: ...
+
+
+class Exact:
+    name = "exact"
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None) -> str:
+        return "x"
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes:
+        return b""
+
+
+class ExtraDefaulted:
+    """Extra trailing parameters are fine when they carry defaults."""
+
+    name = "extra-defaulted"
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None, region: str = "us") -> str:
+        return "x"
+
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes:
+        return b""
+
+
+class CatchAll:
+    """*args/**kwargs accept anything the protocol can send."""
+
+    def __init__(self):
+        self.name = "catch-all"  # instance attr satisfies 'name: str'
+
+    def upload(self, *args, **kwargs) -> str:
+        return "x"
+
+    def download(self, *args, **kwargs) -> bytes:
+        return b""
+
+
+class Base:
+    def download(self, photo_id: str, requester: str, resolution: int | None = None) -> bytes:
+        return b""
+
+
+class Inherited(Base):
+    """The protocol method arrives through the base class."""
+
+    name = "inherited"
+
+    def upload(self, data: bytes, owner: str, viewers: set | None = None) -> str:
+        return "x"
+
+
+class Registry:
+    def register_psp(self, name, factory):
+        pass
+
+
+REGISTRY = Registry()
+REGISTRY.register_psp("exact", Exact)
+REGISTRY.register_psp("extra-defaulted", ExtraDefaulted)
+REGISTRY.register_psp("catch-all", CatchAll)
+REGISTRY.register_psp("inherited", Inherited)

@@ -1,0 +1,24 @@
+"""Fixture: suppression misuse relint must reject."""
+
+import threading
+
+
+class Sneaky:
+    _GUARDED_BY = {"items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def no_reason(self):
+        return self.items  # relint: ignore[lock-discipline]
+
+    def unknown_rule(self):
+        with self._lock:
+            pass  # relint: ignore[made-up-rule] -- not a real rule
+
+    def clean_method(self):
+        # relint: ignore[lock-discipline] -- nothing here violates, so
+        # this suppression is unused and gets reported as such
+        with self._lock:
+            return list(self.items)

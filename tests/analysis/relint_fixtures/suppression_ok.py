@@ -1,0 +1,18 @@
+"""Fixture: justified suppressions relint must honor."""
+
+import threading
+
+
+class Justified:
+    _GUARDED_BY = {"items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def trailing_form(self):
+        return self.items  # relint: ignore[lock-discipline] -- snapshot read in a single-threaded test harness
+
+    def line_above_form(self):
+        # relint: ignore[lock-discipline] -- benign: repr is best-effort
+        return len(self.items)

@@ -1,0 +1,271 @@
+"""Tests for the relint static analyzer.
+
+Each rule family gets a *positive* fixture (violations relint must
+report) and a *negative* fixture (near-misses it must not), plus the
+repo-wide guarantee: ``src/repro`` analyzes clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.relint.cli import main as relint_main
+from tools.relint.engine import RULE_NAMES, analyze
+
+FIXTURES = Path(__file__).parent / "relint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def findings_for(*names: str):
+    report = analyze([str(FIXTURES / name) for name in names])
+    return report
+
+
+def rules_of(report) -> set[str]:
+    return {finding.rule for finding in report.findings}
+
+
+class TestLockDiscipline:
+    def test_bad_fixture_flags_every_shape(self):
+        report = findings_for("lock_discipline_bad.py")
+        found = {
+            (f.symbol, f.rule) for f in report.findings
+        }
+        assert ("BadMap.unlocked_read", "lock-discipline") in found
+        assert ("BadMap.unlocked_write", "lock-discipline") in found
+        assert ("BadMap.helper_without_lock", "lock-discipline") in found
+        assert ("BadMap.closure_leak", "lock-discipline") in found
+        assert ("BadInline.unlocked_write", "lock-discipline") in found
+        assert rules_of(report) == {"lock-discipline"}
+
+    def test_closure_finding_explains_deferral(self):
+        report = findings_for("lock_discipline_bad.py")
+        closure = [
+            f for f in report.findings if f.symbol == "BadMap.closure_leak"
+        ]
+        assert len(closure) == 1
+        assert "deferred closure" in closure[0].message
+
+    def test_ok_fixture_is_clean(self):
+        report = findings_for("lock_discipline_ok.py")
+        assert report.findings == []
+
+    def test_writes_mode_allows_plain_reads(self):
+        # The ok fixture reads the ':writes' counter outside the lock.
+        report = findings_for("lock_discipline_ok.py")
+        assert not any(
+            "count" in f.message for f in report.findings
+        )
+
+
+class TestLockOrder:
+    def test_bad_fixture_reports_all_three_cycles(self):
+        report = findings_for("lock_order_bad.py")
+        symbols = sorted(f.symbol for f in report.findings)
+        assert any("Inverted._a" in s for s in symbols)
+        assert any("Ping._lock" in s and "Pong._lock" in s for s in symbols)
+        assert any("SelfDeadlock._m" in s for s in symbols)
+        assert rules_of(report) == {"lock-order"}
+
+    def test_self_deadlock_names_the_call_chain(self):
+        report = findings_for("lock_order_bad.py")
+        self_dead = [
+            f for f in report.findings if f.symbol == "SelfDeadlock._m"
+        ]
+        assert len(self_dead) == 1
+        assert "self-deadlock" in self_dead[0].message
+        assert "SelfDeadlock.outer calls SelfDeadlock.inner" in (
+            self_dead[0].message
+        )
+
+    def test_cycle_message_carries_both_witness_edges(self):
+        report = findings_for("lock_order_bad.py")
+        inverted = [
+            f for f in report.findings if "Inverted" in f.symbol
+        ]
+        assert len(inverted) == 1
+        message = inverted[0].message
+        assert "Inverted._a->Inverted._b" in message
+        assert "Inverted._b->Inverted._a" in message
+
+    def test_ok_fixture_is_clean(self):
+        report = findings_for("lock_order_ok.py")
+        assert report.findings == []
+
+
+class TestBlockingUnderLock:
+    def test_bad_fixture_flags_every_shape(self):
+        report = findings_for("blocking_bad.py")
+        messages = [f.message for f in report.findings]
+        assert any("time.sleep" in m for m in messages)
+        assert any("storage.get" in m for m in messages)
+        assert any("executor.run_one" in m for m in messages)
+        assert any(".result()" in m for m in messages)
+        assert rules_of(report) == {"blocking-under-lock"}
+
+    def test_caller_holds_marker_extends_the_critical_section(self):
+        report = findings_for("blocking_bad.py")
+        helper = [
+            f
+            for f in report.findings
+            if f.symbol == "HoldsLockAcrossIO.in_helper"
+        ]
+        assert len(helper) == 1
+
+    def test_ok_fixture_is_clean(self):
+        report = findings_for("blocking_ok.py")
+        assert report.findings == []
+
+
+class TestProtocolConformance:
+    def test_bad_fixture_flags_every_drift(self):
+        report = findings_for("protocol_bad.py")
+        by_symbol = {f.symbol: f.message for f in report.findings}
+        assert "RenamedParam.upload" in by_symbol
+        assert "'who'" in by_symbol["RenamedParam.upload"]
+        assert "LostDefault.upload" in by_symbol
+        assert "lost its default" in by_symbol["LostDefault.upload"]
+        assert "MissingMethod.download" in by_symbol
+        assert "missing method" in by_symbol["MissingMethod.download"]
+        assert "ExtraRequired.put" in by_symbol
+        assert "extra required parameter" in by_symbol["ExtraRequired.put"]
+        assert rules_of(report) == {"protocol-conformance"}
+
+    def test_lambda_factories_resolve_to_their_class(self):
+        report = findings_for("protocol_bad.py")
+        lambda_backed = [
+            f for f in report.findings if f.symbol == "ExtraRequired.put"
+        ]
+        assert lambda_backed, "lambda-registered store was not checked"
+
+    def test_ok_fixture_is_clean(self):
+        # Exercises: exact match, extra defaulted params, **kwargs
+        # catch-all, instance-attr name, inherited protocol method.
+        report = findings_for("protocol_ok.py")
+        assert report.findings == []
+
+
+class TestSuppressions:
+    def test_reasonless_suppression_suppresses_nothing(self):
+        report = findings_for("suppression_bad.py")
+        rules = [f.rule for f in report.findings]
+        assert "bad-suppression" in rules
+        # The underlying violation still surfaces.
+        assert "lock-discipline" in rules
+
+    def test_unknown_rule_is_reported(self):
+        report = findings_for("suppression_bad.py")
+        unknown = [
+            f
+            for f in report.findings
+            if f.rule == "bad-suppression" and "made-up-rule" in f.message
+        ]
+        assert len(unknown) == 1
+
+    def test_unused_suppression_is_surfaced(self):
+        report = findings_for("suppression_bad.py")
+        assert len(report.unused_suppressions) == 1
+
+    def test_justified_suppressions_cover_line_and_line_above(self):
+        report = findings_for("suppression_ok.py")
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+        assert all(s.reason for _, s in report.suppressed)
+        assert report.unused_suppressions == []
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_zero_unsuppressed_findings(self):
+        report = analyze([str(REPO_ROOT / "src" / "repro")])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.findings == [], f"relint findings:\n{rendered}"
+
+    def test_src_repro_has_no_stale_suppressions(self):
+        report = analyze([str(REPO_ROOT / "src" / "repro")])
+        assert report.unused_suppressions == []
+
+    def test_annotations_cover_the_lock_holding_classes(self):
+        """The declared-guard inventory: every class that creates a lock
+        in src/repro must also declare what the lock protects (an empty
+        ``_GUARDED_BY`` — the delegating ServingEngine — counts: it is
+        a statement, not an omission)."""
+        import ast
+
+        from tools.relint.engine import collect_files
+        from tools.relint.parsing import parse_module
+
+        def declares_guards(cls) -> bool:
+            if cls.guarded:
+                return True
+            for stmt in cls.node.body:
+                targets = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "_GUARDED_BY"
+                    ):
+                        return True
+            return False
+
+        undeclared = []
+        for path in collect_files([str(REPO_ROOT / "src" / "repro")]):
+            module = parse_module(path, str(path))
+            for cls in module.classes:
+                if cls.locks and not declares_guards(cls):
+                    undeclared.append(cls.name)
+        assert undeclared == []
+
+
+class TestCli:
+    def test_exit_codes(self, capsys):
+        assert relint_main([str(FIXTURES / "lock_discipline_ok.py")]) == 0
+        assert relint_main([str(FIXTURES / "lock_discipline_bad.py")]) == 1
+        capsys.readouterr()
+
+    def test_bad_path_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            relint_main([str(FIXTURES / "does_not_exist.txt")])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_json_report_shape(self, capsys):
+        code = relint_main(
+            ["--json", str(FIXTURES / "lock_discipline_bad.py")]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["files_analyzed"] == 1
+        assert payload["summary"]["lock-discipline"] == len(
+            payload["findings"]
+        )
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "file", "line", "rule", "symbol", "message"
+            }
+            assert finding["rule"] in RULE_NAMES
+            assert isinstance(finding["line"], int)
+
+    def test_rule_filter(self, capsys):
+        code = relint_main(
+            [
+                "--rule",
+                "lock-order",
+                str(FIXTURES / "lock_discipline_bad.py"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # all findings are lock-discipline: filtered out
+        assert "0 finding(s)" in out
+
+    def test_text_output_is_file_line_addressable(self, capsys):
+        relint_main([str(FIXTURES / "blocking_bad.py")])
+        out = capsys.readouterr().out
+        assert "blocking_bad.py:18" in out
+        assert "[blocking-under-lock]" in out

@@ -353,3 +353,55 @@ class TestPartitionedCache:
             live[key[0]] = live.get(key[0], 0) + 1
         for part, count in live.items():
             assert report[part]["entries"] == count
+
+
+class TestReprThreadSafety:
+    """Regression: repr used to read the partition table outside the
+    lock (flagged by relint's lock-discipline rule), racing dict
+    mutation from concurrent put/evict and able to observe a
+    mid-rebalance size.  It must snapshot under the lock."""
+
+    def test_repr_reports_consistent_counts(self):
+        cache = PartitionedLRUCache(8, partition=lambda key: key[0])
+        cache.put(("a", 1), 1)
+        cache.put(("b", 2), 2)
+        text = repr(cache)
+        assert "size=2" in text
+        assert "partitions=2" in text
+
+    def test_hammer_repr_during_mutation(self):
+        cache = PartitionedLRUCache(
+            16, partition=lambda key: key[0], quota_fraction=0.25
+        )
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def mutate(part: str) -> None:
+            try:
+                index = 0
+                while not stop.is_set():
+                    cache.put((part, index % 32), index)
+                    index += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def read_repr() -> None:
+            try:
+                for _ in range(400):
+                    repr(cache)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=mutate, args=(part,))
+            for part in ("a", "b", "c")
+        ]
+        readers = [threading.Thread(target=read_repr) for _ in range(3)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=60)
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=60)
+        assert not errors

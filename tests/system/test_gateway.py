@@ -301,3 +301,44 @@ class TestPixelCodec:
         decoded = pixels_from_response(response)
         assert decoded.shape == pixels.shape
         assert decoded.tobytes() == pixels.tobytes()
+
+
+class TestReprThreadSafety:
+    """Regression: repr used to read the keyring table outside the lock
+    (flagged by relint's lock-discipline rule).  It must report a count
+    snapshotted under the lock while registrations race."""
+
+    def test_repr_counts_users(self):
+        gateway = P3Gateway(FacebookPSP(), CloudStorage())
+        gateway.add_user("alice")
+        gateway.add_user("bob")
+        assert "users=2" in repr(gateway)
+
+    def test_hammer_repr_during_registration(self):
+        gateway = P3Gateway(FacebookPSP(), CloudStorage())
+        errors: list[Exception] = []
+
+        def register(prefix: str) -> None:
+            try:
+                for index in range(200):
+                    gateway.add_user(f"{prefix}-{index}")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def read_repr() -> None:
+            try:
+                for _ in range(400):
+                    repr(gateway)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=register, args=(prefix,))
+            for prefix in ("u", "v")
+        ] + [threading.Thread(target=read_repr) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(gateway.users) == 400

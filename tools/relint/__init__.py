@@ -1,0 +1,30 @@
+"""`relint`: AST-based concurrency & protocol lint for the serving stack.
+
+The serving tier (PRs 4-6) turned this reproduction into a genuinely
+concurrent system — threaded ingest, a shared engine, single-flight
+coalescing, partitioned caches — and each of those PRs also shipped a
+hand-found race fix.  relint makes that lock discipline machine-checked
+instead of review-checked, before the async front end multiplies the
+shared state again.
+
+Four rule families (see ``tools/relint/README.md``):
+
+* ``lock-discipline`` — attributes declared guarded (``_GUARDED_BY``
+  class map or ``# guarded-by: _lock`` comments) may only be touched
+  while the named lock is held;
+* ``lock-order`` — the cross-codebase nested-acquisition graph must be
+  acyclic (and a non-reentrant lock must never re-acquire itself);
+* ``blocking-under-lock`` — no executor dispatch, storage/PSP I/O,
+  ``time.sleep`` or reconstruction entry point while a lock is held;
+* ``protocol-conformance`` — every backend registered with the
+  ``BackendRegistry`` (or marked ``# relint: implements X``) must match
+  the ``PSPBackend``/``BlobStore`` Protocol signatures exactly.
+
+Pure stdlib (:mod:`ast` + :mod:`re`); run as ``python -m tools.relint
+src/repro`` from the repo root.
+"""
+
+from tools.relint.engine import Report, analyze
+from tools.relint.model import Finding, GuardSpec, Suppression
+
+__all__ = ["Finding", "GuardSpec", "Report", "Suppression", "analyze"]

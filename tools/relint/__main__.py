@@ -1,0 +1,7 @@
+"""``python -m tools.relint`` dispatch."""
+
+import sys
+
+from tools.relint.cli import main
+
+sys.exit(main())

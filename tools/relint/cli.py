@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m tools.relint src/repro``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from tools.relint.engine import RULE_NAMES, Report, analyze
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="relint",
+        description=(
+            "AST-based concurrency & protocol lint for the serving "
+            "stack: lock-discipline, lock-order, blocking-under-lock, "
+            "protocol-conformance."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="Python files or directories (searched recursively)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULE_NAMES),
+        help="only report this rule (repeatable); meta findings "
+        "(parse-error, bad-declaration, bad-suppression) always show",
+    )
+    return parser
+
+
+def _render_text(report: Report) -> str:
+    out: list[str] = []
+    for finding in report.findings:
+        out.append(finding.render())
+    for suppression in report.unused_suppressions:
+        out.append(
+            f"{suppression.path}:{suppression.line}: note: unused "
+            f"suppression for {', '.join(suppression.rules)} "
+            f"({suppression.reason})"
+        )
+    counts = f"{len(report.findings)} finding(s)"
+    if report.suppressed:
+        counts += f", {len(report.suppressed)} suppressed"
+    out.append(
+        f"relint: {len(report.files)} file(s) analyzed, {counts}"
+    )
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        report = analyze(options.paths)
+    except FileNotFoundError as error:
+        parser.error(str(error))  # exits 2
+    if options.rule:
+        wanted = set(options.rule)
+        report.findings = [
+            f
+            for f in report.findings
+            if f.rule in wanted or f.rule not in RULE_NAMES
+        ]
+    if options.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

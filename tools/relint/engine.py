@@ -1,0 +1,193 @@
+"""The relint driver: collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.relint import (
+    rule_blocking,
+    rule_lock_discipline,
+    rule_lock_order,
+    rule_protocol,
+)
+from tools.relint.model import Finding, Suppression
+from tools.relint.parsing import (
+    SUPPRESS_COMMENT,
+    Codebase,
+    ModuleInfo,
+    parse_module,
+)
+
+#: The rule registry, in reporting order.
+RULES = (
+    rule_lock_discipline,
+    rule_lock_order,
+    rule_blocking,
+    rule_protocol,
+)
+RULE_NAMES = tuple(rule.RULE for rule in RULES)
+
+#: Findings relint emits about its own inputs (not suppressible by
+#: design: a broken declaration must be fixed, not ignored).
+META_RULES = ("parse-error", "bad-declaration", "bad-suppression")
+
+
+@dataclass
+class Report:
+    """Everything one relint run produced."""
+
+    files: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(
+        default_factory=list
+    )
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> dict:
+        return {
+            "files_analyzed": len(self.files),
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [
+                {**f.to_json(), "suppression": s.to_json()}
+                for f, s in self.suppressed
+            ],
+            "unused_suppressions": [
+                s.to_json() for s in self.unused_suppressions
+            ],
+            "summary": {
+                rule: sum(1 for f in self.findings if f.rule == rule)
+                for rule in (*RULE_NAMES, *META_RULES)
+            },
+        }
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    """Expand file and directory arguments to a sorted list of .py files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {raw}")
+    return sorted(files)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _collect_suppressions(
+    module: ModuleInfo, findings: list[Finding]
+) -> list[Suppression]:
+    """Parse suppression comments; reasonless ones become findings."""
+    suppressions: list[Suppression] = []
+    for lineno, line in enumerate(module.lines, start=1):
+        match = SUPPRESS_COMMENT.search(line)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",")
+        )
+        reason = match.group(2)
+        unknown = [rule for rule in rules if rule not in RULE_NAMES]
+        if unknown:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=lineno,
+                    rule="bad-suppression",
+                    symbol="relint: ignore",
+                    message=(
+                        "unknown rule(s) "
+                        + ", ".join(repr(u) for u in unknown)
+                        + "; known: "
+                        + ", ".join(RULE_NAMES)
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=lineno,
+                    rule="bad-suppression",
+                    symbol="relint: ignore",
+                    message=(
+                        "suppression without a reason; write "
+                        "'# relint: ignore[rule] -- why this is safe'"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                path=module.path, line=lineno, rules=rules, reason=reason
+            )
+        )
+    return suppressions
+
+
+def analyze(paths: list[str]) -> Report:
+    report = Report()
+    modules: list[ModuleInfo] = []
+    suppressions: list[Suppression] = []
+    raw_findings: list[Finding] = []
+
+    for path in collect_files(paths):
+        display = _display_path(path)
+        report.files.append(display)
+        try:
+            module = parse_module(path, display)
+        except SyntaxError as error:
+            raw_findings.append(
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    rule="parse-error",
+                    symbol="<module>",
+                    message=f"cannot parse: {error.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+        for lineno, message in module.problems:
+            raw_findings.append(
+                Finding(
+                    path=display,
+                    line=lineno,
+                    rule="bad-declaration",
+                    symbol="<declaration>",
+                    message=message,
+                )
+            )
+        suppressions.extend(_collect_suppressions(module, raw_findings))
+
+    codebase = Codebase(modules)
+    for rule in RULES:
+        raw_findings.extend(rule.check(codebase))
+
+    for finding in sorted(set(raw_findings)):
+        covering = next(
+            (s for s in suppressions if s.covers(finding)), None
+        )
+        if covering is None:
+            report.findings.append(finding)
+        else:
+            covering.used = True
+            report.suppressed.append((finding, covering))
+    report.unused_suppressions = [
+        s for s in suppressions if not s.used
+    ]
+    return report

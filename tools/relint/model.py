@@ -1,0 +1,92 @@
+"""Shared value types for the relint analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, addressable by (file, line, rule)."""
+
+    path: str
+    line: int
+    rule: str
+    symbol: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] "
+            f"{self.symbol}: {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A ``# relint: ignore[rule] -- reason`` comment.
+
+    A suppression covers findings on its own line and on the line
+    directly below it (so it can sit above a statement as well as
+    trail it).  The reason is mandatory: a suppression without one is
+    itself reported (rule ``bad-suppression``) and suppresses nothing.
+    """
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.path != self.path:
+            return False
+        if finding.line not in (self.line, self.line + 1):
+            return False
+        return finding.rule in self.rules
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """How one attribute is guarded.
+
+    ``lock`` names the lock attribute on the same instance.  With
+    ``writes_only`` (declared as ``"_lock:writes"``) only mutations
+    must hold the lock: reads are allowed anywhere, the contract for
+    monotonic counters whose int values are replaced atomically and
+    read by dashboards/benchmarks without synchronization.
+    """
+
+    lock: str
+    writes_only: bool = False
+
+    @classmethod
+    def parse(cls, text: str) -> "GuardSpec":
+        name, sep, mode = text.partition(":")
+        if not sep:
+            return cls(name)
+        if mode != "writes":
+            raise ValueError(
+                f"bad guard spec {text!r}: the only mode is ':writes'"
+            )
+        return cls(name, writes_only=True)
+
+    def describe(self) -> str:
+        return f"{self.lock}:writes" if self.writes_only else self.lock

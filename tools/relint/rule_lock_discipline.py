@@ -1,0 +1,130 @@
+"""Rule ``lock-discipline``: guarded attributes need their lock held.
+
+An attribute declared guarded (``_GUARDED_BY`` map or inline
+``# guarded-by:`` comment) may only be accessed while the named lock is
+held — lexically inside a ``with self.<lock>`` block, or in a method
+whose ``def`` line carries the caller-holds marker.  The ``:writes``
+mode restricts the check to mutations (``self.x = ...``, ``+=``,
+``del``): reads of atomically-replaced scalars are the documented
+benign-race contract for stats counters.
+
+Two further checks ride along:
+
+* calling a caller-holds helper (``def _store(self): # guarded-by:
+  _lock``) without holding that lock is a violation — the helper's
+  body *assumes* the critical section;
+* ``__init__``/``__new__`` are exempt: the instance is not shared yet.
+
+Limitation (documented): mutating a guarded *container* through a
+``:writes`` attribute read (``self.counts[k] += 1``) only registers as
+a read — declare such attributes with the full (read+write) mode.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.relint.model import Finding
+from tools.relint.parsing import (
+    Codebase,
+    walk_lock_regions,
+)
+
+RULE = "lock-discipline"
+
+#: Methods where unguarded access is allowed: construction happens
+#: before the instance escapes to other threads.
+_EXEMPT_METHODS = {"__init__", "__new__", "__init_subclass__"}
+
+
+def _is_self_attr_access(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def check(codebase: Codebase) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in codebase.classes:
+        guards = codebase.merged_guards(cls)
+        if not guards:
+            continue
+        for method in cls.methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            symbol = f"{cls.name}.{method.name}"
+            nodes, _ = walk_lock_regions(codebase, cls, method)
+            for event in nodes:
+                attr = _is_self_attr_access(event.node)
+                if attr is not None and attr in guards:
+                    spec = guards[attr]
+                    is_write = isinstance(
+                        event.node.ctx, (ast.Store, ast.Del)
+                    )
+                    if spec.writes_only and not is_write:
+                        continue
+                    if spec.lock in event.held:
+                        continue
+                    action = "writes" if is_write else "reads"
+                    where = (
+                        " (deferred closure: the caller's lock is not "
+                        "held when this runs)"
+                        if event.in_closure
+                        else ""
+                    )
+                    findings.append(
+                        Finding(
+                            path=cls.path,
+                            line=event.node.lineno,
+                            rule=RULE,
+                            symbol=symbol,
+                            message=(
+                                f"{action} self.{attr} without holding "
+                                f"{spec.lock} (declared guarded-by: "
+                                f"{spec.describe()}){where}"
+                            ),
+                        )
+                    )
+                    continue
+                if isinstance(event.node, ast.Call):
+                    callee = _self_call_name(event.node)
+                    if callee is None:
+                        continue
+                    required = codebase.holds_lock(cls, callee)
+                    if required is None or required in event.held:
+                        continue
+                    findings.append(
+                        Finding(
+                            path=cls.path,
+                            line=event.node.lineno,
+                            rule=RULE,
+                            symbol=symbol,
+                            message=(
+                                f"calls self.{callee}() without holding "
+                                f"{required}; that helper's def line "
+                                f"declares callers hold {required}"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _self_call_name(call: ast.Call) -> str | None:
+    """``self.m(...)`` or ``super().m(...)`` → ``m``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id == "self":
+        return func.attr
+    if (
+        isinstance(receiver, ast.Call)
+        and isinstance(receiver.func, ast.Name)
+        and receiver.func.id == "super"
+    ):
+        return func.attr
+    return None

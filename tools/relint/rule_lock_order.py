@@ -1,0 +1,304 @@
+"""Rule ``lock-order``: the nested-acquisition graph must be acyclic.
+
+Deadlock needs two ingredients: holding one lock while acquiring
+another, and two threads doing it in opposite orders.  This rule
+builds the codebase-wide "acquired-while-holding" graph and fails on
+any cycle — including the degenerate one, a non-reentrant ``Lock``
+re-acquired while already held (instant self-deadlock, no second
+thread required).
+
+Lock identity is ``(owning class, attribute)``, where the owner is the
+class whose ``__init__`` creates the lock — so a subclass acquiring an
+inherited lock and its base acquiring the same lock are one node.
+
+Edges come from three shapes, all walked with the caller-holds marker
+honored:
+
+* a literal nested ``with self._a: with self._b:``;
+* a call made while holding a lock, where the (transitively resolved)
+  callee acquires another lock — resolution covers ``self.m()``,
+  ``super().m()``, ``self.attr.m()`` with an inferable attribute type,
+  and ``self.prop`` property loads;
+* the transitive closure of the above through the parsed call graph.
+
+Unresolvable calls (locals, module functions, dynamic dispatch) add no
+edges — the rule under-approximates rather than false-positives; the
+blocking-under-lock rule exists to keep long/unknown work out of
+critical sections in the first place.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.relint.model import Finding
+from tools.relint.parsing import (
+    Codebase,
+    resolve_call_target,
+    walk_lock_regions,
+)
+
+RULE = "lock-order"
+
+
+@dataclass(frozen=True)
+class LockNode:
+    owner: str  # owning class name
+    attr: str
+    kind: str  # "Lock" | "RLock"
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+@dataclass
+class _Edge:
+    src: LockNode
+    dst: LockNode
+    path: str
+    lineno: int
+    via: str  # human-readable witness
+
+
+@dataclass
+class _MethodFacts:
+    """Per defining-method: direct lock acquisitions and resolved calls."""
+
+    qualname: str
+    acquires: set[LockNode] = field(default_factory=set)
+    callees: list[str] = field(default_factory=list)  # qualnames
+
+
+def _lock_node(codebase: Codebase, cls, attr: str) -> LockNode | None:
+    owner = codebase.lock_owner(cls, attr)
+    if owner is None:
+        return None
+    kind = codebase.merged_locks(cls).get(attr, "Lock")
+    return LockNode(owner=owner.name, attr=attr, kind=kind)
+
+
+def _method_calls(codebase: Codebase, cls, method) -> list[str]:
+    """Qualnames of resolvable callees anywhere in the method."""
+    callees: list[str] = []
+    properties = codebase.merged_properties(cls)
+    for node in ast.walk(method.node):
+        if isinstance(node, ast.Call):
+            target = resolve_call_target(codebase, cls, node)
+            if target is not None:
+                owner, info = target
+                callees.append(f"{owner.name}.{info.name}")
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in properties
+        ):
+            found = codebase.find_method(cls, node.attr)
+            if found is not None:
+                owner, info = found
+                callees.append(f"{owner.name}.{info.name}")
+    return callees
+
+
+def check(codebase: Codebase) -> list[Finding]:
+    # Pass 1: per defining-method facts.
+    facts: dict[str, _MethodFacts] = {}
+    for cls in codebase.classes:
+        for method in cls.methods:
+            qualname = f"{cls.name}.{method.name}"
+            entry = _MethodFacts(qualname)
+            _, acquires = walk_lock_regions(codebase, cls, method)
+            for event in acquires:
+                node = _lock_node(codebase, cls, event.lock_attr)
+                if node is not None:
+                    entry.acquires.add(node)
+            entry.callees = _method_calls(codebase, cls, method)
+            facts[qualname] = entry
+
+    # Pass 2: transitive acquisitions per method (fixpoint).
+    star: dict[str, set[LockNode]] = {
+        name: set(entry.acquires) for name, entry in facts.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, entry in facts.items():
+            before = len(star[name])
+            for callee in entry.callees:
+                star[name] |= star.get(callee, set())
+            if len(star[name]) != before:
+                changed = True
+
+    # Pass 3: edges = (held lock) -> (lock acquired under it).
+    findings: list[Finding] = []
+    edges: dict[tuple[LockNode, LockNode], _Edge] = {}
+    reported_self: set[tuple[str, int]] = set()
+
+    def add_edge(src: LockNode, dst: LockNode, path, lineno, via) -> None:
+        if src == dst:
+            if src.kind == "RLock":
+                return  # reentrant by design
+            key = (path, lineno)
+            if key not in reported_self:
+                reported_self.add(key)
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        rule=RULE,
+                        symbol=str(src),
+                        message=(
+                            f"re-acquires non-reentrant lock {src} while "
+                            f"already holding it ({via}): guaranteed "
+                            "self-deadlock"
+                        ),
+                    )
+                )
+            return
+        edges.setdefault((src, dst), _Edge(src, dst, path, lineno, via))
+
+    for cls in codebase.classes:
+        for method in cls.methods:
+            nodes, acquires = walk_lock_regions(codebase, cls, method)
+            for event in acquires:
+                if not event.held_before:
+                    continue
+                dst = _lock_node(codebase, cls, event.lock_attr)
+                if dst is None:
+                    continue
+                for held_attr in event.held_before:
+                    src = _lock_node(codebase, cls, held_attr)
+                    if src is not None:
+                        add_edge(
+                            src,
+                            dst,
+                            cls.path,
+                            event.lineno,
+                            f"nested with in {cls.name}.{method.name}",
+                        )
+            properties = codebase.merged_properties(cls)
+            for event in nodes:
+                if not event.held or event.in_closure:
+                    continue
+                callee_qual: str | None = None
+                lineno = getattr(event.node, "lineno", method.lineno)
+                if isinstance(event.node, ast.Call):
+                    target = resolve_call_target(codebase, cls, event.node)
+                    if target is not None:
+                        callee_qual = f"{target[0].name}.{target[1].name}"
+                elif (
+                    isinstance(event.node, ast.Attribute)
+                    and isinstance(event.node.ctx, ast.Load)
+                    and isinstance(event.node.value, ast.Name)
+                    and event.node.value.id == "self"
+                    and event.node.attr in properties
+                ):
+                    found = codebase.find_method(cls, event.node.attr)
+                    if found is not None:
+                        callee_qual = f"{found[0].name}.{found[1].name}"
+                if callee_qual is None:
+                    continue
+                for dst in star.get(callee_qual, set()):
+                    for held_attr in event.held:
+                        src = _lock_node(codebase, cls, held_attr)
+                        if src is not None:
+                            add_edge(
+                                src,
+                                dst,
+                                cls.path,
+                                lineno,
+                                f"{cls.name}.{method.name} calls "
+                                f"{callee_qual} under {src}",
+                            )
+
+    findings.extend(_cycle_findings(edges))
+    return findings
+
+
+def _cycle_findings(edges: dict[tuple[LockNode, LockNode], _Edge]):
+    """Tarjan SCCs over the lock graph; each SCC > 1 node is a cycle."""
+    graph: dict[LockNode, list[LockNode]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+
+    index: dict[LockNode, int] = {}
+    low: dict[LockNode, int] = {}
+    on_stack: set[LockNode] = set()
+    stack: list[LockNode] = []
+    sccs: list[list[LockNode]] = []
+    counter = [0]
+
+    def strongconnect(node: LockNode) -> None:
+        # Iterative Tarjan: (node, child-iterator) frames.
+        work = [(node, iter(graph[node]))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[current] = min(low[current], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: list[LockNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    sccs.append(component)
+
+    for node in sorted(graph, key=str):
+        if node not in index:
+            strongconnect(node)
+
+    findings = []
+    for component in sccs:
+        members = set(component)
+        witnesses = sorted(
+            (
+                edge
+                for (src, dst), edge in edges.items()
+                if src in members and dst in members
+            ),
+            key=lambda e: (e.path, e.lineno),
+        )
+        cycle_names = " <-> ".join(sorted(str(n) for n in members))
+        detail = "; ".join(
+            f"{e.src}->{e.dst} ({e.via}, {e.path}:{e.lineno})"
+            for e in witnesses
+        )
+        anchor = witnesses[0]
+        findings.append(
+            Finding(
+                path=anchor.path,
+                line=anchor.lineno,
+                rule=RULE,
+                symbol=cycle_names,
+                message=(
+                    f"lock-order cycle (deadlock potential): {detail}"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,267 @@
+"""Rule ``protocol-conformance``: registered backends must match the
+Protocols they claim.
+
+``BackendRegistry`` verifies backends with ``isinstance`` against
+runtime-checkable Protocols — but runtime Protocol checks only see
+*method existence*, not signatures, so a backend whose ``download``
+dropped a default or renamed a parameter passes registration and
+explodes on the first keyword call, possibly days later in a serving
+path.  This rule closes that gap statically:
+
+* every class passed to ``register_psp(...)`` is checked against the
+  ``PSPBackend`` Protocol, every ``register_storage(...)`` class
+  against ``BlobStore`` (lambda factories are unwrapped to the class
+  they construct; non-class factories are skipped);
+* any class carrying a ``# relint: implements <Protocol>`` marker is
+  checked against that Protocol — how the composites (``FanoutPSP``,
+  ``ReplicatedBlobStore``) opt in without being registered.
+
+Checked per protocol method, against the implementation resolved
+through the parsed base-class chain: the method exists; positional
+parameter names match in order; no protocol parameter loses its
+default; extra implementation parameters carry defaults (so protocol-
+shaped calls still work); protocol keyword-only parameters are
+accepted.  ``*args, **kwargs`` catch-alls relax the corresponding
+checks.  Protocol class attributes (``name: str``) must exist as a
+class attribute, instance attribute, or property.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from tools.relint.model import Finding
+from tools.relint.parsing import ClassInfo, Codebase, MethodInfo
+
+RULE = "protocol-conformance"
+
+#: Which protocol a registration kind promises.
+PROTOCOL_FOR_KIND = {"psp": "PSPBackend", "storage": "BlobStore"}
+
+
+@dataclass
+class _Signature:
+    """A function signature, positional defaults aligned from the tail."""
+
+    positional: list[str]  # posonly + normal, self removed
+    defaults: set[str]  # params that have a default
+    kwonly: list[str]
+    has_vararg: bool
+    has_kwarg: bool
+
+    @classmethod
+    def of(cls, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> "_Signature":
+        args = fn.args
+        positional = [a.arg for a in [*args.posonlyargs, *args.args]]
+        if positional and positional[0] in ("self", "cls"):
+            positional = positional[1:]
+        defaults: set[str] = set()
+        for name, default in zip(
+            reversed(positional), reversed(args.defaults)
+        ):
+            if default is not None:
+                defaults.add(name)
+        kwonly = [a.arg for a in args.kwonlyargs]
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                defaults.add(arg.arg)
+        return cls(
+            positional=positional,
+            defaults=defaults,
+            kwonly=kwonly,
+            has_vararg=args.vararg is not None,
+            has_kwarg=args.kwarg is not None,
+        )
+
+
+def _conformance(
+    codebase: Codebase,
+    backend: ClassInfo,
+    protocol: ClassInfo,
+    via: str,
+) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def finding(line: int, symbol: str, message: str) -> None:
+        findings.append(
+            Finding(
+                path=backend.path,
+                line=line,
+                rule=RULE,
+                symbol=symbol,
+                message=f"{message} [{via}]",
+            )
+        )
+
+    for proto_method in protocol.methods:
+        if proto_method.name.startswith("_"):
+            continue
+        resolved = codebase.find_method(backend, proto_method.name)
+        if resolved is None:
+            finding(
+                backend.lineno,
+                f"{backend.name}.{proto_method.name}",
+                f"missing method {proto_method.name}() required by "
+                f"protocol {protocol.name}",
+            )
+            continue
+        impl_cls, impl = resolved
+        findings.extend(
+            _compare_signatures(
+                backend, protocol, proto_method, impl_cls, impl, via
+            )
+        )
+
+    mro = codebase.mro(backend)
+    for attr, _lineno in protocol.proto_attrs.items():
+        satisfied = any(
+            attr in ancestor.class_attrs
+            or attr in ancestor.self_attrs
+            or attr in ancestor.properties
+            for ancestor in mro
+        )
+        if not satisfied:
+            finding(
+                backend.lineno,
+                f"{backend.name}.{attr}",
+                f"missing attribute {attr!r} required by protocol "
+                f"{protocol.name}",
+            )
+    return findings
+
+
+def _compare_signatures(
+    backend: ClassInfo,
+    protocol: ClassInfo,
+    proto_method: MethodInfo,
+    impl_cls: ClassInfo,
+    impl: MethodInfo,
+    via: str,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    symbol = f"{backend.name}.{proto_method.name}"
+    if impl_cls.name != backend.name:
+        symbol += f" (inherited from {impl_cls.name})"
+
+    def finding(message: str) -> None:
+        findings.append(
+            Finding(
+                path=impl_cls.path,
+                line=impl.lineno,
+                rule=RULE,
+                symbol=symbol,
+                message=f"{message} [{via}]",
+            )
+        )
+
+    proto = _Signature.of(proto_method.node)
+    actual = _Signature.of(impl.node)
+    if actual.has_vararg and actual.has_kwarg:
+        return findings  # accepts anything the protocol can send
+
+    for position, name in enumerate(proto.positional):
+        if position < len(actual.positional):
+            impl_name = actual.positional[position]
+            if impl_name != name:
+                finding(
+                    f"parameter {position + 1} is {impl_name!r} where "
+                    f"protocol {protocol.name}.{proto_method.name} "
+                    f"declares {name!r}"
+                )
+                continue
+        elif name in actual.kwonly:
+            impl_name = name
+        elif actual.has_vararg or actual.has_kwarg:
+            continue  # swallowed by a catch-all
+        else:
+            finding(
+                f"does not accept parameter {name!r} declared by "
+                f"protocol {protocol.name}.{proto_method.name}"
+            )
+            continue
+        if name in proto.defaults and impl_name not in actual.defaults:
+            finding(
+                f"parameter {name!r} lost its default (protocol "
+                f"{protocol.name}.{proto_method.name} declares one): "
+                "protocol-shaped calls that omit it now raise TypeError"
+            )
+
+    for name in proto.kwonly:
+        if name in actual.kwonly or name in actual.positional:
+            if name in proto.defaults and name not in actual.defaults:
+                finding(
+                    f"keyword-only parameter {name!r} lost its default "
+                    f"(protocol {protocol.name}.{proto_method.name} "
+                    "declares one)"
+                )
+        elif not actual.has_kwarg:
+            finding(
+                f"does not accept keyword parameter {name!r} declared "
+                f"by protocol {protocol.name}.{proto_method.name}"
+            )
+
+    extra = actual.positional[len(proto.positional):]
+    for name in extra:
+        if name not in actual.defaults:
+            finding(
+                f"extra required parameter {name!r} beyond protocol "
+                f"{protocol.name}.{proto_method.name}: protocol-shaped "
+                "calls cannot supply it"
+            )
+    for name in actual.kwonly:
+        if name not in proto.kwonly and name not in actual.defaults:
+            finding(
+                f"extra required keyword-only parameter {name!r} beyond "
+                f"protocol {protocol.name}.{proto_method.name}"
+            )
+    return findings
+
+
+def check(codebase: Codebase) -> list[Finding]:
+    protocols = {
+        cls.name: cls for cls in codebase.classes if cls.is_protocol
+    }
+    findings: list[Finding] = []
+    checked: set[tuple[str, str]] = set()
+
+    targets: list[tuple[ClassInfo, ClassInfo, str]] = []
+    for module in codebase.modules:
+        for registration in module.registrations:
+            protocol = protocols.get(
+                PROTOCOL_FOR_KIND[registration.kind]
+            )
+            backend = codebase.resolve(registration.class_name)
+            if protocol is None or backend is None:
+                continue  # unresolvable factory or protocol not in scope
+            label = registration.backend_name or backend.name
+            targets.append(
+                (backend, protocol, f"registered as {label!r}")
+            )
+    for cls in codebase.classes:
+        for proto_name in cls.implements:
+            protocol = protocols.get(proto_name)
+            if protocol is None:
+                findings.append(
+                    Finding(
+                        path=cls.path,
+                        line=cls.lineno,
+                        rule=RULE,
+                        symbol=cls.name,
+                        message=(
+                            f"marker 'relint: implements {proto_name}' "
+                            "names a Protocol the analyzed files do not "
+                            "define"
+                        ),
+                    )
+                )
+                continue
+            targets.append((cls, protocol, f"marked implements {proto_name}"))
+
+    for backend, protocol, via in targets:
+        key = (backend.name, protocol.name)
+        if key in checked:
+            continue
+        checked.add(key)
+        findings.extend(_conformance(codebase, backend, protocol, via))
+    return findings
