@@ -1,16 +1,24 @@
-"""Codec throughput trajectory: fast engine vs scalar reference.
+"""Codec throughput trajectory: seed (scalar) -> numpy -> native.
 
 Times encode and decode (coefficient-level, the P3 hot path) for
-baseline and progressive streams at several image sizes, and writes
-``BENCH_codec_throughput.json`` with images/sec plus the fast-vs-scalar
-decode speedup.  The scalar reference is only timed up to
-``--reference-max-size`` (default 512 — the per-bit decoder needs ~10s
-per 512px image, minutes at 1024).
+baseline and progressive streams at several image sizes, once per
+available engine, and writes ``BENCH_codec_throughput.json`` with the
+full engine trajectory: per-engine seconds/images-per-sec plus the
+speedup of each engine over the previous tier (numpy vs scalar,
+native vs numpy) and over the scalar seed.  The scalar reference is
+only timed up to ``--reference-max-size`` (default 512 — the per-bit
+decoder needs ~10s per 512px image, minutes at 1024).
+
+Cross-engine identity is enforced, not assumed: every engine's encode
+must be byte-identical and every engine's decode coefficient-identical
+to the scalar seed's, and the benchmark **hard-fails** (exit 1) on any
+mismatch — a perf number for a stream that diverges from the oracle
+would be worthless.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_codec_throughput.py
-    PYTHONPATH=src python benchmarks/bench_codec_throughput.py --sizes 256
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py --smoke
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import sys
 import time
 
 import numpy as np
@@ -25,6 +34,7 @@ import numpy as np
 from repro.jpeg.codec import gray_to_coefficients
 from repro.jpeg.decoder import decode_to_coefficients
 from repro.jpeg.encoder import encode_baseline, encode_progressive
+from repro.jpeg.engines import engine_info, native_available
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -47,57 +57,124 @@ def _time_call(function, repeats: int) -> float:
     return best
 
 
+def _coefficient_bytes(image) -> tuple[bytes, ...]:
+    return tuple(
+        component.coefficients.tobytes() for component in image.components
+    )
+
+
 def run(
     sizes: list[int],
     quality: int,
     repeats: int,
     reference_max_size: int,
 ) -> dict:
+    engines = ["numpy"] + (["native"] if native_available() else [])
+    mismatches = 0
     trajectory = []
     for size in sizes:
         image = gray_to_coefficients(_test_image(size), quality=quality)
+        time_scalar = size <= reference_max_size
         for mode, encode in (
-            ("baseline", lambda im: encode_baseline(im, fast=True)),
-            ("progressive", lambda im: encode_progressive(im, fast=True)),
+            ("baseline", encode_baseline),
+            ("progressive", encode_progressive),
         ):
-            data = encode(image)
+            # The scalar seed's stream is the identity oracle even at
+            # sizes where it is too slow to *time* repeatedly.
+            oracle = encode(image, engine="scalar")
+            oracle_coefficients = _coefficient_bytes(
+                decode_to_coefficients(oracle, engine="scalar")
+            )
             entry = {
                 "size": size,
                 "mode": mode,
                 "quality": quality,
-                "stream_bytes": len(data),
+                "stream_bytes": len(oracle),
                 "nonzero_coefficients": image.total_nonzero(),
+                "engines": {},
             }
-            entry["encode_fast_s"] = _time_call(
-                lambda: encode(image), repeats
-            )
-            entry["decode_fast_s"] = _time_call(
-                lambda: decode_to_coefficients(data, fast=True), repeats
-            )
-            entry["encode_images_per_s"] = 1.0 / entry["encode_fast_s"]
-            entry["decode_images_per_s"] = 1.0 / entry["decode_fast_s"]
-            if size <= reference_max_size:
-                entry["decode_scalar_s"] = _time_call(
-                    lambda: decode_to_coefficients(data, fast=False), 1
+            if time_scalar:
+                entry["engines"]["scalar"] = {
+                    "encode_s": _time_call(
+                        lambda: encode(image, engine="scalar"), 1
+                    ),
+                    "decode_s": _time_call(
+                        lambda: decode_to_coefficients(
+                            oracle, engine="scalar"
+                        ),
+                        1,
+                    ),
+                }
+            for engine in engines:
+                data = encode(image, engine=engine)
+                if data != oracle:
+                    mismatches += 1
+                    print(
+                        f"ENCODE MISMATCH {engine} vs scalar: "
+                        f"{size}px {mode}",
+                        file=sys.stderr,
+                    )
+                decoded = _coefficient_bytes(
+                    decode_to_coefficients(data, engine=engine)
                 )
-                entry["decode_speedup"] = (
-                    entry["decode_scalar_s"] / entry["decode_fast_s"]
+                if decoded != oracle_coefficients:
+                    mismatches += 1
+                    print(
+                        f"DECODE MISMATCH {engine} vs scalar: "
+                        f"{size}px {mode}",
+                        file=sys.stderr,
+                    )
+                entry["engines"][engine] = {
+                    "encode_s": _time_call(
+                        lambda: encode(image, engine=engine), repeats
+                    ),
+                    "decode_s": _time_call(
+                        lambda: decode_to_coefficients(data, engine=engine),
+                        repeats,
+                    ),
+                }
+            # seed -> numpy -> native: each tier's decode speedup over
+            # the previous one, plus total speedup over the seed.
+            tiers = [
+                name
+                for name in ("scalar", "numpy", "native")
+                if name in entry["engines"]
+            ]
+            for previous, current in zip(tiers, tiers[1:]):
+                entry["engines"][current]["decode_speedup_vs_" + previous] = (
+                    entry["engines"][previous]["decode_s"]
+                    / entry["engines"][current]["decode_s"]
+                )
+            if time_scalar and tiers[-1] != "scalar":
+                entry["engines"][tiers[-1]]["decode_speedup_vs_seed"] = (
+                    entry["engines"]["scalar"]["decode_s"]
+                    / entry["engines"][tiers[-1]]["decode_s"]
                 )
             trajectory.append(entry)
-            speedup = entry.get("decode_speedup")
-            print(
-                f"{size:5d}px {mode:11s} "
-                f"encode {entry['encode_images_per_s']:8.1f} img/s  "
-                f"decode {entry['decode_images_per_s']:8.1f} img/s"
-                + (f"  ({speedup:.0f}x vs scalar)" if speedup else "")
-            )
+            for engine in tiers:
+                timings = entry["engines"][engine]
+                extras = [
+                    f"{value:6.1f}x vs {key.rsplit('_', 1)[-1]}"
+                    for key, value in timings.items()
+                    if key.startswith("decode_speedup_vs_")
+                ]
+                print(
+                    f"{size:5d}px {mode:11s} {engine:7s} "
+                    f"encode {1.0 / timings['encode_s']:8.1f} img/s  "
+                    f"decode {1.0 / timings['decode_s']:8.1f} img/s"
+                    + (f"  ({', '.join(extras)})" if extras else "")
+                )
     return {
         "benchmark": "codec_throughput",
         "description": (
-            "JPEG entropy codec throughput, vectorized engine; "
-            "decode_speedup compares against the scalar T.81 reference"
+            "JPEG entropy codec throughput trajectory, seed (scalar "
+            "T.81 reference) -> numpy -> native C kernel; every "
+            "engine's streams verified byte/coefficient-identical to "
+            "the seed"
         ),
         "quality": quality,
+        "engine_info": engine_info(),
+        "mismatches": mismatches,
         "trajectory": trajectory,
     }
 
@@ -115,7 +192,15 @@ def main() -> None:
         default=512,
         help="largest size at which the slow scalar decoder is timed",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small/fast configuration for CI (one 256px size, one "
+        "repeat; identity checks still run)",
+    )
     args = parser.parse_args()
+    if args.smoke:
+        args.sizes, args.repeats = [256], 1
     result = run(
         args.sizes, args.quality, args.repeats, args.reference_max_size
     )
@@ -123,6 +208,11 @@ def main() -> None:
     path = OUTPUT_DIR / "BENCH_codec_throughput.json"
     path.write_text(json.dumps(result, indent=2))
     print(f"wrote {path}")
+    if result["mismatches"]:
+        raise SystemExit(
+            f"{result['mismatches']} cross-engine mismatch(es) — "
+            "timings are meaningless for divergent streams"
+        )
 
 
 if __name__ == "__main__":

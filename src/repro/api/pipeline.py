@@ -77,6 +77,7 @@ class DecryptTask:
     transform_estimate: "TransformEstimate | None" = None
     fast: bool = True
     fast_crypto: bool = True
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.secret_envelope is not None and self.key is None:
@@ -87,10 +88,15 @@ def run_decrypt_task(task: DecryptTask) -> np.ndarray:
     """Reconstruct one served photo (safe to run in any process)."""
     if task.secret_envelope is None:
         return coefficients_to_pixels(
-            decode_coefficients(task.public_jpeg, fast=task.fast)
+            decode_coefficients(
+                task.public_jpeg, fast=task.fast, engine=task.engine
+            )
         )
     secret_part = P3Decryptor(
-        task.key, fast=task.fast, fast_crypto=task.fast_crypto
+        task.key,
+        fast=task.fast,
+        fast_crypto=task.fast_crypto,
+        engine=task.engine,
     ).open_secret(task.secret_envelope)
     return reconstruct_served(
         task.public_jpeg,
@@ -99,4 +105,5 @@ def run_decrypt_task(task: DecryptTask) -> np.ndarray:
         crop_box=task.crop_box,
         transform_estimate=task.transform_estimate,
         fast=task.fast,
+        engine=task.engine,
     )

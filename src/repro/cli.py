@@ -16,9 +16,12 @@ Inputs may be JPEG (decoded by the built-in codec) or netpbm (P5/P6).
 Reconstructed outputs are written as netpbm, which anything can read.
 The batch commands fan the per-photo work out over the
 :mod:`repro.api` executors (``--executor process`` by default) and
-keep going past per-file failures.  ``--scalar-codec`` runs the scalar
-reference entropy codec instead of the vectorized engine — the outputs
-are byte-identical, so diffing the two isolates codec bugs.
+keep going past per-file failures.  ``--codec-engine`` picks the
+entropy engine — ``native`` (the cffi-compiled C kernel, the default),
+``numpy`` (the vectorized engine) or ``scalar`` (the T.81 reference) —
+all byte-identical, so diffing any two isolates codec bugs; the
+``engines`` subcommand reports which kernel actually loaded.
+``--scalar-codec`` is a deprecated alias for ``--codec-engine scalar``.
 ``--scalar-crypto`` is the matching switch for the AES engine that
 seals/opens the secret part, and ``--verbose`` on encrypt/decrypt
 prints per-stage wall-clock times (codec vs crypto vs split) so you
@@ -69,15 +72,35 @@ def _load_pixels(path: pathlib.Path):
         )
 
 
-def _load_jpeg(path: pathlib.Path, quality: int, fast: bool = True) -> bytes:
+def _load_jpeg(
+    path: pathlib.Path, quality: int, engine: str | None = None
+) -> bytes:
     """Read a file as JPEG bytes, transcoding netpbm inputs."""
     data = path.read_bytes()
     if data[:2] == b"\xff\xd8":
         return data
     pixels = _load_pixels(path)
     if pixels.ndim == 2:
-        return encode_gray(pixels.astype(float), quality=quality, fast=fast)
-    return encode_rgb(pixels, quality=quality, fast=fast)
+        return encode_gray(pixels.astype(float), quality=quality, engine=engine)
+    return encode_rgb(pixels, quality=quality, engine=engine)
+
+
+def _codec_engine_from(args) -> str:
+    """The entropy engine the command should use.
+
+    ``--scalar-codec`` is the pre-engine spelling of
+    ``--codec-engine scalar``; it keeps working (differential-debugging
+    scripts depend on it) but warns, and loses to an explicit
+    ``--codec-engine`` only when both name the same thing anyway.
+    """
+    if getattr(args, "scalar_codec", False):
+        print(
+            "warning: --scalar-codec is deprecated; "
+            "use --codec-engine scalar",
+            file=sys.stderr,
+        )
+        return "scalar"
+    return args.codec_engine
 
 
 def _config_from(args) -> P3Config:
@@ -85,7 +108,7 @@ def _config_from(args) -> P3Config:
     return P3Config(
         threshold=args.threshold,
         quality=args.quality,
-        fast_codec=not args.scalar_codec,
+        codec_engine=_codec_engine_from(args),
         fast_crypto=not args.scalar_crypto,
     )
 
@@ -122,7 +145,9 @@ def _cmd_encrypt(args) -> int:
     key = pathlib.Path(args.key).read_bytes()
     config = _config_from(args)
     jpeg = _load_jpeg(
-        pathlib.Path(args.input), args.quality, fast=config.fast_codec
+        pathlib.Path(args.input),
+        args.quality,
+        engine=config.effective_codec_engine,
     )
     encryptor = P3Encryptor(key, config)
     clock = _StageClock()
@@ -151,10 +176,12 @@ def _cmd_decrypt(args) -> int:
     key = pathlib.Path(args.key).read_bytes()
     public = pathlib.Path(args.public).read_bytes()
     secret = pathlib.Path(args.secret).read_bytes()
+    engine = _codec_engine_from(args)
     decryptor = P3Decryptor(
         key,
-        fast=not args.scalar_codec,
+        fast=engine != "scalar",
         fast_crypto=not args.scalar_crypto,
+        engine=engine,
     )
     clock = _StageClock()
     secret_part = decryptor.open_secret(secret)
@@ -286,14 +313,17 @@ def _cmd_batch_decrypt(args) -> int:
     output_dir = pathlib.Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
 
+    engine = _codec_engine_from(args)
+
     def build_task(path: pathlib.Path) -> DecryptTask:
         secret_path = path.with_name(f"{_batch_stem(path)}{SECRET_SUFFIX}")
         return DecryptTask(
             key=key,
             public_jpeg=path.read_bytes(),
             secret_envelope=secret_path.read_bytes(),
-            fast=not args.scalar_codec,
+            fast=engine != "scalar",
             fast_crypto=not args.scalar_crypto,
+            engine=engine,
         )
 
     def write_result(stem, pixels, report) -> str:
@@ -344,7 +374,13 @@ def _cmd_publish(args) -> int:
     loadable = []
     for path in paths:
         try:
-            corpus.append(_load_jpeg(path, args.quality, config.fast_codec))
+            corpus.append(
+                _load_jpeg(
+                    path,
+                    args.quality,
+                    engine=config.effective_codec_engine,
+                )
+            )
         except (OSError, SystemExit) as error:
             print(f"FAILED {path}: {error}", file=sys.stderr)
             continue
@@ -433,6 +469,7 @@ def _cmd_serve_bench(args) -> int:
 
     config = P3Config(
         quality=args.quality,
+        codec_engine=args.codec_engine,
         variant_cache=args.variant_cache,
         variant_ttl_s=args.variant_ttl,
         serve_executor=args.serve_executor,
@@ -566,6 +603,36 @@ def _cmd_serve_bench(args) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_engines(args) -> int:
+    """Report which entropy codec engines this deployment can run.
+
+    The key operational question is whether the native kernel actually
+    compiled and loaded or whether ``native`` silently degrades to
+    numpy — and if it degraded, why (no compiler, ``REPRO_NATIVE=0``,
+    build failure).  ``--json`` emits the raw mapping for scripts.
+    """
+    import json
+
+    from repro.jpeg.engines import engine_info
+
+    info = engine_info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    native = info["native"]
+    print(f"engines    {', '.join(info['engines'])}")
+    print(f"default    {info['default']}")
+    print(f"native     {'loaded' if native['available'] else 'unavailable'}")
+    if native.get("disabled_by_env"):
+        print("           disabled by REPRO_NATIVE=0")
+    if native.get("build_error"):
+        print(f"           build error: {native['build_error']}")
+    if native.get("artifact"):
+        print(f"artifact   {native['artifact']}")
+    print(f"digest     {native['source_digest']}")
+    return 0
+
+
 def _cmd_inspect(args) -> int:
     data = pathlib.Path(args.input).read_bytes()
     info = image_info(data)
@@ -586,12 +653,24 @@ def _add_codec_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quality", type=int, default=_DEFAULTS.quality)
 
 
+def _add_codec_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--codec-engine",
+        choices=("scalar", "numpy", "native"),
+        default=_DEFAULTS.codec_engine,
+        help="entropy codec engine: 'native' (C kernel, default; falls "
+        "back to numpy if no compiler), 'numpy' (vectorized), or "
+        "'scalar' (T.81 reference, ~50x slower; for differential "
+        "debugging) — all byte-identical",
+    )
+
+
 def _add_scalar_codec_flag(parser: argparse.ArgumentParser) -> None:
+    _add_codec_engine_option(parser)
     parser.add_argument(
         "--scalar-codec",
         action="store_true",
-        help="use the scalar reference entropy codec (byte-identical "
-        "output, ~50x slower; for differential debugging)",
+        help="deprecated alias for --codec-engine scalar",
     )
     parser.add_argument(
         "--scalar-crypto",
@@ -778,6 +857,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where cold reconstructions run: inline ('serial') or on "
         "a persistent worker pool shared by concurrent requests",
     )
+    _add_codec_engine_option(serve_bench)
     serve_bench.add_argument(
         "--serve-workers",
         type=int,
@@ -785,6 +865,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool width for --serve-executor (0 = one per CPU)",
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
+
+    engines = commands.add_parser(
+        "engines",
+        help="report codec engine availability (did the native kernel "
+        "load, or did it fall back to numpy — and why)",
+    )
+    engines.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw engine_info() mapping as JSON",
+    )
+    engines.set_defaults(handler=_cmd_engines)
 
     inspect = commands.add_parser(
         "inspect", help="show JPEG header facts"

@@ -31,16 +31,24 @@ class P3Decryptor:
 
     ``fast`` selects the vectorized entropy decoder for the served
     public part (the recipient-side hot path); the scalar reference
-    engine decodes identically, ~50x slower.  ``fast_crypto`` is the
-    matching switch for the AES engine that opens the secret envelope.
+    engine decodes identically, ~50x slower.  ``engine`` picks the
+    concrete codec engine (``"scalar"``/``"numpy"``/``"native"``;
+    ``None`` = best available, honoring ``fast``).  ``fast_crypto`` is
+    the matching switch for the AES engine that opens the secret
+    envelope.
     """
 
     def __init__(
-        self, key: bytes, fast: bool = True, fast_crypto: bool = True
+        self,
+        key: bytes,
+        fast: bool = True,
+        fast_crypto: bool = True,
+        engine: str | None = None,
     ) -> None:
         self._key = key
         self.fast = fast
         self.fast_crypto = fast_crypto
+        self.engine = engine
 
     def open_secret(self, secret_envelope: bytes) -> SecretPart:
         """Authenticate, decrypt and parse the secret container."""
@@ -77,7 +85,9 @@ class P3Decryptor:
         """The codec half of :meth:`decrypt`: decode + recombine an
         already-opened secret part (lets callers time or cache the
         crypto stage separately)."""
-        public = decode_coefficients(public_jpeg, fast=self.fast)
+        public = decode_coefficients(
+            public_jpeg, fast=self.fast, engine=self.engine
+        )
         if public.same_geometry(secret_part.image) and public.same_quantization(
             secret_part.image
         ):

@@ -69,7 +69,9 @@ class P3Encryptor:
     def split_jpeg(self, jpeg_bytes: bytes) -> SplitResult:
         """Split an existing JPEG file losslessly (transcode path)."""
         coefficients = decode_coefficients(
-            jpeg_bytes, fast=self.config.fast_codec
+            jpeg_bytes,
+            fast=self.config.fast_codec,
+            engine=self.config.effective_codec_engine,
         )
         return split_image(coefficients, self.config.threshold)
 
@@ -90,6 +92,7 @@ class P3Encryptor:
             progressive=False,
             optimize_huffman=self.config.optimize_huffman,
             fast=self.config.fast_codec,
+            engine=self.config.effective_codec_engine,
         )
 
     def _pixels_to_coefficients(

@@ -13,6 +13,34 @@ pipeline after the quantization step").  It implements:
 The main entry points are :func:`encode_rgb`, :func:`encode_gray`,
 :func:`decode`, :func:`decode_coefficients` and
 :func:`encode_coefficients` in :mod:`repro.jpeg.codec`.
+
+Codec engines
+-------------
+
+Three interchangeable entropy engines back every encode/decode, each
+serving as the differential oracle for the next:
+
+* ``scalar`` — the per-symbol ITU-T T.81 reference implementation
+  (:class:`~repro.jpeg.bitstream.BitReader`/``BitWriter`` and the
+  per-coefficient scan loops).  Slow (~10s for a dense 512px decode)
+  but the most literal transcription of the standard.
+* ``numpy`` — the vectorized fast path: whole-segment destuffing, flat
+  peek-16 Huffman lookup tables, and batch bit packing.  ~100x the
+  scalar engine, and the oracle the native kernel is fuzzed against.
+* ``native`` — a small C kernel (compiled on first use via cffi) that
+  runs each scan's entire symbol loop natively.  ~10x the numpy engine
+  on the decode hot path.
+
+All three produce byte-identical encodes and coefficient-identical
+decodes.  Selection: every codec entry point takes
+``engine={"scalar","numpy","native"}`` (``None`` = best available fast
+engine, honoring the legacy ``fast`` flag).  The native kernel needs a
+C compiler (``cc``/``gcc``) and ``cffi`` at first use; the compiled
+artifact is cached under ``build/`` keyed by a source digest.  When the
+kernel cannot compile or load — or ``REPRO_NATIVE=0`` is set — engine
+resolution silently degrades ``native`` to ``numpy``; import never
+fails.  :func:`engine_info` reports which engine actually loaded (and
+the build error, if any) for deployment verification.
 """
 
 from repro.jpeg.codec import (
@@ -24,6 +52,7 @@ from repro.jpeg.codec import (
     encode_rgb,
     image_info,
 )
+from repro.jpeg.engines import ENGINES, engine_info, resolve_engine
 from repro.jpeg.structures import ComponentInfo, CoefficientImage
 
 __all__ = [
@@ -36,4 +65,7 @@ __all__ = [
     "image_info",
     "CoefficientImage",
     "ComponentInfo",
+    "ENGINES",
+    "engine_info",
+    "resolve_engine",
 ]

@@ -296,7 +296,7 @@ class FastBitReader:
 _PACK_CHUNK_TOKENS = 1 << 18
 
 
-def pack_entropy_bits(values, lengths) -> bytes:
+def pack_entropy_bits(values, lengths, engine: str | None = None) -> bytes:
     """Pack ``(value, bit_length)`` pairs into a stuffed entropy segment.
 
     Vectorized equivalent of feeding each pair to :class:`BitWriter` and
@@ -305,7 +305,20 @@ def pack_entropy_bits(values, lengths) -> bytes:
     by the padding).  Zero-length entries are skipped.  The bit
     expansion runs in token chunks so peak transient memory stays
     bounded (~1 byte per packed bit) even for multi-MB scans.
+
+    All engines produce identical bytes; ``engine`` only selects the
+    implementation.  ``None`` or ``"native"`` use the C kernel when it
+    is available (falling back to this numpy path), ``"numpy"`` and
+    ``"scalar"`` always take the numpy path — scalar encode parity is
+    exercised through :class:`BitWriter` by the scalar encoder drivers,
+    not here.
     """
+    if engine in (None, "native"):
+        from repro.jpeg.native.encode import pack_entropy_bits_native
+
+        packed_native = pack_entropy_bits_native(values, lengths)
+        if packed_native is not None:
+            return packed_native
     lengths = np.asarray(lengths, dtype=np.int64)
     values = np.asarray(values, dtype=np.uint64)
     nonzero = lengths > 0
@@ -357,9 +370,10 @@ class VectorBitWriter:
     :meth:`getvalue` packs everything with :func:`pack_entropy_bits`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str | None = None) -> None:
         self._segments: list[list[tuple[np.ndarray, np.ndarray]]] = [[]]
         self._markers: list[int] = []
+        self._engine = engine
 
     def extend(self, values, lengths) -> None:
         self._segments[-1].append(
@@ -383,7 +397,7 @@ class VectorBitWriter:
             if chunks:
                 values = np.concatenate([v for v, _ in chunks])
                 lengths = np.concatenate([l for _, l in chunks])
-                out.extend(pack_entropy_bits(values, lengths))
+                out.extend(pack_entropy_bits(values, lengths, self._engine))
             if number < len(self._markers):
                 out.append(0xFF)
                 out.append(0xD0 + self._markers[number])

@@ -108,6 +108,7 @@ def encode_rgb(
     progressive: bool = False,
     optimize_huffman: bool = True,
     fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Encode an ``(h, w, 3)`` uint8 RGB image to JPEG bytes."""
     image = rgb_to_coefficients(rgb, quality=quality, subsampling=subsampling)
@@ -116,6 +117,7 @@ def encode_rgb(
         progressive=progressive,
         optimize_huffman=optimize_huffman,
         fast=fast,
+        engine=engine,
     )
 
 
@@ -125,6 +127,7 @@ def encode_gray(
     progressive: bool = False,
     optimize_huffman: bool = True,
     fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Encode an ``(h, w)`` grayscale image to JPEG bytes."""
     image = gray_to_coefficients(plane, quality=quality)
@@ -133,6 +136,7 @@ def encode_gray(
         progressive=progressive,
         optimize_huffman=optimize_huffman,
         fast=fast,
+        engine=engine,
     )
 
 
@@ -142,6 +146,7 @@ def encode_coefficients(
     optimize_huffman: bool = True,
     restart_interval: int = 0,
     fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Entropy-encode a coefficient image (lossless transcoding step).
 
@@ -149,45 +154,56 @@ def encode_coefficients(
     image), ``False`` (baseline), ``True`` (progressive with spectral
     selection) or ``"sa"`` (progressive with successive approximation,
     the full libjpeg-style script).  ``restart_interval`` applies to
-    baseline output only.  ``fast`` (the default) runs the vectorized
-    entropy engine; ``fast=False`` the scalar reference — output is
-    byte-identical either way.
+    baseline output only.  ``engine`` picks the entropy engine
+    (``"scalar"`` / ``"numpy"`` / ``"native"``); with ``None`` the
+    legacy ``fast`` flag chooses between the best available fast engine
+    (default) and the scalar reference — output is byte-identical
+    either way.
     """
     if progressive is None:
         progressive = image.progressive
     if progressive == "sa":
-        return encode_progressive_sa(image, fast=fast)
+        return encode_progressive_sa(image, fast=fast, engine=engine)
     if progressive:
-        return encode_progressive(image, fast=fast)
+        return encode_progressive(image, fast=fast, engine=engine)
     return encode_baseline(
         image,
         optimize_huffman=optimize_huffman,
         restart_interval=restart_interval,
         fast=fast,
+        engine=engine,
     )
 
 
-def decode_coefficients(data: bytes, fast: bool = True) -> CoefficientImage:
+def decode_coefficients(
+    data: bytes, fast: bool = True, engine: str | None = None
+) -> CoefficientImage:
     """Decode JPEG bytes to quantized DCT coefficients (no pixel work)."""
-    return decode_to_coefficients(data, fast=fast)
+    return decode_to_coefficients(data, fast=fast, engine=engine)
 
 
-def decode(data: bytes, fast: bool = True) -> np.ndarray:
+def decode(
+    data: bytes, fast: bool = True, engine: str | None = None
+) -> np.ndarray:
     """Decode JPEG bytes to pixels.
 
     Returns ``(h, w, 3)`` uint8 RGB for color files and ``(h, w)``
     float64 luma for grayscale files.
     """
-    return coefficients_to_pixels(decode_to_coefficients(data, fast=fast))
+    return coefficients_to_pixels(
+        decode_to_coefficients(data, fast=fast, engine=engine)
+    )
 
 
-def decode_gray(data: bytes, fast: bool = True) -> np.ndarray:
+def decode_gray(
+    data: bytes, fast: bool = True, engine: str | None = None
+) -> np.ndarray:
     """Decode JPEG bytes and return the luma plane as float64.
 
     Color images are converted by decoding fully and re-deriving luma;
     grayscale images decode directly.
     """
-    image = decode_to_coefficients(data, fast=fast)
+    image = decode_to_coefficients(data, fast=fast, engine=engine)
     pixels = coefficients_to_pixels(image)
     if pixels.ndim == 2:
         return pixels

@@ -533,32 +533,33 @@ def _decode_progressive_ac_scan(
 # ---------------------------------------------------------------------------
 
 
-def _mcu_visit_plan(
+def _mcu_visit_arrays(
     state: _DecoderState,
     spec: _ScanSpec,
     force_interleaved: bool = False,
-) -> tuple[list[tuple[int, np.ndarray, int]], int, int]:
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], int, int]:
     """Flattened block visit order for an (interleaved) MCU traversal.
 
-    Returns ``(plan, total_mcus, blocks_per_mcu)`` where each plan entry
-    is ``(component_slot, component_blocks_2d, flat_block_index)`` —
-    ``component_blocks_2d`` being the padded coefficient array viewed as
-    (num_blocks, 64).  Single-component *baseline* scans are never
-    interleaved and traverse the true block grid, one block per MCU
-    (T.81 A.2.2); progressive DC scans pass ``force_interleaved`` to
-    match the scalar decoder (and both encoders), which always walk the
-    MCU-padded grid for DC scans regardless of component count.
+    Returns ``(slots, flats, views, total_mcus, blocks_per_mcu)`` where
+    ``slots[i]``/``flats[i]`` give the component slot and flat block
+    index of the i-th visited block and ``views[slot]`` is that
+    component's padded coefficient array viewed as (num_blocks, 64).
+    Single-component *baseline* scans are never interleaved and
+    traverse the true block grid, one block per MCU (T.81 A.2.2);
+    progressive DC scans pass ``force_interleaved`` to match the scalar
+    decoder (and both encoders), which always walk the MCU-padded grid
+    for DC scans regardless of component count.
     """
     if len(spec.components) == 1 and not force_interleaved:
         component = spec.components[0]
-        view = component.coefficients.reshape(-1, 64)
+        views = [component.coefficients.reshape(-1, 64)]
         padded_x = component.padded_x
-        plan = [
-            (0, view, y * padded_x + x)
-            for y in range(component.blocks_y)
-            for x in range(component.blocks_x)
-        ]
-        return plan, len(plan), 1
+        flats = (
+            np.arange(component.blocks_y, dtype=np.int64)[:, None] * padded_x
+            + np.arange(component.blocks_x, dtype=np.int64)
+        ).ravel()
+        slots = np.zeros(flats.size, dtype=np.uint8)
+        return slots, flats, views, flats.size, 1
     max_h = max(c.h_sampling for c in state.components)
     max_v = max(c.v_sampling for c in state.components)
     mcus_x = -(-state.width // (8 * max_h))
@@ -576,14 +577,35 @@ def _mcu_visit_plan(
     flats = np.concatenate([flat for flat, _, _ in visits])
     ranks = np.concatenate([g for _, g, _ in visits])
     order = np.argsort(ranks)
-    plan = [
-        (slot, views[slot], flat)
-        for slot, flat in zip(slots[order].tolist(), flats[order].tolist())
-    ]
     blocks_per_mcu = sum(
         c.h_sampling * c.v_sampling for c in spec.components
     )
-    return plan, mcus_x * mcus_y, blocks_per_mcu
+    return (
+        slots[order].astype(np.uint8),
+        flats[order].astype(np.int64),
+        views,
+        mcus_x * mcus_y,
+        blocks_per_mcu,
+    )
+
+
+def _mcu_visit_plan(
+    state: _DecoderState,
+    spec: _ScanSpec,
+    force_interleaved: bool = False,
+) -> tuple[list[tuple[int, np.ndarray, int]], int, int]:
+    """Plan-entry form of :func:`_mcu_visit_arrays` for the numpy engine:
+    each entry is ``(component_slot, component_blocks_2d,
+    flat_block_index)``.
+    """
+    slots, flats, views, total_mcus, blocks_per_mcu = _mcu_visit_arrays(
+        state, spec, force_interleaved
+    )
+    plan = [
+        (slot, views[slot], flat)
+        for slot, flat in zip(slots.tolist(), flats.tolist())
+    ]
+    return plan, total_mcus, blocks_per_mcu
 
 
 def _scan_luts(
@@ -881,15 +903,114 @@ def _decode_progressive_ac_refinement_fast(
         raise JpegFormatError(str(error))
 
 
-def decode_to_coefficients(data: bytes, fast: bool = True) -> CoefficientImage:
+# ---------------------------------------------------------------------------
+# Native engine: whole-scan decoding in the C kernel.  The drivers below
+# only gather visit-order arrays and Huffman tables; all bit-level work
+# (and all T.81 semantics, mirroring the numpy engine exactly) happens in
+# repro.jpeg.native.
+# ---------------------------------------------------------------------------
+
+
+def _decode_baseline_scan_native(
+    state: _DecoderState, spec: _ScanSpec, data: bytes
+) -> None:
+    from repro.jpeg.native import decode as native_decode
+
+    slots, flats, views, total_mcus, blocks_per_mcu = _mcu_visit_arrays(
+        state, spec
+    )
+    native_decode.decode_baseline(
+        data,
+        restart_interval=state.restart_interval,
+        slots=slots,
+        flats=flats,
+        views=views,
+        dc_tables=spec.dc_tables,
+        ac_tables=spec.ac_tables,
+        total_mcus=total_mcus,
+        blocks_per_mcu=blocks_per_mcu,
+    )
+
+
+def _decode_progressive_dc_scan_native(
+    state: _DecoderState, spec: _ScanSpec, data: bytes
+) -> None:
+    from repro.jpeg.native import decode as native_decode
+
+    slots, flats, views, _, _ = _mcu_visit_arrays(
+        state, spec, force_interleaved=True
+    )
+    if spec.approx_high != 0:
+        native_decode.decode_dc_refine(
+            data,
+            slots=slots,
+            flats=flats,
+            views=views,
+            bit_value=1 << spec.approx_low,
+        )
+    else:
+        native_decode.decode_dc_first(
+            data,
+            slots=slots,
+            flats=flats,
+            views=views,
+            dc_tables=spec.dc_tables,
+            shift=spec.approx_low,
+        )
+
+
+def _decode_progressive_ac_scan_native(
+    spec: _ScanSpec, data: bytes
+) -> None:
+    from repro.jpeg.native import decode as native_decode
+
+    if len(spec.components) != 1:
+        raise JpegFormatError("progressive AC scans must be non-interleaved")
+    component = spec.components[0]
+    view = component.coefficients.reshape(-1, 64)
+    flats = (
+        np.arange(component.blocks_y, dtype=np.int64)[:, None]
+        * component.padded_x
+        + np.arange(component.blocks_x, dtype=np.int64)
+    ).ravel()
+    if spec.approx_high != 0:
+        native_decode.decode_ac_refine(
+            data,
+            flats=flats,
+            view=view,
+            ac_table=spec.ac_tables[0],
+            spectral_start=spec.spectral_start,
+            spectral_end=spec.spectral_end,
+            positive=1 << spec.approx_low,
+        )
+    else:
+        native_decode.decode_ac_first(
+            data,
+            flats=flats,
+            view=view,
+            ac_table=spec.ac_tables[0],
+            spectral_start=spec.spectral_start,
+            spectral_end=spec.spectral_end,
+            shift=spec.approx_low,
+        )
+
+
+def decode_to_coefficients(
+    data: bytes, fast: bool = True, engine: str | None = None
+) -> CoefficientImage:
     """Decode a JPEG byte stream to quantized coefficients.
 
     This is the ``jpegio``-style entry point used by the P3 splitter and
-    reconstructor: no dequantization or IDCT is performed.  With
-    ``fast`` (the default) the table-driven vectorized entropy engine
-    runs; ``fast=False`` selects the scalar T.81 reference
-    implementation, which produces bit-identical results.
+    reconstructor: no dequantization or IDCT is performed.  ``engine``
+    picks the entropy engine explicitly (``"scalar"`` / ``"numpy"`` /
+    ``"native"``); when ``None`` the legacy ``fast`` flag chooses
+    between the best available fast engine (default) and the scalar
+    T.81 reference implementation.  All engines produce bit-identical
+    results.
     """
+    from repro.jpeg.engines import resolve_engine
+
+    engine = resolve_engine(engine, fast)
     state = _DecoderState()
     segments = markers.parse_segments(data)
     for segment in segments:
@@ -913,18 +1034,32 @@ def decode_to_coefficients(data: bytes, fast: bool = True) -> CoefficientImage:
             spec = _parse_sos(state, segment.payload)
             _check_scan_tables(state, spec)
             if not state.progressive:
-                decode_scan = (
-                    _decode_baseline_scan_fast if fast
-                    else _decode_baseline_scan
-                )
-                decode_scan(state, spec, segment.entropy_data)
+                if engine == "native":
+                    _decode_baseline_scan_native(
+                        state, spec, segment.entropy_data
+                    )
+                elif engine == "numpy":
+                    _decode_baseline_scan_fast(
+                        state, spec, segment.entropy_data
+                    )
+                else:
+                    _decode_baseline_scan(state, spec, segment.entropy_data)
             elif spec.spectral_start == 0:
-                decode_scan = (
-                    _decode_progressive_dc_scan_fast if fast
-                    else _decode_progressive_dc_scan
-                )
-                decode_scan(state, spec, segment.entropy_data)
-            elif fast:
+                if engine == "native":
+                    _decode_progressive_dc_scan_native(
+                        state, spec, segment.entropy_data
+                    )
+                elif engine == "numpy":
+                    _decode_progressive_dc_scan_fast(
+                        state, spec, segment.entropy_data
+                    )
+                else:
+                    _decode_progressive_dc_scan(
+                        state, spec, segment.entropy_data
+                    )
+            elif engine == "native":
+                _decode_progressive_ac_scan_native(spec, segment.entropy_data)
+            elif engine == "numpy":
                 _decode_progressive_ac_scan_fast(spec, segment.entropy_data)
             else:
                 _decode_progressive_ac_scan(spec, segment.entropy_data)

@@ -569,6 +569,7 @@ def _pack_baseline_tokens(
     table_ids: list[int],
     restart_interval: int,
     total_mcus: int,
+    engine: str | None = None,
 ) -> bytes:
     """Map tokens through their tables, order, and pack the scan."""
     all_g = []
@@ -607,7 +608,7 @@ def _pack_baseline_tokens(
     )
 
     if not restart_interval:
-        return pack_entropy_bits(values, lengths)
+        return pack_entropy_bits(values, lengths, engine)
 
     # Pack each restart segment separately; RSTn between segments.
     mcu_sorted = np.concatenate(all_mcu)[order]
@@ -615,7 +616,7 @@ def _pack_baseline_tokens(
     boundaries = np.searchsorted(
         mcu_sorted, np.arange(1, num_segments) * restart_interval
     ).tolist()
-    writer = VectorBitWriter()
+    writer = VectorBitWriter(engine)
     start = 0
     for index, boundary in enumerate(boundaries + [mcu_sorted.size]):
         writer.extend(
@@ -672,22 +673,27 @@ def encode_baseline(
     optimize_huffman: bool = True,
     restart_interval: int = 0,
     fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Encode a coefficient image as a baseline sequential JPEG.
 
     ``restart_interval`` > 0 emits a DRI segment and RSTn markers every
     that many MCUs (resilience against corrupt scans, at a small size
-    cost).  ``fast`` (the default) batches symbol generation and bit
-    packing with numpy; ``fast=False`` runs the scalar reference
-    encoder — both produce byte-identical streams.
+    cost).  ``engine`` selects the entropy engine explicitly; when
+    ``None`` the legacy ``fast`` flag chooses between the best
+    available fast engine (default) and the scalar reference encoder —
+    all engines produce byte-identical streams.
     """
+    from repro.jpeg.engines import resolve_engine
+
+    engine = resolve_engine(engine, fast)
     if restart_interval < 0 or restart_interval > 0xFFFF:
         raise ValueError(f"invalid restart interval {restart_interval}")
     quant_tables, quant_ids = _assign_quant_tables(image)
     table_ids = _huffman_table_ids(len(image.components))
     num_tables = max(table_ids) + 1
 
-    if fast:
+    if engine != "scalar":
         tokens, total_mcus = _baseline_component_tokens(
             image, restart_interval
         )
@@ -711,6 +717,7 @@ def encode_baseline(
             table_ids,
             restart_interval,
             total_mcus,
+            engine,
         )
     else:
         dc_tables, ac_tables = _select_tables(
@@ -761,17 +768,22 @@ def encode_baseline(
 
 
 def encode_progressive_sa(
-    image: CoefficientImage, script=None, fast: bool = True
+    image: CoefficientImage,
+    script=None,
+    fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Progressive encoding with successive approximation (T.81 G.1.2).
 
     ``script`` is a list of :class:`repro.jpeg.scans.ScanSpec`; the
     default is the libjpeg-style two-level script of
-    :func:`repro.jpeg.scans.default_sa_script`.  ``fast`` batches the
-    non-refinement scans (AC refinement always runs the scalar path).
+    :func:`repro.jpeg.scans.default_sa_script`.  ``engine``/``fast``
+    select the entropy engine as in :func:`encode_baseline`.
     """
+    from repro.jpeg.engines import resolve_engine
     from repro.jpeg.scans import default_sa_script, run_scan
 
+    engine = resolve_engine(engine, fast)
     if script is None:
         script = default_sa_script(len(image.components))
     quant_tables, quant_ids = _assign_quant_tables(image)
@@ -810,7 +822,8 @@ def encode_progressive_sa(
             padded_blocks,
             samplings,
             mcus,
-            fast=fast,
+            fast=engine != "scalar",
+            engine=engine,
         )
         if table is not None:
             table_class = 0 if spec.is_dc else 1
@@ -837,14 +850,19 @@ def encode_progressive(
     image: CoefficientImage,
     bands: tuple[tuple[int, int], ...] = DEFAULT_PROGRESSIVE_BANDS,
     fast: bool = True,
+    engine: str | None = None,
 ) -> bytes:
     """Encode as a progressive JPEG: one DC scan, then AC band scans.
 
     AC scans are emitted per band, per component (progressive AC scans
     are never interleaved).  Huffman tables are optimized per scan group,
-    matching libjpeg behaviour for progressive files.  ``fast`` selects
-    the batch engine (byte-identical to the scalar reference).
+    matching libjpeg behaviour for progressive files.  ``engine``/
+    ``fast`` select the entropy engine (byte-identical streams either
+    way).
     """
+    from repro.jpeg.engines import resolve_engine
+
+    engine = resolve_engine(engine, fast)
     for start, end in bands:
         if not 1 <= start <= end <= 63:
             raise ValueError(f"invalid spectral band ({start}, {end})")
@@ -854,7 +872,7 @@ def encode_progressive(
     num_tables = max(table_ids) + 1
     mcus_y, mcus_x = _mcu_grid(image)
 
-    if fast:
+    if engine != "scalar":
         samplings = [
             (c.h_sampling, c.v_sampling) for c in image.components
         ]
@@ -876,7 +894,7 @@ def encode_progressive(
             for freq in dc_freqs
         ]
         dc_entropy = pack_dc_scan_tokens(
-            bundles, [dc_tables[t] for t in table_ids]
+            bundles, [dc_tables[t] for t in table_ids], engine
         )
 
         unpadded = [blocks.reshape(-1, 64) for blocks in zigzag]
@@ -884,7 +902,7 @@ def encode_progressive(
         for band in bands:
             for index in range(len(image.components)):
                 table, entropy = encode_ac_first_scan(
-                    unpadded[index], band[0], band[1]
+                    unpadded[index], band[0], band[1], engine=engine
                 )
                 ac_scan_plans.append((index, band, table, entropy))
     else:

@@ -615,6 +615,7 @@ def pack_tokens_with_table(
     extras: np.ndarray,
     extra_lengths: np.ndarray,
     table: HuffmanTable,
+    engine: str | None = None,
 ) -> bytes:
     """Order a single-table token stream by (g, rank) and pack it."""
     from repro.jpeg.bitstream import pack_entropy_bits
@@ -627,7 +628,7 @@ def pack_tokens_with_table(
         extras[order],
         extra_lengths[order],
     )
-    return pack_entropy_bits(values, lengths)
+    return pack_entropy_bits(values, lengths, engine)
 
 
 def dc_scan_token_bundles(
@@ -654,6 +655,7 @@ def dc_scan_token_bundles(
 def pack_dc_scan_tokens(
     bundles: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     tables: list[HuffmanTable],
+    engine: str | None = None,
 ) -> bytes:
     """Map per-component DC bundles through their tables and pack."""
     from repro.jpeg.bitstream import pack_entropy_bits
@@ -678,7 +680,7 @@ def pack_dc_scan_tokens(
         np.concatenate(all_extras)[order],
         np.concatenate(all_extra_lengths)[order],
     )
-    return pack_entropy_bits(values, lengths)
+    return pack_entropy_bits(values, lengths, engine)
 
 
 #: Rank offset placing progressive EOB-run tokens before a block's own
@@ -751,7 +753,11 @@ def progressive_ac_tokens(
 
 
 def encode_ac_first_scan(
-    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int = 0
+    blocks: np.ndarray,
+    spectral_start: int,
+    spectral_end: int,
+    al: int = 0,
+    engine: str | None = None,
 ) -> tuple[HuffmanTable, bytes]:
     """Encode one progressive AC first scan with an optimized table.
 
@@ -769,7 +775,7 @@ def encode_ac_first_scan(
         if frequencies
         else STANDARD_AC_LUMINANCE
     )
-    return table, pack_tokens_with_table(*token_stream, table)
+    return table, pack_tokens_with_table(*token_stream, table, engine)
 
 
 #: The scalar ``_EobState`` force-flush thresholds (scans.py): an EOB
@@ -998,7 +1004,11 @@ def refinement_ac_stream(
 
 
 def encode_ac_refinement_scan(
-    blocks: np.ndarray, spectral_start: int, spectral_end: int, al: int
+    blocks: np.ndarray,
+    spectral_start: int,
+    spectral_end: int,
+    al: int,
+    engine: str | None = None,
 ) -> tuple[HuffmanTable, bytes]:
     """Encode one progressive AC refinement scan with an optimized table.
 
@@ -1026,4 +1036,4 @@ def encode_ac_refinement_scan(
         is_symbol, codes_by_symbol[index], raw_values.astype(np.uint64)
     )
     lengths = np.where(is_symbol, lengths_by_symbol[index], raw_lengths)
-    return table, pack_entropy_bits(values, lengths)
+    return table, pack_entropy_bits(values, lengths, engine)

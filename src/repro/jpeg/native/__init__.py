@@ -1,0 +1,12 @@
+"""Native (C via cffi) entropy-codec kernel.
+
+The kernel compiles lazily on first use and caches the shared object
+under ``build/`` keyed by a source digest.  Everything here degrades
+silently: no compiler, no cffi, or ``REPRO_NATIVE=0`` simply means
+:func:`repro.jpeg.native.kernel.load` returns ``None`` and callers use
+the numpy engine instead.
+"""
+
+from repro.jpeg.native import kernel
+
+__all__ = ["kernel"]

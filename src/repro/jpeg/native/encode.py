@@ -1,0 +1,38 @@
+"""Native bit packing with 0xFF stuffing for the encode path.
+
+``pack_entropy_bits_native`` mirrors
+:func:`repro.jpeg.bitstream.pack_entropy_bits` byte for byte; it
+returns ``None`` (caller falls back to numpy) when the kernel is
+unavailable or any token is wider than 63 bits, where the C shift
+pipeline and numpy's bit expansion would diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg.native import kernel as kernel_module
+
+
+def pack_entropy_bits_native(values: object, lengths: object) -> bytes | None:
+    handle = kernel_module.load()
+    if handle is None:
+        return None
+    value_arr = np.ascontiguousarray(values, dtype=np.uint64)
+    length_arr = np.ascontiguousarray(lengths, dtype=np.int64)
+    if value_arr.shape != length_arr.shape or value_arr.ndim != 1:
+        raise ValueError("values and lengths must be 1-D arrays of equal length")
+    if length_arr.size and int(length_arr.max()) > 63:
+        return None
+    total_bits = int(np.clip(length_arr, 0, None).sum())
+    # Worst case every byte is 0xFF (doubled by stuffing) plus the
+    # padded tail; 8 spare bytes keep the kernel's eager flush in range.
+    out = np.empty(2 * (total_bits // 8 + 2) + 8, dtype=np.uint8)
+    ffi = handle.ffi
+    n = handle.lib.p3_pack_bits(
+        ffi.cast("uint64_t *", value_arr.ctypes.data),
+        ffi.cast("int64_t *", length_arr.ctypes.data),
+        length_arr.size,
+        ffi.cast("uint8_t *", out.ctypes.data),
+    )
+    return out[: int(n)].tobytes()

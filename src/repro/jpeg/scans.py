@@ -258,6 +258,7 @@ def _run_dc_refinement_fast(
     padded_blocks: list[np.ndarray],
     samplings: list[tuple[int, int]],
     mcus: tuple[int, int],
+    engine: str | None = None,
 ) -> bytes:
     """Vectorized DC refinement: gather bit ``al`` of every DC in MCU
     visit order and pack them as raw 1-bit writes."""
@@ -272,7 +273,7 @@ def _run_dc_refinement_fast(
         all_bits.append((dc.astype(np.int64) >> spec.al) & 1)
     order = np.argsort(np.concatenate(all_g), kind="stable")
     bits = np.concatenate(all_bits)[order]
-    return pack_entropy_bits(bits, np.ones(bits.size, dtype=np.int64))
+    return pack_entropy_bits(bits, np.ones(bits.size, dtype=np.int64), engine)
 
 
 # -- scan-level drivers --------------------------------------------------------
@@ -308,6 +309,7 @@ def run_scan(
     samplings: list[tuple[int, int]],
     mcus: tuple[int, int],
     fast: bool = True,
+    engine: str | None = None,
 ):
     """Encode one scan; returns (huffman_table | None, entropy_bytes).
 
@@ -321,7 +323,7 @@ def run_scan(
     if spec.is_dc and spec.is_refinement:
         if fast:
             return None, _run_dc_refinement_fast(
-                spec, padded_blocks, samplings, mcus
+                spec, padded_blocks, samplings, mcus, engine
             )
         writer = BitWriter()
         encode_dc_refinement(
@@ -349,16 +351,18 @@ def run_scan(
             if frequencies
             else STANDARD_DC_LUMINANCE
         )
-        return table, pack_dc_scan_tokens(bundles, [table] * len(bundles))
+        return table, pack_dc_scan_tokens(
+            bundles, [table] * len(bundles), engine
+        )
 
     if fast:
         blocks = blocks_per_component[spec.component_indices[0]]
         if spec.is_refinement:
             return encode_ac_refinement_scan(
-                blocks.reshape(-1, 64), spec.ss, spec.se, spec.al
+                blocks.reshape(-1, 64), spec.ss, spec.se, spec.al, engine
             )
         return encode_ac_first_scan(
-            blocks.reshape(-1, 64), spec.ss, spec.se, spec.al
+            blocks.reshape(-1, 64), spec.ss, spec.se, spec.al, engine
         )
 
     def run_with(sink_or_factory):

@@ -253,6 +253,7 @@ class ServingEngine:
         transform_estimate: TransformEstimate | None = None,
         fast: bool = True,
         fast_crypto: bool = True,
+        codec_engine: str | None = None,
         secret_cache_limit: int | None = DEFAULT_SECRET_CACHE_LIMIT,
         variant_cache_limit: int | None = DEFAULT_VARIANT_CACHE_LIMIT,
         variant_ttl_s: float | None = DEFAULT_VARIANT_TTL_S,
@@ -268,6 +269,7 @@ class ServingEngine:
         self.transform_estimate = transform_estimate
         self.fast = fast
         self.fast_crypto = fast_crypto
+        self.codec_engine = codec_engine
         self.coalesce = coalesce
         self.timing_hook = timing_hook
         # The cold-reconstruction executor: None reconstructs inline on
@@ -341,6 +343,7 @@ class ServingEngine:
             transform_estimate=transform_estimate,
             fast=config.fast_codec,
             fast_crypto=config.fast_crypto,
+            codec_engine=config.effective_codec_engine,
             secret_cache_limit=secret_cache_limit,
             variant_cache_limit=config.variant_cache,
             variant_ttl_s=config.variant_ttl_s,
@@ -472,7 +475,10 @@ class ServingEngine:
         public_jpeg = self._fetch_public(request)
         if request.public_only:
             return DecryptTask(
-                key=None, public_jpeg=public_jpeg, fast=self.fast
+                key=None,
+                public_jpeg=public_jpeg,
+                fast=self.fast,
+                engine=self.codec_engine,
             )
         envelope, _ = self._fetch_envelope(request)
         return DecryptTask(
@@ -484,6 +490,7 @@ class ServingEngine:
             transform_estimate=self.transform_estimate,
             fast=self.fast,
             fast_crypto=self.fast_crypto,
+            engine=self.codec_engine,
         )
 
     # -- internals ------------------------------------------------------------
@@ -554,7 +561,9 @@ class ServingEngine:
         elif request.public_only:
             t0 = clock()
             pixels = coefficients_to_pixels(
-                decode_coefficients(public_jpeg, fast=self.fast)
+                decode_coefficients(
+                    public_jpeg, fast=self.fast, engine=self.codec_engine
+                )
             )
             timing.reconstruct_s = clock() - t0
         else:
@@ -569,6 +578,7 @@ class ServingEngine:
                 crop_box=request.crop_box,
                 transform_estimate=self.transform_estimate,
                 fast=self.fast,
+                engine=self.codec_engine,
             )
             timing.reconstruct_s = clock() - t0
         pixels.setflags(write=False)
@@ -601,7 +611,10 @@ class ServingEngine:
         secret_hit = False
         if request.public_only:
             task = DecryptTask(
-                key=None, public_jpeg=public_jpeg, fast=self.fast
+                key=None,
+                public_jpeg=public_jpeg,
+                fast=self.fast,
+                engine=self.codec_engine,
             )
         else:
             t0 = clock()
@@ -616,6 +629,7 @@ class ServingEngine:
                 transform_estimate=self.transform_estimate,
                 fast=self.fast,
                 fast_crypto=self.fast_crypto,
+                engine=self.codec_engine,
             )
         t0 = clock()
         pixels = self.executor.run_one(run_decrypt_task, task)
@@ -641,7 +655,10 @@ class ServingEngine:
         def fetch() -> SecretPart:
             envelope, _ = self._fetch_envelope(request)
             secret_part = P3Decryptor(
-                request.key, fast=self.fast, fast_crypto=self.fast_crypto
+                request.key,
+                fast=self.fast,
+                fast_crypto=self.fast_crypto,
+                engine=self.codec_engine,
             ).open_secret(envelope)
             self.secret_cache.put(key, secret_part)
             return secret_part
@@ -680,10 +697,17 @@ class ServingEngine:
         Each cache tier reports its global counters plus per-partition
         breakdowns (tenant-key digest for the variant/secret tiers,
         album for the envelope tier), so a gateway's ``/stats`` shows
-        exactly which tenant is hot and who is getting evicted.
+        exactly which tenant is hot and who is getting evicted.  The
+        ``codec`` key reports the configured entropy engine alongside
+        :func:`repro.jpeg.engine_info`, so deployments can verify which
+        kernel actually loaded (native vs numpy fallback, and the build
+        error text if compilation failed).
         """
+        from repro.jpeg.engines import engine_info
+
         return {
             "serving": self.stats.snapshot(),
+            "codec": {"configured": self.codec_engine, **engine_info()},
             "variant_cache": self.variant_cache.stats.snapshot(),
             "secret_cache": self.secret_cache.stats.snapshot(),
             "envelope_cache": self.envelope_cache.stats.snapshot(),

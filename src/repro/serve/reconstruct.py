@@ -72,13 +72,14 @@ def reconstruct_served(
     crop_box: tuple[int, int, int, int] | None = None,
     transform_estimate: TransformEstimate | None = None,
     fast: bool = True,
+    engine: str | None = None,
 ) -> np.ndarray:
     """Reconstruct a photo from its served public part + secret part.
 
     Exact coefficient-domain recombination (Eq. 1) when the PSP left
     the public part untouched, the pixel-domain Eq. 2 path otherwise.
     """
-    public = decode_coefficients(public_jpeg, fast=fast)
+    public = decode_coefficients(public_jpeg, fast=fast, engine=engine)
     untouched = public.same_geometry(
         secret_part.image
     ) and public.same_quantization(secret_part.image)

@@ -1,0 +1,351 @@
+"""Differential tests: native C kernel vs numpy vs scalar engines.
+
+The native kernel (:mod:`repro.jpeg.native`) runs each scan's entire
+symbol loop in C; the numpy engine is its differential oracle (and the
+scalar T.81 reference is numpy's, so agreement here chains back to the
+standard).  These tests fuzz all five scan types — baseline, DC first,
+DC refinement, AC first, AC refinement — over random coefficient
+blocks, and probe the adversarial corners where whole-segment C code
+most plausibly diverges from the per-symbol references: restart
+markers, 0xFF byte-stuffing at segment boundaries, padding-produced
+0xFF bytes, and truncated streams (EndOfData parity).
+
+When the kernel is unavailable (no compiler), the differential cases
+skip — the forced-fallback tests still run, because silent degradation
+to numpy is itself the contract under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jpeg.bitstream import BitWriter, pack_entropy_bits
+from repro.jpeg.codec import gray_to_coefficients, rgb_to_coefficients
+from repro.jpeg.decoder import decode_to_coefficients
+from repro.jpeg.encoder import (
+    encode_baseline,
+    encode_progressive,
+    encode_progressive_sa,
+)
+from repro.jpeg.engines import (
+    ENGINES,
+    engine_info,
+    native_available,
+    resolve_engine,
+)
+from repro.jpeg.markers import JpegFormatError
+from repro.jpeg.native import kernel as native_kernel
+from repro.jpeg.native.encode import pack_entropy_bits_native
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="native kernel unavailable"
+)
+
+
+def _gray(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    ramp = np.linspace(0, 60, width)[None, :]
+    noise = rng.normal(0, 30, size=(height, width))
+    return np.clip(ramp + noise + 96, 0, 255)
+
+
+def _rgb(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+
+
+def _assert_same_coefficients(jpeg: bytes) -> None:
+    """Decode ``jpeg`` with every engine; coefficients must agree."""
+    decoded = {
+        engine: decode_to_coefficients(jpeg, engine=engine)
+        for engine in ENGINES
+    }
+    reference = decoded["scalar"]
+    for engine in ("numpy", "native"):
+        image = decoded[engine]
+        assert len(image.components) == len(reference.components)
+        for ours, theirs in zip(image.components, reference.components):
+            np.testing.assert_array_equal(ours.coefficients,
+                                          theirs.coefficients)
+
+
+@needs_native
+class TestDifferentialEncodeDecode:
+    """All five scan types, three engines, byte/coefficient identity."""
+
+    @pytest.mark.parametrize("restart_interval", [0, 2, 5])
+    def test_baseline_gray(self, restart_interval):
+        rng = np.random.default_rng(11)
+        image = gray_to_coefficients(_gray(rng, 40, 56), quality=70)
+        streams = {
+            engine: encode_baseline(
+                image, restart_interval=restart_interval, engine=engine
+            )
+            for engine in ENGINES
+        }
+        assert streams["scalar"] == streams["numpy"] == streams["native"]
+        _assert_same_coefficients(streams["native"])
+
+    @pytest.mark.parametrize("subsampling", ["4:4:4", "4:2:0"])
+    def test_baseline_rgb(self, subsampling):
+        rng = np.random.default_rng(12)
+        image = rgb_to_coefficients(
+            _rgb(rng, 32, 48), quality=80, subsampling=subsampling
+        )
+        streams = {
+            engine: encode_baseline(image, engine=engine)
+            for engine in ENGINES
+        }
+        assert streams["scalar"] == streams["numpy"] == streams["native"]
+        _assert_same_coefficients(streams["native"])
+
+    def test_progressive_spectral_selection(self):
+        # DC-first scan + AC-first scans with EOB runs.
+        rng = np.random.default_rng(13)
+        image = gray_to_coefficients(_gray(rng, 48, 48), quality=60)
+        streams = {
+            engine: encode_progressive(image, engine=engine)
+            for engine in ENGINES
+        }
+        assert streams["scalar"] == streams["numpy"] == streams["native"]
+        _assert_same_coefficients(streams["native"])
+
+    @pytest.mark.parametrize("channels", ["gray", "rgb"])
+    def test_progressive_successive_approximation(self, channels):
+        # DC first + DC refinement + AC first + AC refinement scans.
+        rng = np.random.default_rng(14)
+        if channels == "gray":
+            image = gray_to_coefficients(_gray(rng, 40, 40), quality=75)
+        else:
+            image = rgb_to_coefficients(
+                _rgb(rng, 32, 32), quality=75, subsampling="4:2:0"
+            )
+        streams = {
+            engine: encode_progressive_sa(image, engine=engine)
+            for engine in ENGINES
+        }
+        assert streams["scalar"] == streams["numpy"] == streams["native"]
+        _assert_same_coefficients(streams["native"])
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_fuzz_random_blocks_all_modes(self, seed):
+        """Random coefficient content through every scan type."""
+        rng = np.random.default_rng(seed)
+        pixels = rng.integers(0, 256, size=(24, 24)).astype(float)
+        image = gray_to_coefficients(pixels, quality=50)
+        for encode in (
+            lambda eng: encode_baseline(image, engine=eng),
+            lambda eng: encode_baseline(
+                image, restart_interval=3, engine=eng
+            ),
+            lambda eng: encode_progressive(image, engine=eng),
+            lambda eng: encode_progressive_sa(image, engine=eng),
+        ):
+            streams = {engine: encode(engine) for engine in ENGINES}
+            assert (
+                streams["scalar"] == streams["numpy"] == streams["native"]
+            )
+            _assert_same_coefficients(streams["native"])
+
+
+@needs_native
+class TestAdversarialBitstreams:
+    """Corrupt/truncated input parity: same verdict from every engine."""
+
+    @staticmethod
+    def _outcome(engine: str, jpeg: bytes):
+        """(kind, detail) summary of a decode attempt."""
+        try:
+            image = decode_to_coefficients(jpeg, engine=engine)
+        except JpegFormatError:
+            return ("format-error",)
+        except OverflowError:
+            return ("overflow",)
+        return ("ok",) + tuple(
+            component.coefficients.tobytes()
+            for component in image.components
+        )
+
+    @pytest.mark.parametrize("restart_interval", [0, 3])
+    def test_truncation_parity(self, restart_interval):
+        """Cut the stream at many offsets; every engine must agree
+        whether the result is decodable (EndOfData surfaces as the
+        same JpegFormatError) and, when decodable, on the bytes."""
+        rng = np.random.default_rng(21)
+        image = gray_to_coefficients(_gray(rng, 32, 32), quality=65)
+        jpeg = encode_baseline(
+            image, restart_interval=restart_interval, engine="numpy"
+        )
+        cuts = sorted(
+            {len(jpeg) // 3, len(jpeg) // 2, len(jpeg) - 24,
+             len(jpeg) - 9, len(jpeg) - 3}
+        )
+        for cut in cuts:
+            truncated = jpeg[:cut]
+            outcomes = {
+                engine: self._outcome(engine, truncated)
+                for engine in ENGINES
+            }
+            assert outcomes["native"] == outcomes["numpy"], (
+                f"cut={cut}"
+            )
+            assert outcomes["native"] == outcomes["scalar"], (
+                f"cut={cut}"
+            )
+
+    def test_truncated_progressive_parity(self):
+        rng = np.random.default_rng(22)
+        image = gray_to_coefficients(_gray(rng, 32, 32), quality=65)
+        jpeg = encode_progressive_sa(image, engine="numpy")
+        for cut in (len(jpeg) // 2, len(jpeg) - 30, len(jpeg) - 6):
+            outcomes = {
+                engine: self._outcome(engine, jpeg[:cut])
+                for engine in ENGINES
+            }
+            assert outcomes["native"] == outcomes["numpy"]
+            assert outcomes["native"] == outcomes["scalar"]
+
+    @given(seed=st.integers(0, 2**32 - 1), flips=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_bitflip_parity(self, seed, flips):
+        """Random corruption in the entropy segment: all engines must
+        reach the same verdict (ok / format error / overflow) and the
+        same coefficients when they do decode."""
+        rng = np.random.default_rng(seed)
+        image = gray_to_coefficients(_gray(rng, 24, 24), quality=55)
+        jpeg = bytearray(encode_baseline(image, engine="numpy"))
+        # Only corrupt the entropy-coded body, not the headers: marker
+        # parsing is shared code, the engines are what's under test.
+        sos = bytes(jpeg).rfind(b"\xff\xda")
+        body_start = sos + 2 + ((jpeg[sos + 2] << 8) | jpeg[sos + 3])
+        body = list(range(body_start, len(jpeg) - 2))
+        for position in rng.choice(body, size=min(flips, len(body)),
+                                   replace=False):
+            jpeg[position] ^= 1 << int(rng.integers(0, 8))
+            # Never fabricate a marker prefix (0xFF) or destroy a
+            # stuffed zero — those change *segmentation*, which the
+            # scalar reader handles byte-at-a-time and the fast paths
+            # pre-scan; parity for legal streams is the contract.
+            if jpeg[position] == 0xFF:
+                jpeg[position] = 0xFE
+            if jpeg[position - 1] == 0xFF:
+                jpeg[position - 1] = 0x7F
+        corrupted = bytes(jpeg)
+        outcomes = {
+            engine: self._outcome(engine, corrupted)
+            for engine in ENGINES
+        }
+        assert outcomes["native"] == outcomes["numpy"]
+        assert outcomes["native"] == outcomes["scalar"]
+
+    def test_restart_marker_streams_roundtrip(self):
+        """Dense restart markers (every MCU) exercise the segment-switch
+        path — where the native reader's destuffed-buffer bookkeeping
+        must agree with the scalar reader's marker scan."""
+        rng = np.random.default_rng(23)
+        image = gray_to_coefficients(_gray(rng, 24, 40), quality=70)
+        streams = {
+            engine: encode_baseline(
+                image, restart_interval=1, engine=engine
+            )
+            for engine in ENGINES
+        }
+        assert streams["scalar"] == streams["numpy"] == streams["native"]
+        _assert_same_coefficients(streams["native"])
+
+
+class TestNativePacking:
+    """Bit packing: the C packer vs the numpy packer, incl. fallback."""
+
+    token_lists = st.lists(
+        st.integers(1, 16).flatmap(
+            lambda length: st.tuples(
+                st.integers(0, (1 << length) - 1), st.just(length)
+            )
+        ),
+        max_size=160,
+    )
+
+    @needs_native
+    @given(token_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_pack_matches_numpy_and_scalar(self, tokens):
+        writer = BitWriter()
+        for value, length in tokens:
+            writer.write(value, length)
+        writer.flush()
+        values = np.array([v for v, _ in tokens], dtype=np.uint64)
+        lengths = np.array([l for _, l in tokens], dtype=np.int64)
+        native = pack_entropy_bits_native(values, lengths)
+        assert native is not None
+        assert native == writer.getvalue()
+        assert native == pack_entropy_bits(values, lengths, "numpy")
+
+    @needs_native
+    def test_pack_stuffing_at_boundaries(self):
+        # All-ones tokens force 0xFF bytes (and stuffed zeros) at every
+        # byte boundary, including a padding-produced trailing 0xFF.
+        values = np.array([0xFFFF] * 9 + [0x7F], dtype=np.uint64)
+        lengths = np.array([16] * 9 + [7], dtype=np.int64)
+        writer = BitWriter()
+        for value, length in zip(values, lengths):
+            writer.write(int(value), int(length))
+        writer.flush()
+        assert pack_entropy_bits_native(values, lengths) == writer.getvalue()
+
+    @needs_native
+    def test_pack_padding_produces_stuffed_ff(self):
+        # A single 1-bit pads with seven 1s -> 0xFF -> stuffed zero.
+        assert pack_entropy_bits_native(
+            np.array([1], dtype=np.uint64), np.array([1], dtype=np.int64)
+        ) == b"\xff\x00"
+
+    @needs_native
+    def test_pack_declines_lengths_over_63(self):
+        # The C packer shifts within 64 bits; wider writes fall back to
+        # the numpy packer rather than risking shift overflow.
+        values = np.array([0], dtype=np.uint64)
+        lengths = np.array([64], dtype=np.int64)
+        assert pack_entropy_bits_native(values, lengths) is None
+
+
+class TestForcedFallback:
+    """REPRO_NATIVE=0 must silently degrade native -> numpy."""
+
+    @pytest.fixture()
+    def native_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        yield
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+
+    def test_resolution_degrades_to_numpy(self, native_disabled):
+        assert resolve_engine("native") == "numpy"
+        assert resolve_engine(None, fast=True) == "numpy"
+        assert resolve_engine(None, fast=False) == "scalar"
+
+    def test_engine_info_reports_disabled(self, native_disabled):
+        info = engine_info()
+        assert info["default"] == "numpy"
+        assert info["native"]["available"] is False
+        assert info["native"]["disabled_by_env"] is True
+
+    def test_decode_still_works_and_matches(self, native_disabled):
+        rng = np.random.default_rng(31)
+        image = gray_to_coefficients(_gray(rng, 24, 24), quality=70)
+        jpeg = encode_baseline(image, engine="native")  # degrades
+        assert jpeg == encode_baseline(image, engine="numpy")
+        _assert_same_coefficients(jpeg)
+
+    def test_explicit_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec engine"):
+            resolve_engine("turbo")
+
+    def test_status_shape(self):
+        status = native_kernel.status()
+        assert set(status) >= {
+            "available",
+            "disabled_by_env",
+            "build_error",
+            "source_digest",
+        }

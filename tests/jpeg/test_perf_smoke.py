@@ -1,9 +1,11 @@
 """Opt-in perf smoke test: a regression to the per-bit path fails here.
 
-The vectorized engine decodes a dense 512x512 quality-75 image in well
-under a second; the scalar reference needs on the order of 10 seconds.
-The generous budgets below only trip when the fast path stops being
-fast (e.g. someone reroutes the default back to the scalar engine).
+The native kernel decodes a dense 512x512 quality-75 image in ~10 ms,
+the numpy engine in ~0.15 s, the scalar reference in ~10 s.  The
+budgets below are generous multiples of those (slow CI boxes must stay
+green) but still fail hard when a hot path regresses a tier: the
+native budget trips if the C kernel silently stops being used, the
+default budget trips if the default reroutes to the scalar engine.
 
 Run with ``python -m pytest -m slow tests/jpeg/test_perf_smoke.py``.
 """
@@ -16,14 +18,21 @@ import numpy as np
 import pytest
 
 from repro.jpeg.codec import decode_coefficients, encode_gray
+from repro.jpeg.engines import native_available
 
 pytestmark = pytest.mark.slow
 
-#: Wall-clock ceilings (seconds).  Fast engine: ~0.2s decode on a dev
-#: laptop; scalar reference: ~9s.  5s keeps slow CI boxes green while
-#: still failing hard on a per-bit regression.
+#: Wall-clock ceilings (seconds) for the default engine (numpy when the
+#: kernel didn't build).  Fast engine: ~0.15s decode on a dev laptop;
+#: scalar reference: ~9s.  5s keeps slow CI boxes green while still
+#: failing hard on a per-bit regression.
 DECODE_BUDGET_SECONDS = 5.0
 ENCODE_BUDGET_SECONDS = 5.0
+
+#: Ceiling for the native kernel specifically: ~11ms on a dev box, 25x
+#: headroom for CI noise while still far below the numpy engine's
+#: ~140ms — trips when "native" quietly degrades to numpy.
+NATIVE_DECODE_BUDGET_SECONDS = 0.25
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +54,28 @@ def test_decode_512_within_budget(dense_512_jpeg):
         f"{DECODE_BUDGET_SECONDS}s) — did the entropy hot path regress "
         "to the per-bit reference?"
     )
+
+
+@pytest.mark.skipif(
+    not native_available(), reason="native kernel unavailable"
+)
+def test_native_decode_512_within_budget(dense_512_jpeg):
+    decode_coefficients(dense_512_jpeg, engine="native")  # warm up
+    best = min(
+        _timed(lambda: decode_coefficients(dense_512_jpeg, engine="native"))
+        for _ in range(3)
+    )
+    assert best < NATIVE_DECODE_BUDGET_SECONDS, (
+        f"native 512x512 decode took {best * 1000:.1f}ms (budget "
+        f"{NATIVE_DECODE_BUDGET_SECONDS * 1000:.0f}ms) — is the C "
+        "kernel actually being used?"
+    )
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
 
 
 def test_encode_512_within_budget():

@@ -334,6 +334,21 @@ class TestTimingHooks:
         assert snapshot["variant_cache"]["hits"] == 4
         assert engine.stats.percentile(99) >= engine.stats.percentile(50)
 
+    def test_snapshot_reports_codec_engine(self, world):
+        """/stats must say which entropy engine serves are using —
+        deployments verify native-vs-fallback through this key."""
+        import json
+
+        from repro.jpeg.engines import ENGINES
+
+        psp, storage, keys, photo_id = world
+        engine = ServingEngine(psp, storage, codec_engine="numpy")
+        codec = engine.snapshot()["codec"]
+        assert codec["configured"] == "numpy"
+        assert codec["engines"] == list(ENGINES)
+        assert "available" in codec["native"]
+        json.dumps(codec)  # the gateway serializes this verbatim
+
 
 class TestBatchSeam:
     def test_fetch_task_reconstructs_byte_identically(self, world):
