@@ -28,7 +28,7 @@ class PSPBackend(Protocol):
 
     name: str
 
-    def upload(
+    def upload(  # taint: sink(public)
         self, data: bytes, owner: str, viewers: set[str] | None = None
     ) -> str:
         """Ingest a JPEG; return the provider-assigned photo ID."""

@@ -17,7 +17,7 @@ identical to the interposed single-photo path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class EncryptTask:
     Exactly one of ``jpeg`` / ``pixels`` must be set.
     """
 
-    key: bytes
+    key: bytes = field(repr=False)  # taint: source(secret)
     config: P3Config
     jpeg: bytes | None = None
     pixels: np.ndarray | None = None
@@ -69,9 +69,11 @@ class DecryptTask:
     PSP pipeline (a plain dataclass, so it pickles to workers).
     """
 
-    key: bytes | None
+    key: bytes | None = field(repr=False)  # taint: source(secret)
     public_jpeg: bytes
-    secret_envelope: bytes | None = None
+    secret_envelope: bytes | None = field(  # taint: source(secret)
+        default=None, repr=False
+    )
     resolution: int | None = None
     crop_box: tuple[int, int, int, int] | None = None
     transform_estimate: "TransformEstimate | None" = None
@@ -84,7 +86,7 @@ class DecryptTask:
             raise ValueError("a secret envelope needs a key to open it")
 
 
-def run_decrypt_task(task: DecryptTask) -> np.ndarray:
+def run_decrypt_task(task: DecryptTask) -> np.ndarray:  # taint: sanitizer
     """Reconstruct one served photo (safe to run in any process)."""
     if task.secret_envelope is None:
         return coefficients_to_pixels(

@@ -50,7 +50,9 @@ class P3Decryptor:
         self.fast_crypto = fast_crypto
         self.engine = engine
 
-    def open_secret(self, secret_envelope: bytes) -> SecretPart:
+    def open_secret(  # taint: source(secret)
+        self, secret_envelope: bytes
+    ) -> SecretPart:
         """Authenticate, decrypt and parse the secret container."""
         container = open_envelope(
             self._key, secret_envelope, fast=self.fast_crypto
@@ -76,7 +78,7 @@ class P3Decryptor:
             public_jpeg, self.open_secret(secret_envelope), operator
         )
 
-    def reconstruct(
+    def reconstruct(  # taint: sanitizer
         self,
         public_jpeg: bytes,
         secret_part: SecretPart,

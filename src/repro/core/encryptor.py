@@ -8,7 +8,7 @@ an AES envelope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,7 +34,7 @@ class EncryptedPhoto:
     """
 
     public_jpeg: bytes
-    secret_envelope: bytes
+    secret_envelope: bytes = field(repr=False)  # taint: source(secret)
 
     @property
     def public_size(self) -> int:
@@ -110,7 +110,7 @@ class P3Encryptor:
             f"expected (h, w) or (h, w, 3) pixels, got shape {pixels.shape}"
         )
 
-    def seal_secret(self, split: SplitResult) -> bytes:
+    def seal_secret(self, split: SplitResult) -> bytes:  # taint: sanitizer
         """Serialize the secret half and seal it in the AES envelope."""
         container = serialize_secret(split.secret, split.threshold)
         return seal_envelope(

@@ -16,7 +16,7 @@ an AES envelope before leaving the sender (see
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.jpeg.codec import decode_coefficients, encode_coefficients
 from repro.jpeg.structures import CoefficientImage
@@ -38,7 +38,7 @@ class SecretPart:
     threshold: int
     width: int
     height: int
-    image: CoefficientImage
+    image: CoefficientImage = field(repr=False)  # taint: source(secret)
 
 
 def serialize_secret(

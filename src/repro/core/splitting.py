@@ -19,7 +19,7 @@ in the secret part, which the paper identifies as crucial for privacy
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class SplitResult:
     """
 
     public: CoefficientImage
-    secret: CoefficientImage
+    secret: CoefficientImage = field(repr=False)  # taint: source(secret)
     threshold: int
 
     def storage_fractions(self) -> tuple[float, float]:

@@ -35,7 +35,7 @@ def _derive_keys(key: bytes) -> tuple[bytes, bytes]:
     return cipher_key, mac_key
 
 
-def seal_envelope(
+def seal_envelope(  # taint: sanitizer
     key: bytes,
     plaintext: bytes,
     nonce: bytes | None = None,
@@ -58,7 +58,9 @@ def seal_envelope(
     return body + tag
 
 
-def open_envelope(key: bytes, envelope: bytes, fast: bool = True) -> bytes:
+def open_envelope(  # taint: source(secret)
+    key: bytes, envelope: bytes, fast: bool = True
+) -> bytes:
     """Authenticate and decrypt an envelope produced by :func:`seal_envelope`."""
     minimum = len(MAGIC) + NONCE_SIZE + TAG_SIZE
     if len(envelope) < minimum:

@@ -12,14 +12,16 @@ import hashlib
 import os
 
 
-def generate_key(size: int = 16) -> bytes:
+def generate_key(size: int = 16) -> bytes:  # taint: source(secret)
     """Generate a random AES key (16 bytes = AES-128 by default)."""
     if size not in (16, 24, 32):
         raise ValueError(f"key size must be 16, 24 or 32, got {size}")
     return os.urandom(size)
 
 
-def derive_key(passphrase: str, salt: bytes = b"p3-repro", size: int = 16) -> bytes:
+def derive_key(  # taint: source(secret)
+    passphrase: str, salt: bytes = b"p3-repro", size: int = 16
+) -> bytes:
     """Derive a key from a passphrase (PBKDF2-HMAC-SHA256).
 
     Deterministic derivation is convenient for reproducible tests and
@@ -45,7 +47,7 @@ class Keyring:
             raise ValueError("invalid AES key length")
         self._keys[album] = key
 
-    def create_album(self, album: str) -> bytes:
+    def create_album(self, album: str) -> bytes:  # taint: source(secret)
         """Create a fresh key for a new album and install it."""
         if album in self._keys:
             raise ValueError(f"album {album!r} already has a key")
@@ -53,7 +55,7 @@ class Keyring:
         self._keys[album] = key
         return key
 
-    def key_for(self, album: str) -> bytes:
+    def key_for(self, album: str) -> bytes:  # taint: source(secret)
         """Look up the key for an album; raises KeyError when missing."""
         return self._keys[album]
 

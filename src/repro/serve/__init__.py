@@ -68,6 +68,31 @@ in CI (see ``tools/relint/README.md``):
   guards the bookkeeping around them (the double-checked pattern in
   :class:`SingleFlight` and the caches is the template).
 
+**Privacy discipline.**  The paper's threat model is a boundary: the
+PSP (and anything it can see) is honest-but-curious, so raw album
+keys, envelope plaintext and secret-part coefficients must never
+cross into the public domain.  In this tier that boundary is concrete
+and machine-checked by relint's ``taint-*`` dataflow rules (same CI
+gate, ``--rule taint``):
+
+* **What is secret**: ``ServeRequest.key``, decrypted
+  :class:`~repro.core.serialization.SecretPart` coefficients, raw
+  envelope bytes, and anything returned by
+  :func:`~repro.crypto.envelope.open_envelope` or ``Keyring.key_for``.
+* **Where it must never show up**: PSP ``upload`` calls, cache keys
+  and ``SingleFlight`` keys (they surface in partition labels and
+  stats), ``snapshot()``/``/stats`` payloads, log/exception/``repr``
+  strings, and HTTP headers.  Secret dataclass fields are declared
+  ``field(repr=False)`` so the generated ``__repr__`` cannot leak
+  them into tracebacks.
+* **How secret data legally leaves**: through a sanitizer.
+  :func:`key_digest` is the *only* form of an album key that may
+  appear in cache keys, stats or messages;
+  :func:`~repro.crypto.envelope.seal_envelope` is the only way secret
+  bytes reach storage; and :func:`reconstruct_served` is the
+  deliberate declassification point — its pixels are exactly what the
+  authorized viewer asked for.
+
 Quickstart::
 
     from repro.serve import ServeRequest, ServingEngine

@@ -94,7 +94,9 @@ class ServeRequest:
 
     photo_id: str
     album: str | None = None
-    key: bytes | None = None
+    key: bytes | None = field(  # taint: source(secret)
+        default=None, repr=False
+    )
     requester: str = "anonymous"
     resolution: int | None = None
     crop_box: tuple[int, int, int, int] | None = None

@@ -14,7 +14,7 @@ import hashlib
 from urllib.parse import quote
 
 
-def key_digest(key: bytes | None) -> str:
+def key_digest(key: bytes | None) -> str:  # taint: sanitizer
     """A short album-key fingerprint for cache keys and partitions.
 
     The digest only namespaces the caches (wrong key == different
@@ -41,7 +41,7 @@ def _encode_key_component(part: str) -> str:
     return quote(part, safe="").replace(".", "%2E")
 
 
-def secret_blob_key(album: str, photo_id: str) -> str:
+def secret_blob_key(album: str, photo_id: str) -> str:  # taint: sanitizer
     """Storage key for a photo's secret part.
 
     Album and photo ID are percent-encoded: IDs containing ``/`` or

@@ -64,7 +64,7 @@ def build_served_operator(
     return Compose(operators=(base, Crop(*crop_box)))
 
 
-def reconstruct_served(
+def reconstruct_served(  # taint: sanitizer
     public_jpeg: bytes,
     secret_part: SecretPart,
     *,

@@ -46,7 +46,9 @@ class HttpResponse:
         return 200 <= self.status < 300
 
 
-def build_url(base: str, path: str, params: dict[str, str] | None = None) -> str:
+def build_url(  # taint: sink(public)
+    base: str, path: str, params: dict[str, str] | None = None
+) -> str:
     """Join a base URL, a path and query parameters into one URL.
 
     Query strings are *merged*, never blindly appended: a ``base``

@@ -1,0 +1,15 @@
+"""Fixture: secret flows through a helper call into an exception message."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def render(material):
+    return material.hex()
+
+
+def leak():
+    key = make_key()
+    pretty = render(key)
+    raise ValueError(f"bad key {pretty}")

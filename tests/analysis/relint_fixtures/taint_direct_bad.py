@@ -1,0 +1,10 @@
+"""Fixture: a declared secret source flows straight into print()."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"\x00" * 16
+
+
+def leak():
+    key = make_key()
+    print("album key:", key)

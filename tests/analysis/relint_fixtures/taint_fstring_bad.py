@@ -1,0 +1,14 @@
+"""Fixture: secret interpolated into an f-string handed to a logger."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def leak():
+    key = make_key()
+    logger.info(f"serving album with key={key!r}")

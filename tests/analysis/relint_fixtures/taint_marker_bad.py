@@ -1,0 +1,16 @@
+"""Fixture: malformed and unattached taint markers are meta findings."""
+
+# taint: source(secret)
+
+
+def orphaned():
+    # The marker above is attached to nothing: bad-declaration.
+    return 1
+
+
+def misplaced():
+    pass  # taint: sink(public)
+
+
+def misspelled() -> bytes:  # taint: source(public)
+    return b"not a real marker spelling"

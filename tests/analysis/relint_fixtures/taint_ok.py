@@ -1,0 +1,35 @@
+"""Fixture: near-misses the taint pass must stay quiet on."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def seal(key, payload) -> bytes:  # taint: sanitizer
+    return b"sealed"
+
+
+def envelope_to_storage(storage):
+    # Sealed envelopes legitimately go to untrusted storage; put() on
+    # an untyped receiver is not a sink.
+    key = make_key()
+    envelope = seal(key, b"secret coefficients")
+    storage.put("blob/1", envelope)
+
+
+def derived_scalars_are_clean():
+    # len()/comparisons of secret values are not the bytes themselves.
+    key = make_key()
+    print("key length:", len(key))
+    print("is 16 bytes:", len(key) == 16)
+
+
+def public_upload(psp: PSPBackend):  # noqa: F821
+    # The public part is exactly what the PSP is for.
+    psp.upload(b"public jpeg bytes", owner="alice")
+
+
+def unknown_calls_are_clean(codec):
+    key = make_key()
+    token = codec.wrap(key)  # unknown receiver: under-approximate
+    print("token:", token)

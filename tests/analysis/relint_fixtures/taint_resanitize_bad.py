@@ -1,0 +1,16 @@
+"""Fixture: sanitizing once does not bless a later raw re-assignment."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def digest(key) -> str:  # taint: sanitizer
+    return "0123abcd"
+
+
+def leak():
+    key = make_key()
+    shown = digest(key)  # clean here
+    shown = key  # raw bytes again: re-tainted
+    print("key:", shown)

@@ -1,0 +1,19 @@
+"""Fixture: a sanitizer call launders the secret before the sink."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def digest(key) -> str:  # taint: sanitizer
+    return "0123abcd"
+
+
+def fine():
+    key = make_key()
+    print("key digest:", digest(key))
+
+
+def fine_in_exception():
+    key = make_key()
+    raise ValueError(f"no such key {digest(key)}")

@@ -1,0 +1,17 @@
+"""Fixture: secret stored on self in one method, leaked from another."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+class Holder:
+    def __init__(self, key):
+        self._key = key
+
+    def __repr__(self):
+        return f"Holder(key={self._key})"
+
+
+def build():
+    return Holder(make_key())

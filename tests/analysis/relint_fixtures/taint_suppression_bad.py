@@ -1,0 +1,16 @@
+"""Fixture: the suppression lifecycle failure modes for taint rules."""
+
+
+def make_key() -> bytes:  # taint: source(secret)
+    return b"k" * 16
+
+
+def reasonless():
+    key = make_key()
+    # relint: ignore[taint-format]
+    print("key:", key)
+
+
+def wrong_rule():
+    key = make_key()
+    print("key:", key)  # relint: ignore[taint-upload] -- wrong rule, stays unused

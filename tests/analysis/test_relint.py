@@ -177,6 +177,92 @@ class TestSuppressions:
         assert report.unused_suppressions == []
 
 
+class TestTaint:
+    def test_direct_flow_with_witness_path(self):
+        report = findings_for("taint_direct_bad.py")
+        assert [f.rule for f in report.findings] == ["taint-format"]
+        finding = report.findings[0]
+        assert finding.symbol == "leak"
+        assert finding.line == 10
+        # The witness runs source → sink, each step file:line anchored.
+        assert finding.witness[0].line == 9
+        assert "make_key" in finding.witness[0].note
+        assert finding.witness[-1].line == 10
+        assert "print" in finding.witness[-1].note
+
+    def test_flow_through_call_splices_the_callee(self):
+        report = findings_for("taint_call_bad.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "taint-format"
+        assert "exception message" in finding.message
+        notes = [step.note for step in finding.witness]
+        assert any("into render()" in n for n in notes)
+        assert any("parameter 'material'" in n for n in notes)
+
+    def test_flow_through_self_attribute(self):
+        report = findings_for("taint_self_attr_bad.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.symbol == "Holder.__repr__"
+        notes = [step.note for step in finding.witness]
+        assert any("read ._key" in n for n in notes)
+
+    def test_sanitizer_clears_the_taint(self):
+        report = findings_for("taint_sanitizer_ok.py")
+        assert report.findings == []
+
+    def test_retaint_after_sanitize_still_fires(self):
+        report = findings_for("taint_resanitize_bad.py")
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 16
+
+    def test_fstring_into_logger(self):
+        report = findings_for("taint_fstring_bad.py")
+        assert [f.rule for f in report.findings] == ["taint-format"]
+        assert "log message" in report.findings[0].message
+
+    def test_registry_sinks_report_under_their_own_rules(self):
+        report = findings_for("taint_upload_bad.py")
+        assert sorted(f.rule for f in report.findings) == [
+            "taint-cache-key",
+            "taint-stats",
+            "taint-upload",
+        ]
+
+    def test_suppression_lifecycle(self):
+        ok = findings_for("taint_suppression_ok.py")
+        assert ok.findings == []
+        assert len(ok.suppressed) == 1
+        assert ok.unused_suppressions == []
+
+        bad = findings_for("taint_suppression_bad.py")
+        assert sorted(f.rule for f in bad.findings) == [
+            "bad-suppression",
+            "taint-format",
+            "taint-format",
+        ]
+        assert len(bad.unused_suppressions) == 1
+
+    def test_marker_misuse_is_a_meta_finding(self):
+        report = findings_for("taint_marker_bad.py")
+        assert {f.rule for f in report.findings} == {"bad-declaration"}
+        assert len(report.findings) == 3
+
+    def test_near_misses_stay_quiet(self):
+        # Sealed envelope to storage, len() of a key, public-part
+        # upload, unknown-call laundering: all deliberately clean.
+        report = findings_for("taint_ok.py")
+        assert report.findings == []
+
+    def test_findings_are_sorted_and_deterministic(self):
+        first = findings_for("taint_upload_bad.py", "taint_direct_bad.py")
+        second = findings_for("taint_upload_bad.py", "taint_direct_bad.py")
+        ordered = [(f.path, f.line, f.rule) for f in first.findings]
+        assert ordered == sorted(ordered)
+        assert first.findings == second.findings
+
+
 class TestRepoIsClean:
     def test_src_repro_has_zero_unsuppressed_findings(self):
         report = analyze([str(REPO_ROOT / "src" / "repro")])
@@ -186,6 +272,15 @@ class TestRepoIsClean:
     def test_src_repro_has_no_stale_suppressions(self):
         report = analyze([str(REPO_ROOT / "src" / "repro")])
         assert report.unused_suppressions == []
+
+    def test_src_repro_is_taint_clean_via_cli(self, capsys):
+        # The acceptance gate verbatim: no unsanitized secret→public
+        # flow anywhere in the shipped sources.
+        code = relint_main(
+            ["--rule", "taint", str(REPO_ROOT / "src" / "repro")]
+        )
+        capsys.readouterr()
+        assert code == 0
 
     def test_annotations_cover_the_lock_holding_classes(self):
         """The declared-guard inventory: every class that creates a lock
@@ -269,3 +364,47 @@ class TestCli:
         out = capsys.readouterr().out
         assert "blocking_bad.py:18" in out
         assert "[blocking-under-lock]" in out
+
+    def test_witness_chain_rendered_in_text_output(self, capsys):
+        relint_main([str(FIXTURES / "taint_call_bad.py")])
+        out = capsys.readouterr().out
+        assert "into render()" in out
+        assert "->" in out
+
+    def test_output_writes_json_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        code = relint_main(
+            [
+                "--output",
+                str(artifact),
+                str(FIXTURES / "taint_direct_bad.py"),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["summary"]["taint-format"] == 1
+        (finding,) = payload["findings"]
+        witness = finding["witness"]
+        assert [step["line"] for step in witness] == sorted(
+            step["line"] for step in witness
+        )
+        assert all(
+            set(step) == {"file", "line", "note"} for step in witness
+        )
+
+    def test_rule_family_prefix_filter(self, capsys):
+        code = relint_main(
+            ["--rule", "taint", str(FIXTURES / "lock_discipline_bad.py")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # lock findings filtered by the taint family
+        assert "0 finding(s)" in out
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            relint_main(
+                ["--rule", "made-up", str(FIXTURES / "taint_ok.py")]
+            )
+        assert excinfo.value.code == 2
+        capsys.readouterr()

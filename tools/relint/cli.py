@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from tools.relint.engine import RULE_NAMES, Report, analyze
 
@@ -13,9 +14,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="relint",
         description=(
-            "AST-based concurrency & protocol lint for the serving "
-            "stack: lock-discipline, lock-order, blocking-under-lock, "
-            "protocol-conformance."
+            "AST-based concurrency, protocol & dataflow lint for the "
+            "serving stack: lock-discipline, lock-order, "
+            "blocking-under-lock, protocol-conformance, secret-taint."
         ),
     )
     parser.add_argument(
@@ -29,13 +30,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report on stdout",
     )
     parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the JSON report to this file (independent of "
+        "--json, which controls stdout)",
+    )
+    parser.add_argument(
         "--rule",
         action="append",
-        choices=sorted(RULE_NAMES),
-        help="only report this rule (repeatable); meta findings "
+        metavar="RULE",
+        help="only report this rule or rule family prefix (repeatable; "
+        "'taint' matches every taint-* rule); meta findings "
         "(parse-error, bad-declaration, bad-suppression) always show",
     )
     return parser
+
+
+def expand_rules(
+    parser: argparse.ArgumentParser, selected: list[str]
+) -> set[str]:
+    """Resolve ``--rule`` values, allowing family prefixes."""
+    wanted: set[str] = set()
+    for value in selected:
+        matched = {
+            name
+            for name in RULE_NAMES
+            if name == value or name.startswith(value + "-")
+        }
+        if not matched:
+            parser.error(
+                f"unknown rule {value!r}; known: "
+                + ", ".join(sorted(RULE_NAMES))
+            )
+        wanted.update(matched)
+    return wanted
 
 
 def _render_text(report: Report) -> str:
@@ -65,14 +93,21 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         parser.error(str(error))  # exits 2
     if options.rule:
-        wanted = set(options.rule)
+        wanted = expand_rules(parser, options.rule)
         report.findings = [
             f
             for f in report.findings
             if f.rule in wanted or f.rule not in RULE_NAMES
         ]
+    rendered_json = json.dumps(
+        report.to_json(), indent=2, sort_keys=True
+    )
+    if options.output:
+        Path(options.output).write_text(
+            rendered_json + "\n", encoding="utf-8"
+        )
     if options.json:
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        print(rendered_json)
     else:
         print(_render_text(report))
     return report.exit_code

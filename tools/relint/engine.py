@@ -10,6 +10,7 @@ from tools.relint import (
     rule_lock_discipline,
     rule_lock_order,
     rule_protocol,
+    rule_taint,
 )
 from tools.relint.model import Finding, Suppression
 from tools.relint.parsing import (
@@ -19,14 +20,21 @@ from tools.relint.parsing import (
     parse_module,
 )
 
-#: The rule registry, in reporting order.
+#: The rule registry, in reporting order.  A module may implement a
+#: whole rule *family* (``RULE_NAMES``); single-rule modules just
+#: export ``RULE``.
 RULES = (
     rule_lock_discipline,
     rule_lock_order,
     rule_blocking,
     rule_protocol,
+    rule_taint,
 )
-RULE_NAMES = tuple(rule.RULE for rule in RULES)
+RULE_NAMES = tuple(
+    name
+    for rule in RULES
+    for name in getattr(rule, "RULE_NAMES", (rule.RULE,))
+)
 
 #: Findings relint emits about its own inputs (not suppressible by
 #: design: a broken declaration must be fixed, not ignored).
@@ -187,7 +195,9 @@ def analyze(paths: list[str]) -> Report:
         else:
             covering.used = True
             report.suppressed.append((finding, covering))
-    report.unused_suppressions = [
-        s for s in suppressions if not s.used
-    ]
+    report.suppressed.sort(key=lambda pair: pair[0])
+    report.unused_suppressions = sorted(
+        (s for s in suppressions if not s.used),
+        key=lambda s: (s.path, s.line),
+    )
     return report

@@ -6,29 +6,59 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, order=True)
+class WitnessStep:
+    """One hop of a taint witness path: where, and what happened there."""
+
+    path: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} ({self.note})"
+
+    def to_json(self) -> dict:
+        return {"file": self.path, "line": self.line, "note": self.note}
+
+
+@dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation, addressable by (file, line, rule)."""
+    """One rule violation, addressable by (file, line, rule).
+
+    ``witness`` is the source→sink provenance chain of a dataflow
+    finding (the ``taint-*`` rules); structural rules leave it empty.
+    """
 
     path: str
     line: int
     rule: str
     symbol: str
     message: str
+    witness: tuple[WitnessStep, ...] = ()
 
     def render(self) -> str:
-        return (
+        rendered = (
             f"{self.path}:{self.line}: [{self.rule}] "
             f"{self.symbol}: {self.message}"
         )
+        if self.witness:
+            chain = "\n".join(
+                f"    {'->' if i else '  '} {step.render()}"
+                for i, step in enumerate(self.witness)
+            )
+            rendered += f"\n{chain}"
+        return rendered
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "file": self.path,
             "line": self.line,
             "rule": self.rule,
             "symbol": self.symbol,
             "message": self.message,
         }
+        if self.witness:
+            payload["witness"] = [step.to_json() for step in self.witness]
+        return payload
 
 
 @dataclass

@@ -23,6 +23,12 @@ Declaration conventions recognized here (documented in
   registered with the backend registry (the composites).
 * ``# relint: ignore[rule] -- reason`` — suppression with mandatory
   justification.
+* ``# taint: source(secret)`` / ``# taint: sink(public)`` /
+  ``# taint: sanitizer`` — secret-domain annotations for the
+  ``taint-*`` rules.  On a ``def`` line they describe the function
+  (returns secret / publishes its arguments / returns
+  clean data however tainted its inputs); on a dataclass field or an
+  assignment, ``source(secret)`` marks the stored value as secret.
 """
 
 from __future__ import annotations
@@ -42,6 +48,14 @@ SUPPRESS_COMMENT = re.compile(
 IMPLEMENTS_COMMENT = re.compile(
     r"#\s*relint:\s*implements\s+([A-Za-z_]\w*)"
 )
+#: Any ``# taint:`` marker at all (used to catch malformed spellings).
+TAINT_COMMENT = re.compile(r"#\s*taint:\s*(\S[^#]*?)\s*(?:#|$)")
+#: The three well-formed taint marker spellings.
+TAINT_KINDS = {
+    "source(secret)": "source",
+    "sink(public)": "sink",
+    "sanitizer": "sanitizer",
+}
 
 #: Callables whose result is a mutual-exclusion lock.
 _LOCK_FACTORIES = {"Lock": "Lock", "RLock": "RLock"}
@@ -79,6 +93,7 @@ class ClassInfo:
     lineno: int
     base_names: list[str] = field(default_factory=list)
     is_protocol: bool = False
+    is_dataclass: bool = False
     methods: list[MethodInfo] = field(default_factory=list)
     guarded: dict[str, GuardSpec] = field(default_factory=dict)
     locks: dict[str, str] = field(default_factory=dict)  # attr -> kind
@@ -104,7 +119,12 @@ class ModuleInfo:
     lines: list[str]
     tree: ast.Module
     classes: list[ClassInfo] = field(default_factory=list)
+    #: Module-level (top-level) function definitions.
+    functions: list[MethodInfo] = field(default_factory=list)
     registrations: list[Registration] = field(default_factory=list)
+    #: ``# taint:`` markers by 1-based line: line -> kind
+    #: ("source" | "sink" | "sanitizer").
+    taint_markers: dict[int, str] = field(default_factory=dict)
     #: Malformed declarations, surfaced as ``bad-declaration`` findings.
     problems: list[tuple[int, str]] = field(default_factory=list)
 
@@ -145,7 +165,9 @@ def annotation_name(node: ast.expr | None) -> str | None:
     return None
 
 
-def _line_markers(lines: list[str], start: int, stop: int, pattern):
+def _line_markers(
+    lines: list[str], start: int, stop: int, pattern: re.Pattern[str]
+) -> list[tuple[int, re.Match[str]]]:
     """Regex matches of ``pattern`` in 1-based source lines [start, stop]."""
     found = []
     for lineno in range(max(start, 1), min(stop, len(lines)) + 1):
@@ -207,7 +229,9 @@ def _is_property_decorator(node: ast.expr) -> bool:
 
 
 def _collect_method(
-    cls: ClassInfo, node: ast.FunctionDef | ast.AsyncFunctionDef, lines
+    cls: ClassInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    lines: list[str],
 ) -> MethodInfo:
     info = MethodInfo(name=node.name, node=node, lineno=node.lineno)
     for decorator in node.decorator_list:
@@ -273,7 +297,9 @@ def _parse_guarded_by_map(
             module.problems.append((value_node.lineno, str(error)))
 
 
-def _scan_method_body(cls: ClassInfo, info: MethodInfo, module: ModuleInfo):
+def _scan_method_body(
+    cls: ClassInfo, info: MethodInfo, module: ModuleInfo
+) -> None:
     """Record self-attribute assignments: types, locks, inline guards."""
     params = _param_annotations(info.node)
     for node in ast.walk(info.node):
@@ -337,6 +363,11 @@ def _collect_class(node: ast.ClassDef, module: ModuleInfo) -> ClassInfo:
         if name is not None:
             cls.base_names.append(name)
     cls.is_protocol = "Protocol" in cls.base_names
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = annotation_name(target)
+        if name == "dataclass":
+            cls.is_dataclass = True
     # ``# relint: implements X`` on the class line or the line above.
     for _, match in _line_markers(
         module.lines, node.lineno - 1, node.lineno, IMPLEMENTS_COMMENT
@@ -417,6 +448,26 @@ def _collect_registrations(module: ModuleInfo) -> None:
         )
 
 
+def _collect_taint_markers(module: ModuleInfo) -> None:
+    """Parse ``# taint:`` comments; malformed spellings become problems."""
+    for lineno, line in enumerate(module.lines, start=1):
+        match = TAINT_COMMENT.search(line)
+        if match is None:
+            continue
+        spelled = match.group(1).strip()
+        kind = TAINT_KINDS.get(spelled)
+        if kind is None:
+            module.problems.append(
+                (
+                    lineno,
+                    f"bad taint marker {spelled!r}; expected one of "
+                    + ", ".join(repr(k) for k in TAINT_KINDS),
+                )
+            )
+            continue
+        module.taint_markers[lineno] = kind
+
+
 def parse_module(path: Path, display_path: str) -> ModuleInfo:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
@@ -426,7 +477,13 @@ def parse_module(path: Path, display_path: str) -> ModuleInfo:
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
             module.classes.append(_collect_class(node, module))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions.append(
+                MethodInfo(name=node.name, node=node, lineno=node.lineno)
+            )
     _collect_registrations(module)
+    _collect_taint_markers(module)
     return module
 
 

@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 
 from tools.relint.model import Finding
 from tools.relint.parsing import (
+    ClassInfo,
     Codebase,
+    MethodInfo,
     resolve_call_target,
     walk_lock_regions,
 )
@@ -78,7 +80,9 @@ def _lock_node(codebase: Codebase, cls, attr: str) -> LockNode | None:
     return LockNode(owner=owner.name, attr=attr, kind=kind)
 
 
-def _method_calls(codebase: Codebase, cls, method) -> list[str]:
+def _method_calls(
+    codebase: Codebase, cls: ClassInfo, method: MethodInfo
+) -> list[str]:
     """Qualnames of resolvable callees anywhere in the method."""
     callees: list[str] = []
     properties = codebase.merged_properties(cls)
@@ -136,7 +140,9 @@ def check(codebase: Codebase) -> list[Finding]:
     edges: dict[tuple[LockNode, LockNode], _Edge] = {}
     reported_self: set[tuple[str, int]] = set()
 
-    def add_edge(src: LockNode, dst: LockNode, path, lineno, via) -> None:
+    def add_edge(
+        src: LockNode, dst: LockNode, path: str, lineno: int, via: str
+    ) -> None:
         if src == dst:
             if src.kind == "RLock":
                 return  # reentrant by design
@@ -217,7 +223,9 @@ def check(codebase: Codebase) -> list[Finding]:
     return findings
 
 
-def _cycle_findings(edges: dict[tuple[LockNode, LockNode], _Edge]):
+def _cycle_findings(
+    edges: dict[tuple[LockNode, LockNode], _Edge]
+) -> list[Finding]:
     """Tarjan SCCs over the lock graph; each SCC > 1 node is a cycle."""
     graph: dict[LockNode, list[LockNode]] = {}
     for src, dst in edges:
