@@ -39,9 +39,29 @@ import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Coroutine, Sequence
 
 EXECUTOR_KINDS = ("serial", "thread", "process", "async")
+
+
+def run_async(coro: Coroutine[Any, Any, Any]) -> Any:
+    """Run a coroutine to completion from synchronous code.
+
+    The loop-ownership seam for every sync->async crossing in the
+    codebase: if no event loop is running on this thread the coroutine
+    gets its own via :func:`asyncio.run`; if one *is* running (a
+    notebook, a test driving an async server, a callback inside the
+    async gateway's loop) nesting ``asyncio.run`` would raise, so the
+    coroutine is driven by a fresh loop on a helper thread and this
+    caller blocks on the result.  Either way exceptions propagate
+    unchanged.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        return pool.submit(asyncio.run, coro).result()
 
 
 @dataclass
@@ -229,37 +249,80 @@ class AsyncExecutor(Executor):
     concurrently — the natural home for network-bound backends, where
     the time goes to waiting on sockets rather than the CPU.  The map
     contract is identical to the other strategies: ordered
-    :class:`TaskOutcome` per item, per-item error capture.
+    :class:`TaskOutcome` per item, per-item error capture.  Entering
+    from a thread that already runs an event loop is safe: the work is
+    driven through :func:`run_async`, the codebase-wide loop-ownership
+    seam.
 
     Because the work is assumed to wait rather than compute, the
     default worker count is I/O-sized (``min(32, cpus + 4)``, the
     stdlib thread-pool heuristic) instead of one per CPU — a 1-core
     box still overlaps its waits.
+
+    ``persistent=True`` makes the executor an *offload seam* for async
+    front ends: one lazily-created thread pool is shared by
+    :meth:`map`, :meth:`run_one` and the awaitable :meth:`offload`
+    until :meth:`shutdown` — the async gateway parks its blocking
+    serve calls here without spinning a pool per request.
     """
 
     kind = "async"
 
-    def __init__(self, workers: int | None = None) -> None:
+    _GUARDED_BY = {"_pool": "_pool_lock"}
+
+    def __init__(
+        self, workers: int | None = None, *, persistent: bool = False
+    ) -> None:
         super().__init__(workers or min(32, (os.cpu_count() or 1) + 4))
+        self.persistent = persistent
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _live_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def run_one(self, fn: Callable[[Any], Any], item: Any) -> Any:
+        if not self.persistent:
+            return fn(item)
+        return self._live_pool().submit(fn, item).result()
+
+    async def offload(self, fn: Callable[[Any], Any], item: Any) -> Any:
+        """Await one blocking call on the shared offload pool.
+
+        The coroutine-side entry point: an async caller (the gateway's
+        event loop) ships ``fn(item)`` to the persistent pool and
+        yields until it lands, without blocking the loop.  Exceptions
+        propagate unchanged.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._live_pool(), fn, item)
 
     def _run_all(self, fn, items) -> list[TaskOutcome]:
-        try:
-            asyncio.get_running_loop()
-        except RuntimeError:
-            return asyncio.run(self._gather(fn, items))
-        # Already inside a running loop (a notebook, an async server):
-        # nesting asyncio.run would raise, so drive our own loop on a
-        # helper thread and block this caller on it.
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            return pool.submit(asyncio.run, self._gather(fn, items)).result()
+        return run_async(self._gather(fn, items))
 
     async def _gather(self, fn, items) -> list[TaskOutcome]:
         loop = asyncio.get_running_loop()
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        if self.persistent:
+            pool = self._live_pool()
             results = await asyncio.gather(
                 *[loop.run_in_executor(pool, fn, item) for item in items],
                 return_exceptions=True,
             )
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = await asyncio.gather(
+                    *[loop.run_in_executor(pool, fn, item) for item in items],
+                    return_exceptions=True,
+                )
         outcomes = []
         for index, result in enumerate(results):
             if isinstance(result, BaseException):
@@ -276,11 +339,12 @@ def make_executor(
 ) -> Executor:
     """Build an executor from config-level settings.
 
-    ``kind`` is one of ``"serial"``, ``"thread"``, ``"process"``;
-    ``workers=None`` (or 0) means one worker per CPU for the pooled
-    strategies.  ``persistent=True`` gives the thread/process
-    strategies a long-lived pool (see :class:`_PoolExecutor`); the
-    other strategies are stateless and ignore it.
+    ``kind`` is one of ``"serial"``, ``"thread"``, ``"process"``,
+    ``"async"``; ``workers=None`` (or 0) means one worker per CPU for
+    the pooled strategies.  ``persistent=True`` gives the
+    thread/process/async strategies a long-lived pool (see
+    :class:`_PoolExecutor` and :class:`AsyncExecutor`); the serial
+    strategy is stateless and ignores it.
     """
     normalized = kind.lower().strip()
     if normalized == "serial":
@@ -290,7 +354,7 @@ def make_executor(
     if normalized == "process":
         return ProcessExecutor(workers, persistent=persistent)
     if normalized == "async":
-        return AsyncExecutor(workers)
+        return AsyncExecutor(workers, persistent=persistent)
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}"
     )

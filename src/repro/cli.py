@@ -603,6 +603,135 @@ def _cmd_serve_bench(args) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_serve_load(args) -> int:
+    """Replay a timed workload trace through the async front end.
+
+    Builds an in-process deployment (gateway + :class:`~repro.serve.
+    async_gateway.AsyncGateway`), generates the requested scenario
+    trace — a diurnal day curve, a flash-crowd spike, or a thundering
+    herd — registers every tenant the trace drew from its
+    million-user population, and replays it open-loop with real async
+    round trips.  Reports offered vs served RPS, shed/degraded
+    counts, latency percentiles and the admission snapshot; exits
+    nonzero if any request came back with an unexpected error status.
+    """
+    from repro.api.executors import run_async
+    from repro.api.registry import DEFAULT_REGISTRY
+    from repro.datasets import iter_corpus_jpegs
+    from repro.serve.async_gateway import AsyncGateway
+    from repro.serve.replay import replay_async, view_request
+    from repro.serve.trace import (
+        diurnal_trace,
+        flash_crowd_trace,
+        thundering_herd_trace,
+    )
+    from repro.system.client import PhotoSharingClient
+    from repro.system.gateway import P3Gateway
+
+    if args.scenario == "diurnal":
+        events = diurnal_trace(
+            tenants=args.population,
+            photos=args.photos,
+            duration_s=args.duration,
+            peak_rps=args.rate,
+            seed=args.seed,
+        )
+    elif args.scenario == "flash-crowd":
+        events = flash_crowd_trace(
+            tenants=args.population,
+            photos=args.photos,
+            duration_s=args.duration,
+            base_rps=args.rate,
+            spike_rps=args.spike_rps or args.rate * 6,
+            spike_start_s=args.duration / 4,
+            spike_duration_s=args.duration / 2,
+            seed=args.seed,
+        )
+    else:  # herd
+        events = thundering_herd_trace(
+            tenants=args.population, herd_size=args.herd, seed=args.seed
+        )
+    tenants = sorted({event.tenant for event in events})
+
+    config = P3Config(
+        quality=args.quality,
+        max_inflight=args.max_inflight,
+        tenant_rps=args.tenant_rps,
+        queue_deadline_ms=args.queue_deadline_ms,
+        degrade_mode=args.degrade_mode,
+    )
+    psp = DEFAULT_REGISTRY.create_psp(args.psp)
+    storage = DEFAULT_REGISTRY.create_storage("dropbox")
+    gateway = P3Gateway(psp, storage, config)
+    owner = PhotoSharingClient.for_gateway(gateway, "owner")
+    corpus = iter_corpus_jpegs(
+        "usc", args.photos, size=args.size, quality=args.quality
+    )
+    receipts = [
+        owner.upload_photo(jpeg, "bench", viewers=set(tenants))
+        for jpeg in corpus
+    ]
+    for name in tenants:
+        gateway.add_user(name)
+    gateway.share_album("owner", "bench", *tenants)
+    photo_ids = [receipt.photo_id for receipt in receipts]
+    front = AsyncGateway(gateway)
+    print(
+        f"serve-load: {args.scenario} trace, {len(events)} arrivals from "
+        f"{len(tenants)} tenants (population {args.population}) over "
+        f"{len(photo_ids)} photo(s); max_inflight={config.max_inflight}, "
+        f"queue_deadline={config.queue_deadline_ms:.0f} ms, "
+        f"degrade_mode={config.degrade_mode}"
+    )
+
+    report = run_async(
+        replay_async(
+            front.handle,
+            events,
+            lambda event: view_request(event, photo_ids, album="bench"),
+            client_rtt_s=args.client_rtt_ms / 1000.0,
+        )
+    )
+    report.scenario = args.scenario
+    frontend = front.frontend.snapshot()
+    admission = front.controller.snapshot()
+    front.close()
+
+    print(
+        f"offered {report.offered_rps:.1f} rps, served "
+        f"{len(report.served)} full ({report.served_rps:.1f} rps) + "
+        f"{len(report.degraded)} degraded preview(s), "
+        f"{len(report.rejected)} x 503, {len(report.errors)} error(s)"
+    )
+    print(
+        f"latency: p50 {report.latency_ms(50):.1f} ms, "
+        f"p99 {report.latency_ms(99):.1f} ms, "
+        f"p99.9 {report.latency_ms(99.9):.1f} ms (full serves); "
+        f"degraded p99 {frontend['degraded_p99_ms']:.1f} ms"
+    )
+    print(
+        f"admission: {frontend['admitted']} admitted "
+        f"({frontend['loop_hits']} on-loop cache hits), "
+        f"shed {frontend['shed_total']} {frontend['shed'] or '{}'}, "
+        f"queue max {frontend['queue_depth_max']}"
+        f"/{admission['queue_capacity']}"
+    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "replay": report.summary(),
+                    "frontend": frontend,
+                    "admission": admission,
+                },
+                indent=2,
+            )
+        )
+    return 0 if not report.errors else 1
+
+
 def _cmd_engines(args) -> int:
     """Report which entropy codec engines this deployment can run.
 
@@ -865,6 +994,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool width for --serve-executor (0 = one per CPU)",
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
+
+    serve_load = commands.add_parser(
+        "serve-load",
+        help="replay a timed workload trace (diurnal, flash-crowd, "
+        "herd) through the async front end with admission control",
+    )
+    serve_load.add_argument(
+        "--scenario",
+        choices=("diurnal", "flash-crowd", "herd"),
+        default="flash-crowd",
+    )
+    serve_load.add_argument("--psp", default="facebook")
+    serve_load.add_argument(
+        "--photos", type=int, default=6, help="corpus size"
+    )
+    serve_load.add_argument("--size", type=int, default=160)
+    serve_load.add_argument("--quality", type=int, default=_DEFAULTS.quality)
+    serve_load.add_argument(
+        "--population",
+        type=int,
+        default=1_000_000,
+        help="tenant population the trace draws viewers from",
+    )
+    serve_load.add_argument(
+        "--duration", type=float, default=4.0, help="trace window seconds"
+    )
+    serve_load.add_argument(
+        "--rate",
+        type=float,
+        default=30.0,
+        help="peak rps (diurnal) or base rps (flash-crowd)",
+    )
+    serve_load.add_argument(
+        "--spike-rps",
+        type=float,
+        default=None,
+        help="flash-crowd spike rate (default: 6x --rate)",
+    )
+    serve_load.add_argument(
+        "--herd", type=int, default=64, help="herd scenario arrival count"
+    )
+    serve_load.add_argument(
+        "--client-rtt-ms",
+        type=float,
+        default=10.0,
+        help="simulated client link round trip",
+    )
+    serve_load.add_argument(
+        "--max-inflight", type=int, default=_DEFAULTS.max_inflight
+    )
+    serve_load.add_argument(
+        "--tenant-rps", type=float, default=_DEFAULTS.tenant_rps
+    )
+    serve_load.add_argument(
+        "--queue-deadline-ms",
+        type=float,
+        default=_DEFAULTS.queue_deadline_ms,
+    )
+    serve_load.add_argument(
+        "--degrade-mode",
+        choices=("preview", "reject"),
+        default=_DEFAULTS.degrade_mode,
+    )
+    serve_load.add_argument("--seed", type=int, default=7)
+    serve_load.add_argument(
+        "--json",
+        action="store_true",
+        help="also emit the full replay/frontend/admission snapshot",
+    )
+    serve_load.set_defaults(handler=_cmd_serve_load)
 
     engines = commands.add_parser(
         "engines",

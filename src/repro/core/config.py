@@ -90,6 +90,21 @@ class P3Config:
     preserves one-at-a-time ingest).  ``"process"`` is deliberately
     not allowed here — backend state lives in this process.
 
+    ``max_inflight`` / ``tenant_rps`` / ``queue_deadline_ms`` /
+    ``degrade_mode`` tune the async front end's overload protection
+    (:class:`~repro.serve.async_gateway.AsyncGateway`).  At most
+    ``max_inflight`` cache-missing requests are being reconstructed at
+    once; arrivals beyond that wait in a bounded admission queue (four
+    times ``max_inflight`` deep) for at most ``queue_deadline_ms``
+    milliseconds before they are shed.  ``tenant_rps`` is a per-tenant
+    token-bucket rate limit on admitted requests (0 = unlimited;
+    bursts up to two seconds of budget are allowed).  ``degrade_mode``
+    decides what a shed viewer receives: ``"preview"`` (the default —
+    the paper-native fallback, a public-part-only reconstruction, the
+    same pixels :meth:`~repro.api.session.P3Session.
+    download_public_only` produces) or ``"reject"`` (a plain 503).
+    The synchronous gateway ignores these fields.
+
     ``psps`` names several providers to publish every photo to (via a
     :class:`~repro.api.fanout.FanoutPSP`); empty means the single
     provider passed to :meth:`~repro.api.session.P3Session.create`.
@@ -120,6 +135,10 @@ class P3Config:
     serve_workers: int = 0
     ingest_executor: str = "serial"
     ingest_workers: int = 0
+    max_inflight: int = 64
+    tenant_rps: float = 0.0
+    queue_deadline_ms: float = 250.0
+    degrade_mode: str = "preview"
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -211,6 +230,26 @@ class P3Config:
             raise ValueError(
                 f"ingest_workers must be >= 0 (0 = automatic), "
                 f"got {self.ingest_workers}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.tenant_rps < 0:
+            raise ValueError(
+                f"tenant_rps must be >= 0 (0 = unlimited), "
+                f"got {self.tenant_rps}"
+            )
+        if self.queue_deadline_ms <= 0:
+            raise ValueError(
+                f"queue_deadline_ms must be > 0 (how long an admitted "
+                f"request may queue for a slot), got {self.queue_deadline_ms}"
+            )
+        if self.degrade_mode not in ("preview", "reject"):
+            raise ValueError(
+                f"unknown degrade_mode {self.degrade_mode!r}; expected "
+                "'preview' (serve the public-part-only fallback when "
+                "shedding) or 'reject' (plain 503)"
             )
 
     @property

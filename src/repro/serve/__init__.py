@@ -18,8 +18,15 @@ Everything a download needs lives here, shared by every caller:
 * :class:`LRUCache` / :class:`PartitionedLRUCache` /
   :class:`CacheStats` / :class:`SingleFlight` — the building blocks,
   reusable on their own;
-* :mod:`repro.serve.trace` — zipfian workload traces for cache
-  benchmarks.
+* :mod:`repro.serve.trace` — workload traces: the flat zipfian draw
+  for cache benchmarks plus *timed* scenarios (diurnal day curve,
+  flash-crowd spike, thundering herd) drawn from million-user tenant
+  populations;
+* :mod:`repro.serve.replay` — open-loop async / closed-loop sync
+  trace replayers with SHA-256 byte-identity digests per response;
+* :mod:`repro.serve.admission` + :mod:`repro.serve.async_gateway` —
+  the overload-protection layer and the asyncio front end it guards
+  (see *Overload protection* below).
 
 The three cache tiers, top to bottom:
 
@@ -45,6 +52,45 @@ partition within its quota can never be evicted by another partition's
 inserts, so one viral photo cannot flush every other tenant's working
 set.  Per-partition hit/miss/eviction stats surface in
 ``engine.snapshot()`` and the gateway's ``/stats``.
+
+**Overload protection.**  The asyncio front end
+(:class:`~repro.serve.async_gateway.AsyncGateway`, built over the
+sync :class:`~repro.system.gateway.P3Gateway`) multiplexes thousands
+of in-flight requests on one event loop: variant-cache hits are
+answered inline (:meth:`ServingEngine.serve_cached`), cold
+reconstructions run on a bounded offload thread pool where the
+engine's single-flight coalescing works across coroutines unchanged.
+Between the loop and the pool sits the admission pipeline
+(:class:`~repro.serve.admission.AdmissionController`), in decision
+order:
+
+1. **per-tenant token bucket** (``P3Config.tenant_rps``, 0 = off) —
+   spends only when a request would consume reconstruction capacity;
+   cache hits and degraded previews are never rate-limited;
+2. **in-flight cap** (``P3Config.max_inflight``) — concurrent
+   reconstruction slots; a freed slot transfers directly to the
+   oldest live waiter;
+3. **bounded deadline queue** (capacity 4x the cap,
+   ``P3Config.queue_deadline_ms``) — arrivals past capacity wait, but
+   never longer than the deadline and never behind an unbounded
+   backlog: full queue and expired waiters shed immediately;
+4. **graceful degradation** (``P3Config.degrade_mode``) — a shed
+   *view* in ``"preview"`` mode (the default) is answered 200 with
+   the public-part-only pixels (exactly ``download_public_only``'s
+   bytes) and an ``x-p3-degraded: <reason>`` header instead of a 503;
+   ``"reject"`` mode and shed *uploads* return 503 + ``retry-after``.
+   Previews bypass admission entirely — a flash crowd's worth of
+   shed viewers coalesces into one public-part decode.
+
+Every decision is visible through the gateway's ``/stats``:
+admitted/loop-hit/shed-by-reason/degraded counters, queue-depth
+high-water mark, and separate p50/p99/p999 for admitted serves vs
+degraded fallbacks.  ``repro serve-load`` replays a trace scenario
+against the whole stack from the command line, and
+``benchmarks/bench_async_serving.py`` is the acceptance harness
+(sync-vs-async throughput, flash-crowd tail bounds, herd coalescing
+— every admitted response byte-verified against a reference
+reconstruction).
 
 **Concurrency discipline.**  The tier is built for many threads
 sharing one engine, and the rules are mechanical enough to be
@@ -107,6 +153,13 @@ Quickstart::
     engine.snapshot()    # hit rates, p50/p99, per-partition stats
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineQueue,
+    FrontendStats,
+    TenantRateLimiter,
+    TokenBucket,
+)
 from repro.serve.cache import CacheStats, LRUCache, PartitionedLRUCache
 from repro.serve.engine import (
     DEFAULT_CACHE_PARTITION_QUOTA,
@@ -125,6 +178,11 @@ from repro.serve.reconstruct import build_served_operator, reconstruct_served
 from repro.serve.singleflight import SingleFlight
 
 __all__ = [
+    "AdmissionController",
+    "DeadlineQueue",
+    "FrontendStats",
+    "TenantRateLimiter",
+    "TokenBucket",
     "CacheStats",
     "LRUCache",
     "PartitionedLRUCache",

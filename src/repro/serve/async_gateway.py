@@ -1,0 +1,321 @@
+"""`AsyncGateway`: the event-loop front end over a :class:`P3Gateway`.
+
+The synchronous gateway serves one request per thread; this front end
+multiplexes thousands of in-flight requests on one :mod:`asyncio`
+event loop over the *same* shared :class:`~repro.serve.engine.
+ServingEngine`:
+
+* **cache hits stay on the loop** — a decoded-variant hit costs an
+  access check plus an array copy
+  (:meth:`~repro.serve.engine.ServingEngine.serve_cached`), so it is
+  answered inline, no thread handoff;
+* **cold serves are offloaded** — reconstructions run on a persistent
+  thread pool (:meth:`~repro.api.executors.AsyncExecutor.offload`);
+  because they execute in real threads, the engine's single-flight
+  coalescing works across coroutines exactly as it does across
+  request threads, and a pooled ``serve_executor`` still batches the
+  CPU work across processes underneath;
+* **overload protection** — per-tenant token buckets, an in-flight
+  cap, and a bounded deadline queue
+  (:class:`~repro.serve.admission.AdmissionController`) decide every
+  request's fate *before* it can touch a reconstruction slot.  Shed
+  viewers degrade gracefully: ``degrade_mode="preview"`` answers with
+  the public-part-only pixels (the paper's Figure-4 fallback — what a
+  key-less viewer sees) instead of a 503, marked with an
+  ``x-p3-degraded`` header.
+
+Every knob comes from :class:`~repro.core.config.P3Config`
+(``max_inflight``, ``tenant_rps``, ``queue_deadline_ms``,
+``degrade_mode``) and every outcome is visible through ``/stats``
+(admitted/shed/degraded counters, queue depth high-water mark,
+p99/p999 latency).
+
+Parity with the sync gateway is by construction, not by convention:
+authentication, view parsing and error mapping are *shared code*
+(:meth:`~repro.system.gateway.P3Gateway.authenticate`,
+:meth:`~repro.system.gateway.P3Gateway.view_request`,
+:func:`~repro.system.gateway.map_exception`), and uploads are the
+sync gateway's own handler run on the offload pool — so the two front
+ends return byte-identical pixels and identical status codes for the
+same request.
+
+Rate limiting deliberately gates *reconstruction work*, not loop
+hits: a tenant replaying a cached photo costs microseconds and is
+served; the token bucket spends only when the request would consume
+a slot, a queue position, or offload capacity.  Degraded previews
+likewise bypass admission — a viral photo's flood of shed viewers
+coalesces (single-flight + variant cache) into one public-part
+decode, which is the cheap answer the degrade path exists to give.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from repro.api.executors import AsyncExecutor, run_async
+from repro.core.config import P3Config
+from repro.serve.admission import (
+    SHED_DEADLINE,
+    AdmissionController,
+    FrontendStats,
+    Ticket,
+)
+from repro.serve.engine import ServeRequest, ServeResult
+from repro.system.gateway import (
+    USER_HEADER,
+    P3Gateway,
+    map_exception,
+    pixel_response,
+)
+from repro.system.http import HttpRequest, HttpResponse
+
+#: Response header naming the shed reason on a degraded preview.
+DEGRADED_HEADER = "x-p3-degraded"
+
+#: Offload threads beyond ``max_inflight``: headroom so degraded
+#: previews (which bypass admission) never deadlock behind a full
+#: complement of admitted serves.
+OFFLOAD_HEADROOM = 4
+
+
+def _unavailable(reason: str) -> HttpResponse:
+    return HttpResponse(
+        status=503,
+        headers={"content-type": "text/plain", "retry-after": "1"},
+        body=f"overloaded: shed ({reason})".encode(),
+    )
+
+
+class AsyncGateway:
+    """Asyncio front end + admission control over a sync gateway.
+
+    Construct it around an existing :class:`~repro.system.gateway.
+    P3Gateway` (tenancy, engine and upload path are shared — the two
+    front ends can serve the same deployment side by side) and drive
+    it with :meth:`handle` from a coroutine, or :meth:`handle_sync`
+    from blocking code.  All admission decisions happen on the event
+    loop; only blocking work (reconstructions, uploads) runs on the
+    offload pool.  Call :meth:`close` when done.
+    """
+
+    # Admission state synchronizes inside AdmissionController /
+    # FrontendStats; everything here is set once in __init__.
+    _GUARDED_BY: dict[str, str] = {}
+
+    def __init__(
+        self,
+        gateway: P3Gateway,
+        *,
+        controller: AdmissionController | None = None,
+    ) -> None:
+        self.gateway = gateway
+        self.engine = gateway.engine
+        self.config: P3Config = gateway.config
+        self.controller = controller or AdmissionController(
+            max_inflight=self.config.max_inflight,
+            tenant_rps=self.config.tenant_rps,
+            queue_deadline_s=self.config.queue_deadline_ms / 1000.0,
+        )
+        self.frontend = FrontendStats()
+        self.offload = AsyncExecutor(
+            self.controller.max_inflight + OFFLOAD_HEADROOM,
+            persistent=True,
+        )
+
+    def close(self) -> None:
+        """Release the offload pool and the engine's pooled resources."""
+        self.offload.shutdown()
+        self.gateway.close()
+
+    # -- the HTTP surface -----------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request; errors become status codes, never raises."""
+        try:
+            return await self._dispatch(request)
+        except Exception as error:  # noqa: BLE001 - same contract,
+            # same mapping as the sync gateway's handle().
+            return map_exception(error)
+
+    def handle_sync(self, request: HttpRequest) -> HttpResponse:
+        """Blocking convenience over :meth:`handle` (tests, probes)."""
+        return run_async(self.handle(request))
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        path = request.path
+        if request.method == "GET" and path == "/stats":
+            return HttpResponse(
+                status=200,
+                headers={"content-type": "application/json"},
+                body=json.dumps(self.stats_payload()).encode(),
+            )
+        if request.method == "POST" and path == "/photos/upload":
+            return await self._handle_upload(request)
+        if request.method == "GET" and path.startswith("/photos/"):
+            return await self._handle_view(
+                request, path[len("/photos/") :]
+            )
+        return HttpResponse(
+            status=404,
+            headers={"content-type": "text/plain"},
+            body=f"no route for {request.method} {path}".encode(),
+        )
+
+    # -- views ----------------------------------------------------------------
+
+    async def _handle_view(
+        self, request: HttpRequest, photo_id: str
+    ) -> HttpResponse:
+        arrival = time.perf_counter()
+        # Shared parsing: 401/400/404 verdicts are decided on the loop,
+        # before any admission budget is spent.
+        serve_request = self.gateway.view_request(request, photo_id)
+        cached = self.engine.serve_cached(serve_request)
+        if cached is not None:
+            self.frontend.record_admitted(
+                time.perf_counter() - arrival, on_loop=True
+            )
+            return pixel_response(cached)
+        tenant = request.headers.get(USER_HEADER, "")
+        verdict, ticket = self.controller.try_admit(tenant)
+        if verdict == "queued":
+            assert ticket is not None
+            self.frontend.observe_queue_depth(self.controller.queue_depth())
+            if not await self._await_grant(ticket):
+                return await self._shed(
+                    serve_request, SHED_DEADLINE, arrival
+                )
+        elif verdict != "admitted":
+            return await self._shed(
+                serve_request, verdict[len("shed-") :], arrival
+            )
+        try:
+            result: ServeResult = await self.offload.offload(
+                self.engine.serve, serve_request
+            )
+        finally:
+            self._release()
+        self.frontend.record_admitted(time.perf_counter() - arrival)
+        return pixel_response(result)
+
+    async def _await_grant(self, ticket: Ticket) -> bool:
+        """Wait for a freed slot until the ticket's deadline.
+
+        The waiter future lives on this loop; grants resolve it from
+        :meth:`_release` (also on this loop — only blocking work
+        leaves it, so controller calls never race across threads).
+        Returns False when the deadline fired: the ticket is
+        abandoned, and if a grant slipped in between the timeout and
+        the abandon, the controller hands that slot straight to the
+        next waiter — either way this request sheds exactly once.
+        """
+        future: asyncio.Future[bool] = (
+            asyncio.get_running_loop().create_future()
+        )
+        ticket.waiter = future
+        if ticket.state == Ticket.GRANTED:
+            return True
+        timeout = max(0.001, ticket.deadline - self.controller.clock())
+        try:
+            await asyncio.wait_for(future, timeout)
+            return True
+        except asyncio.TimeoutError:
+            # True = never granted; False = the grant raced the timer
+            # and the controller already passed the slot on.  Both
+            # mean this request sheds.
+            self.controller.abandon(ticket)
+            return False
+
+    def _release(self) -> None:
+        """Return a slot; wake the waiter it transfers to, if any."""
+        granted = self.controller.release()
+        if granted is not None and granted.waiter is not None:
+            waiter: asyncio.Future[bool] = granted.waiter
+            if not waiter.done():
+                waiter.set_result(True)
+
+    async def _shed(
+        self, serve_request: ServeRequest, reason: str, arrival: float
+    ) -> HttpResponse:
+        """A view lost admission: degrade to a preview, or 503.
+
+        ``degrade_mode="preview"`` serves the public-part-only pixels
+        — exactly what ``download_public_only`` yields for this photo
+        — bypassing admission: the preview coalesces in the variant
+        cache/single-flight layer, so a flash crowd's worth of shed
+        viewers costs one public decode, not thousands.
+        """
+        if self.config.degrade_mode != "preview":
+            self.frontend.record_shed(reason, degraded=False)
+            return _unavailable(reason)
+        self.frontend.record_shed(reason, degraded=True)
+        preview = ServeRequest(
+            photo_id=serve_request.photo_id,
+            album=None,
+            key=None,
+            requester=serve_request.requester,
+            resolution=serve_request.resolution,
+            crop_box=serve_request.crop_box,
+            provider=serve_request.provider,
+        )
+        result = self.engine.serve_cached(preview)
+        if result is None:
+            result = await self.offload.offload(self.engine.serve, preview)
+        self.frontend.record_degraded_latency(time.perf_counter() - arrival)
+        response = pixel_response(result)
+        response.headers[DEGRADED_HEADER] = reason
+        return response
+
+    # -- uploads --------------------------------------------------------------
+
+    async def _handle_upload(self, request: HttpRequest) -> HttpResponse:
+        """Uploads ride the same admission pipeline, minus degrade.
+
+        There is no cheaper version of an upload to fall back to, so a
+        shed upload is always a 503 whatever ``degrade_mode`` says.
+        The admitted path runs the sync gateway's whole handler on the
+        offload pool — encryption, publish, rollback and error
+        mapping included — so the two front ends accept and refuse
+        identically.
+        """
+        arrival = time.perf_counter()
+        self.gateway.authenticate(request)  # 401 before spending budget
+        tenant = request.headers.get(USER_HEADER, "")
+        verdict, ticket = self.controller.try_admit(tenant)
+        if verdict == "queued":
+            assert ticket is not None
+            self.frontend.observe_queue_depth(self.controller.queue_depth())
+            if not await self._await_grant(ticket):
+                self.frontend.record_shed(SHED_DEADLINE, degraded=False)
+                return _unavailable(SHED_DEADLINE)
+        elif verdict != "admitted":
+            reason = verdict[len("shed-") :]
+            self.frontend.record_shed(reason, degraded=False)
+            return _unavailable(reason)
+        try:
+            response: HttpResponse = await self.offload.offload(
+                self.gateway.handle, request
+            )
+        finally:
+            self._release()
+        self.frontend.record_admitted(time.perf_counter() - arrival)
+        return response
+
+    # -- observability --------------------------------------------------------
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The engine's snapshot plus the front end's own counters."""
+        payload = self.engine.snapshot()
+        payload["frontend"] = self.frontend.snapshot()
+        payload["admission"] = self.controller.snapshot()
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncGateway(max_inflight={self.controller.max_inflight}, "
+            f"inflight={self.controller.inflight}, "
+            f"degrade_mode={self.config.degrade_mode!r})"
+        )

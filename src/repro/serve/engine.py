@@ -424,6 +424,45 @@ class ServingEngine:
             self.timing_hook(request, result)
         return result
 
+    def serve_cached(
+        self, request: ServeRequest, *, preauthorized: bool = False
+    ) -> ServeResult | None:
+        """Answer from the variant cache alone, or return ``None``.
+
+        The async front end's fast path: a hit costs an access check
+        plus an array copy — no storage round trip, no reconstruction,
+        nothing worth leaving the event loop for.  ``None`` means "not
+        answerable cheaply": either the variant is not cached, or the
+        backend enforces access only inside ``download()`` (no
+        ``check_access`` hook), in which case even a cache hit owes the
+        provider a round trip and belongs on the offload path —
+        :meth:`serve` preserves that guarantee.
+
+        A hit is a full serve as far as accounting goes: it lands in
+        :class:`ServingStats` and fires the ``timing_hook`` exactly as
+        :meth:`serve` would.
+        """
+        if not self._has_access_hook:
+            return None
+        start = time.perf_counter()
+        if not preauthorized:
+            self._check_access(request)
+        cached = self.variant_cache.get(request.variant_key())
+        if cached is None:
+            return None
+        result = ServeResult(
+            pixels=cached.pixels.copy(),
+            photo_id=request.photo_id,
+            variant_hit=True,
+            secret_hit=cached.secret_hit,
+            public_only=request.public_only,
+        )
+        result.timing.total_s = time.perf_counter() - start
+        self.stats.record(result)
+        if self.timing_hook is not None:
+            self.timing_hook(request, result)
+        return result
+
     def download(
         self,
         photo_id: str,

@@ -1,0 +1,237 @@
+"""Trace replayers: drive a gateway with a timed workload and measure.
+
+Two replay modes, one report shape:
+
+* :func:`replay_async` — the open-loop replayer: every
+  :class:`~repro.serve.trace.TraceEvent` fires at its trace offset as
+  its own coroutine against an async handler
+  (:meth:`~repro.serve.async_gateway.AsyncGateway.handle`), so
+  thousands of requests are genuinely in flight together and the
+  measured behaviour under a flash crowd is the front end's, not the
+  harness's;
+* :func:`replay_sync` — the closed-loop baseline: the same events,
+  one at a time, against a blocking handler
+  (:meth:`~repro.system.gateway.P3Gateway.handle`).  Arrival offsets
+  are ignored — a synchronous front end admits the next request only
+  when the previous one finished, which is exactly the behaviour the
+  async gateway exists to beat.
+
+Both simulate the client's network link: ``client_rtt_s`` adds half a
+round trip before the request and half after, ``asyncio.sleep`` in
+the async replayer (the loop overlaps them) and ``time.sleep`` in the
+sync one (each request's RTT serializes behind the last — that is not
+a harness artifact, it *is* the sync deployment model: one thread
+driving one request to completion at a time).
+
+Every response is digested (SHA-256) so benchmarks can hard-fail on
+wrong bytes without holding a million pixel buffers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Sequence
+
+from repro.serve.async_gateway import DEGRADED_HEADER
+from repro.serve.trace import TraceEvent, percentile
+from repro.system.gateway import USER_HEADER
+from repro.system.http import HttpRequest, HttpResponse
+
+
+def view_request(
+    event: TraceEvent,
+    photo_ids: Sequence[str],
+    *,
+    album: str | None = None,
+    base: str = "http://gateway.local",
+) -> HttpRequest:
+    """The default event-to-request mapping: a GET view as the tenant.
+
+    ``photo_ids`` maps popularity ranks onto real photo IDs (rank
+    modulo the list, so a trace generated over more photos than were
+    uploaded still replays).  ``album`` names the album whose key the
+    tenant should use, if any.
+    """
+    photo_id = photo_ids[event.photo_rank % len(photo_ids)]
+    url = f"{base}/photos/{photo_id}"
+    if album is not None:
+        url += f"?album={album}"
+    return HttpRequest(
+        method="GET",
+        url=url,
+        headers={USER_HEADER: event.tenant},
+    )
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """What one replayed event came back with."""
+
+    event: TraceEvent
+    status: int
+    latency_s: float
+    degraded: bool
+    cache: str | None
+    shape: str | None
+    body_sha: str
+    serve_ms: float | None = None  # gateway-side x-serve-ms, 2xx only
+
+    @property
+    def served_full(self) -> bool:
+        """A 2xx that was *not* a degraded preview."""
+        return 200 <= self.status < 300 and not self.degraded
+
+
+def _outcome(
+    event: TraceEvent, response: HttpResponse, latency_s: float
+) -> ReplayOutcome:
+    serve_ms = response.headers.get("x-serve-ms")
+    return ReplayOutcome(
+        event=event,
+        status=response.status,
+        latency_s=latency_s,
+        degraded=DEGRADED_HEADER in response.headers,
+        cache=response.headers.get("x-cache"),
+        shape=response.headers.get("x-image-shape"),
+        body_sha=hashlib.sha256(response.body).hexdigest(),
+        serve_ms=float(serve_ms) if serve_ms is not None else None,
+    )
+
+
+@dataclass
+class ReplayReport:
+    """One replay run: every outcome plus the wall clock it took."""
+
+    outcomes: list[ReplayOutcome]
+    wall_s: float
+    scenario: str = "trace"
+    mode: str = "async"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def served(self) -> list[ReplayOutcome]:
+        return [o for o in self.outcomes if o.served_full]
+
+    @property
+    def degraded(self) -> list[ReplayOutcome]:
+        return [o for o in self.outcomes if o.degraded]
+
+    @property
+    def rejected(self) -> list[ReplayOutcome]:
+        return [o for o in self.outcomes if o.status == 503]
+
+    @property
+    def errors(self) -> list[ReplayOutcome]:
+        return [
+            o
+            for o in self.outcomes
+            if not (200 <= o.status < 300) and o.status != 503
+        ]
+
+    @property
+    def served_rps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return len(self.served) / self.wall_s
+
+    @property
+    def offered_rps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.offered / self.wall_s
+
+    def latency_ms(self, p: float) -> float:
+        """Percentile over *full* (non-degraded) served latencies."""
+        return percentile([o.latency_s for o in self.served], p) * 1000.0
+
+    def summary(self) -> dict[str, Any]:
+        served = self.served
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "offered": self.offered,
+            "offered_rps": round(self.offered_rps, 2),
+            "served": len(served),
+            "served_rps": round(self.served_rps, 2),
+            "degraded": len(self.degraded),
+            "rejected_503": len(self.rejected),
+            "errors": len(self.errors),
+            "wall_s": round(self.wall_s, 3),
+            "p50_ms": round(self.latency_ms(50), 3),
+            "p99_ms": round(self.latency_ms(99), 3),
+            "p999_ms": round(self.latency_ms(99.9), 3),
+            **self.extras,
+        }
+
+
+async def replay_async(
+    handle: Callable[[HttpRequest], Awaitable[HttpResponse]],
+    events: Sequence[TraceEvent],
+    make_request: Callable[[TraceEvent], HttpRequest],
+    *,
+    client_rtt_s: float = 0.0,
+    speed: float = 1.0,
+) -> ReplayReport:
+    """Open-loop replay: every event fires at ``at_s / speed``.
+
+    Latency is measured per request from its scheduled start,
+    client link included, so queueing delay inside the gateway shows
+    up in the percentiles exactly as a real client would feel it.
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    clock = time.perf_counter
+    start = clock()
+
+    async def one(event: TraceEvent) -> ReplayOutcome:
+        delay = event.at_s / speed - (clock() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        t0 = clock()
+        if client_rtt_s > 0:
+            await asyncio.sleep(client_rtt_s / 2)
+        response = await handle(make_request(event))
+        if client_rtt_s > 0:
+            await asyncio.sleep(client_rtt_s / 2)
+        return _outcome(event, response, clock() - t0)
+
+    outcomes = await asyncio.gather(*[one(event) for event in events])
+    return ReplayReport(
+        outcomes=list(outcomes), wall_s=clock() - start, mode="async"
+    )
+
+
+def replay_sync(
+    handle: Callable[[HttpRequest], HttpResponse],
+    events: Sequence[TraceEvent],
+    make_request: Callable[[TraceEvent], HttpRequest],
+    *,
+    client_rtt_s: float = 0.0,
+) -> ReplayReport:
+    """Closed-loop replay: one request at a time, arrival times ignored.
+
+    This is the synchronous deployment's capacity measurement — the
+    next viewer is admitted when the previous one is done, client
+    round trip included.
+    """
+    clock = time.perf_counter
+    start = clock()
+    outcomes = []
+    for event in events:
+        t0 = clock()
+        if client_rtt_s > 0:
+            time.sleep(client_rtt_s / 2)
+        response = handle(make_request(event))
+        if client_rtt_s > 0:
+            time.sleep(client_rtt_s / 2)
+        outcomes.append(_outcome(event, response, clock() - t0))
+    return ReplayReport(
+        outcomes=outcomes, wall_s=clock() - start, mode="sync"
+    )

@@ -63,6 +63,32 @@ def _error(status: int, message: str) -> HttpResponse:
     )
 
 
+def map_exception(error: Exception) -> HttpResponse:
+    """Translate a failed request into the gateway error contract.
+
+    One mapping shared by every front end (the synchronous
+    :class:`P3Gateway` and the async one built on top of it), so a
+    given failure produces the identical status whichever door the
+    request came through: :class:`GatewayError` carries its own
+    response; the provider's :class:`AccessDeniedError` is 403;
+    unknown photos/users/albums (``KeyError``) are 404; rejected
+    uploads and malformed parameters are 400; anything else — backend
+    outages, dead blob stores — is a 502, because the contract is
+    "never raises".
+    """
+    if isinstance(error, GatewayError):
+        return error.response
+    if isinstance(error, AccessDeniedError):
+        return _error(403, str(error))
+    if isinstance(error, KeyError):
+        return _error(404, str(error))
+    if isinstance(error, UploadRejectedError):
+        return _error(400, str(error))
+    if isinstance(error, ValueError):
+        return _error(400, str(error))
+    return _error(502, f"{type(error).__name__}: {error}")
+
+
 def pixel_response(result: ServeResult) -> HttpResponse:
     """Wrap a serve result as the HTTP response the app receives."""
     pixels = np.ascontiguousarray(result.pixels)
@@ -169,21 +195,10 @@ class P3Gateway:
         """Serve one request; errors become status codes, never raises."""
         try:
             return self._dispatch(request)
-        except GatewayError as error:
-            return error.response
-        except AccessDeniedError as error:
-            return _error(403, str(error))
-        except KeyError as error:
-            return _error(404, str(error))
-        except UploadRejectedError as error:
-            return _error(400, str(error))
-        except ValueError as error:
-            return _error(400, str(error))
         except Exception as error:  # noqa: BLE001 - the contract is
-            # "never raises": backend outages (FanoutUploadError, dead
-            # blob stores, ConnectionError) become a bad-gateway status
-            # instead of crashing the server wrapping handle().
-            return _error(502, f"{type(error).__name__}: {error}")
+            # "never raises": every failure becomes a status code via
+            # the shared mapping (backend outages included).
+            return map_exception(error)
 
     def _dispatch(self, request: HttpRequest) -> HttpResponse:
         path = request.path
@@ -199,7 +214,12 @@ class P3Gateway:
             )
         return _error(404, f"no route for {request.method} {path}")
 
-    def _user(self, request: HttpRequest) -> Keyring:
+    def authenticate(self, request: HttpRequest) -> Keyring:
+        """Resolve the request's tenant or raise the 401 to send back.
+
+        Shared by the sync dispatch and the async front end, so both
+        report a missing or unknown ``x-p3-user`` identically.
+        """
         user = request.headers.get(USER_HEADER, "")
         if not user:
             raise GatewayError(
@@ -213,7 +233,7 @@ class P3Gateway:
             ) from None
 
     def _handle_upload(self, request: HttpRequest) -> HttpResponse:
-        keyring = self._user(request)
+        keyring = self.authenticate(request)
         query = request.query
         album = query.get("album", "")
         if not album:
@@ -252,10 +272,18 @@ class P3Gateway:
             body=receipt.photo_id.encode(),
         )
 
-    def _handle_view(
+    def view_request(
         self, request: HttpRequest, photo_id: str
-    ) -> HttpResponse:
-        keyring = self._user(request)
+    ) -> ServeRequest:
+        """Parse one GET view into the engine's request shape.
+
+        All the per-request policy lives here — authentication,
+        parameter validation, and the key lookup that decides whether
+        this tenant sees full or public-only pixels — so the sync and
+        async front ends serve from byte-identical
+        :class:`~repro.serve.engine.ServeRequest` values.
+        """
+        keyring = self.authenticate(request)
         if not photo_id:
             raise GatewayError(_error(404, "no photo ID in path"))
         query = request.query
@@ -276,18 +304,22 @@ class P3Gateway:
             if album is not None and album in keyring
             else None
         )
-        result = self.engine.serve(
-            ServeRequest(
-                photo_id=photo_id,
-                album=album if key is not None else None,
-                key=key,
-                requester=keyring.owner,
-                resolution=resolution,
-                crop_box=crop_box,
-                provider=query.get("provider") or None,
-            )
+        return ServeRequest(
+            photo_id=photo_id,
+            album=album if key is not None else None,
+            key=key,
+            requester=keyring.owner,
+            resolution=resolution,
+            crop_box=crop_box,
+            provider=query.get("provider") or None,
         )
-        return pixel_response(result)
+
+    def _handle_view(
+        self, request: HttpRequest, photo_id: str
+    ) -> HttpResponse:
+        return pixel_response(
+            self.engine.serve(self.view_request(request, photo_id))
+        )
 
     def __repr__(self) -> str:
         with self._lock:

@@ -9,6 +9,7 @@ from repro.api.executors import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    run_async,
 )
 
 ALL_EXECUTORS = [SerialExecutor, ThreadExecutor, ProcessExecutor, AsyncExecutor]
@@ -79,6 +80,113 @@ class TestAsyncExecutor:
         elapsed = time.perf_counter() - start
         assert all(o.ok for o in outcomes)
         assert elapsed < 0.15  # serial would be >= 0.2s
+
+
+class TestRunAsync:
+    """The loop-ownership seam shared by AsyncExecutor and the async
+    gateway's sync entry points."""
+
+    def test_runs_without_a_loop(self):
+        async def answer():
+            return 42
+
+        assert run_async(answer()) == 42
+
+    def test_nested_inside_a_running_loop(self):
+        """run_async from coroutine-called sync code must not trip
+        'asyncio.run() cannot be called from a running event loop'."""
+        import asyncio
+
+        def sync_bridge():
+            # Sync code (deep inside a library) re-entering async land
+            # while the outer loop is live on this very thread.
+            async def inner():
+                await asyncio.sleep(0)
+                return "nested"
+
+            return run_async(inner())
+
+        async def outer():
+            return sync_bridge()
+
+        assert asyncio.run(outer()) == "nested"
+
+    def test_exceptions_propagate(self):
+        async def boom():
+            raise RuntimeError("kaput")
+
+        with pytest.raises(RuntimeError, match="kaput"):
+            run_async(boom())
+
+    def test_exceptions_propagate_nested(self):
+        import asyncio
+
+        async def boom():
+            raise RuntimeError("kaput")
+
+        async def outer():
+            with pytest.raises(RuntimeError, match="kaput"):
+                run_async(boom())
+            return True
+
+        assert asyncio.run(outer())
+
+
+class TestAsyncOffloadSeam:
+    """The persistent offload pool the async gateway parks blocking
+    serves on."""
+
+    def test_persistent_pool_lazy_reuse_and_shutdown(self):
+        executor = AsyncExecutor(workers=2, persistent=True)
+        assert executor._pool is None
+        assert executor.run_one(_square, 7) == 49
+        pool = executor._pool
+        assert pool is not None
+        outcomes = executor.map(_square, [1, 2])
+        assert [o.value for o in outcomes] == [1, 4]
+        assert executor._pool is pool  # map shares the same pool
+        executor.shutdown()
+        assert executor._pool is None
+
+    def test_nonpersistent_run_one_is_inline(self):
+        executor = AsyncExecutor(workers=2)
+        assert executor.run_one(_square, 5) == 25
+        assert executor._pool is None
+
+    def test_offload_awaitable(self):
+        import asyncio
+
+        executor = AsyncExecutor(workers=2, persistent=True)
+
+        async def driver():
+            values = await asyncio.gather(
+                executor.offload(_square, 3), executor.offload(_square, 4)
+            )
+            return values
+
+        try:
+            assert asyncio.run(driver()) == [9, 16]
+        finally:
+            executor.shutdown()
+
+    def test_offload_propagates_exceptions(self):
+        import asyncio
+
+        executor = AsyncExecutor(workers=1, persistent=True)
+
+        async def driver():
+            await executor.offload(_explode_on_three, 3)
+
+        try:
+            with pytest.raises(ValueError, match="three"):
+                asyncio.run(driver())
+        finally:
+            executor.shutdown()
+
+    def test_make_executor_passes_persistent_to_async(self):
+        executor = make_executor("async", 2, persistent=True)
+        assert isinstance(executor, AsyncExecutor)
+        assert executor.persistent
 
 
 class TestConstruction:

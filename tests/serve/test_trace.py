@@ -1,0 +1,211 @@
+"""Tests for the timed workload-trace generators and the replay report."""
+
+import numpy as np
+import pytest
+
+from repro.serve.replay import ReplayOutcome, ReplayReport, view_request
+from repro.serve.trace import (
+    TraceEvent,
+    diurnal_trace,
+    flash_crowd_trace,
+    thundering_herd_trace,
+    zipf_trace,
+    zipf_weights,
+)
+
+
+class TestZipf:
+    def test_weights_normalized_and_ranked(self):
+        weights = zipf_weights(100)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)  # rank 0 most popular
+
+    def test_trace_is_reproducible(self):
+        assert zipf_trace(50, 200, seed=3) == zipf_trace(50, 200, seed=3)
+
+
+class TestDiurnalTrace:
+    def test_sorted_seeded_and_in_window(self):
+        events = diurnal_trace(
+            tenants=1_000_000,
+            photos=64,
+            duration_s=10.0,
+            peak_rps=200.0,
+            seed=11,
+        )
+        assert events  # a 10s window at up to 200rps is never empty
+        times = [e.at_s for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 10.0 for t in times)
+        again = diurnal_trace(
+            tenants=1_000_000,
+            photos=64,
+            duration_s=10.0,
+            peak_rps=200.0,
+            seed=11,
+        )
+        assert events == again
+
+    def test_peak_hour_is_busier_than_trough(self):
+        events = diurnal_trace(
+            tenants=100,
+            photos=16,
+            duration_s=60.0,
+            peak_rps=100.0,
+            trough_rps=5.0,
+            seed=5,
+        )
+        edges = sum(1 for e in events if e.at_s < 10 or e.at_s >= 50)
+        middle = sum(1 for e in events if 25 <= e.at_s < 35)
+        assert middle > edges  # the curve peaks mid-window
+
+    def test_million_user_population_costs_nothing(self):
+        events = diurnal_trace(
+            tenants=1_000_000,
+            photos=8,
+            duration_s=2.0,
+            peak_rps=50.0,
+            seed=1,
+        )
+        assert all(e.tenant.startswith("user-") for e in events)
+        # Distinct users drawn from the full population, not a tiny pool.
+        assert len({e.tenant for e in events}) > len(events) * 0.9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="duration"):
+            diurnal_trace(
+                tenants=1, photos=1, duration_s=0, peak_rps=1.0
+            )
+        with pytest.raises(ValueError, match="peak_rps"):
+            diurnal_trace(
+                tenants=1, photos=1, duration_s=1.0, peak_rps=0
+            )
+        with pytest.raises(ValueError, match="trough"):
+            diurnal_trace(
+                tenants=1,
+                photos=1,
+                duration_s=1.0,
+                peak_rps=1.0,
+                trough_rps=2.0,
+            )
+
+
+class TestFlashCrowdTrace:
+    def kwargs(self, **overrides):
+        base = dict(
+            tenants=10_000,
+            photos=32,
+            duration_s=10.0,
+            base_rps=20.0,
+            spike_rps=400.0,
+            spike_start_s=4.0,
+            spike_duration_s=2.0,
+            seed=9,
+        )
+        base.update(overrides)
+        return base
+
+    def test_spike_window_concentrates_on_hot_photo(self):
+        events = flash_crowd_trace(**self.kwargs(hot_fraction=0.9))
+        spike = [e for e in events if 4.0 <= e.at_s < 6.0]
+        outside = [e for e in events if not 4.0 <= e.at_s < 6.0]
+        assert len(spike) > len(outside)  # 400rps * 2s >> 20rps * 8s
+        hot_share = sum(1 for e in spike if e.photo_rank == 0) / len(spike)
+        assert hot_share > 0.85
+        # Outside the window traffic stays zipfian, not all-hot.
+        cold_share = sum(
+            1 for e in outside if e.photo_rank == 0
+        ) / max(1, len(outside))
+        assert cold_share < 0.6
+
+    def test_sorted_and_reproducible(self):
+        events = flash_crowd_trace(**self.kwargs())
+        assert [e.at_s for e in events] == sorted(e.at_s for e in events)
+        assert events == flash_crowd_trace(**self.kwargs())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            flash_crowd_trace(**self.kwargs(hot_fraction=1.5))
+        with pytest.raises(ValueError, match="spike_rps"):
+            flash_crowd_trace(**self.kwargs(spike_rps=1.0))
+
+
+class TestThunderingHerdTrace:
+    def test_everyone_hits_one_photo_at_one_instant(self):
+        events = thundering_herd_trace(
+            tenants=1_000_000, herd_size=500, rank=3, at_s=1.5, seed=2
+        )
+        assert len(events) == 500
+        assert all(e.at_s == 1.5 for e in events)
+        assert all(e.photo_rank == 3 for e in events)
+        assert len({e.tenant for e in events}) > 450  # distinct viewers
+
+    def test_rejects_empty_herd(self):
+        with pytest.raises(ValueError, match="herd_size"):
+            thundering_herd_trace(tenants=10, herd_size=0)
+
+
+class TestViewRequest:
+    def test_maps_rank_onto_photo_list_modulo(self):
+        event = TraceEvent(at_s=0.0, tenant="user-7", photo_rank=5)
+        request = view_request(event, ["p0", "p1", "p2"], album="trip")
+        assert request.path == "/photos/p2"  # 5 % 3
+        assert request.query == {"album": "trip"}
+        assert request.headers["x-p3-user"] == "user-7"
+
+    def test_album_omitted_when_none(self):
+        event = TraceEvent(at_s=0.0, tenant="u", photo_rank=0)
+        assert view_request(event, ["p0"]).query == {}
+
+
+def _outcome(status, latency_s, *, degraded=False):
+    return ReplayOutcome(
+        event=TraceEvent(at_s=0.0, tenant="u", photo_rank=0),
+        status=status,
+        latency_s=latency_s,
+        degraded=degraded,
+        cache=None,
+        shape=None,
+        body_sha="0" * 64,
+    )
+
+
+class TestReplayReport:
+    def test_partitions_and_rates(self):
+        outcomes = (
+            [_outcome(200, 0.01) for _ in range(6)]
+            + [_outcome(200, 0.002, degraded=True) for _ in range(3)]
+            + [_outcome(503, 0.001)]
+            + [_outcome(404, 0.001)]
+        )
+        report = ReplayReport(
+            outcomes=outcomes, wall_s=2.0, scenario="test"
+        )
+        assert report.offered == 11
+        assert len(report.served) == 6
+        assert len(report.degraded) == 3
+        assert len(report.rejected) == 1
+        assert len(report.errors) == 1
+        assert report.served_rps == 3.0
+        assert report.offered_rps == 5.5
+        summary = report.summary()
+        assert summary["scenario"] == "test"
+        assert summary["served"] == 6
+        assert summary["degraded"] == 3
+        assert summary["rejected_503"] == 1
+        assert summary["p99_ms"] == 10.0
+
+    def test_degraded_latencies_stay_out_of_served_percentiles(self):
+        report = ReplayReport(
+            outcomes=[
+                _outcome(200, 1.0),
+                _outcome(200, 0.000_1, degraded=True),
+            ],
+            wall_s=1.0,
+        )
+        assert report.latency_ms(50) == 1000.0
+
+    def test_empty_report(self):
+        report = ReplayReport(outcomes=[], wall_s=0.0)
+        assert report.served_rps == 0.0
+        assert report.summary()["p999_ms"] == 0.0

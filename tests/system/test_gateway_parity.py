@@ -1,0 +1,204 @@
+"""Sync/async front-end parity: same request, same bytes, same status.
+
+The async gateway shares the sync gateway's authentication, view
+parsing and error mapping by construction; these tests pin the
+contract from the outside — every route and every failure mode must be
+indistinguishable to a client, whichever front end answered.
+"""
+
+import pytest
+
+from repro.core.config import P3Config
+from repro.jpeg.codec import encode_rgb
+from repro.serve.async_gateway import AsyncGateway
+from repro.system.client import PhotoSharingClient
+from repro.system.gateway import (
+    USER_HEADER,
+    P3Gateway,
+    pixels_from_response,
+)
+from repro.system.http import HttpRequest, build_url
+from repro.system.psp import FacebookPSP
+from repro.system.storage import CloudStorage
+
+
+@pytest.fixture()
+def jpeg(scene_corpus):
+    return encode_rgb(scene_corpus[0], quality=85)
+
+
+@pytest.fixture()
+def deployment(jpeg):
+    """One shared deployment with both front ends over one engine."""
+    gateway = P3Gateway(
+        FacebookPSP(), CloudStorage(), P3Config(threshold=15, quality=85)
+    )
+    alice = PhotoSharingClient.for_gateway(gateway, "alice")
+    receipt = alice.upload_photo(jpeg, "trip", viewers={"bob"})
+    gateway.add_user("bob")
+    front = AsyncGateway(gateway)
+    yield gateway, front, receipt.photo_id
+    front.close()
+
+
+def get_request(user, path, params=None):
+    return HttpRequest(
+        method="GET",
+        url=build_url("https://gw.example", path, params),
+        headers={USER_HEADER: user} if user else {},
+    )
+
+
+def both(gateway, front, request):
+    return gateway.handle(request), front.handle_sync(request)
+
+
+class TestPixelParity:
+    def test_keyed_view_bytes_identical(self, deployment):
+        gateway, front, photo_id = deployment
+        request = get_request(
+            "alice", f"/photos/{photo_id}", {"album": "trip", "size": "130"}
+        )
+        sync_response, async_response = both(gateway, front, request)
+        assert sync_response.status == async_response.status == 200
+        assert sync_response.body == async_response.body
+        assert (
+            pixels_from_response(sync_response).tobytes()
+            == pixels_from_response(async_response).tobytes()
+        )
+        assert (
+            sync_response.headers["x-image-shape"]
+            == async_response.headers["x-image-shape"]
+        )
+        assert (
+            sync_response.headers["x-image-dtype"]
+            == async_response.headers["x-image-dtype"]
+        )
+
+    def test_cold_async_matches_cold_sync_reference(self, deployment):
+        """Order independence: the async cold serve (reconstructed, not
+        a cache hit) produces the sync path's exact pixels."""
+        gateway, front, photo_id = deployment
+        request = get_request(
+            "alice", f"/photos/{photo_id}", {"album": "trip", "size": "96"}
+        )
+        async_cold = front.handle_sync(request)
+        assert async_cold.headers["x-cache"] == "reconstructed"
+        sync_warm = gateway.handle(request)
+        assert async_cold.body == sync_warm.body
+
+    def test_public_only_view_bytes_identical(self, deployment):
+        """A tenant with PSP access but no album key degrades to the
+        public part on both front ends — identically."""
+        gateway, front, photo_id = deployment
+        request = get_request("bob", f"/photos/{photo_id}")
+        sync_response, async_response = both(gateway, front, request)
+        assert sync_response.status == async_response.status == 200
+        assert sync_response.body == async_response.body
+
+    def test_cropped_resized_view_bytes_identical(self, deployment):
+        gateway, front, photo_id = deployment
+        request = get_request(
+            "alice",
+            f"/photos/{photo_id}",
+            {"album": "trip", "size": "96", "crop": "0,0,64,64"},
+        )
+        sync_response, async_response = both(gateway, front, request)
+        assert sync_response.status == async_response.status == 200
+        assert sync_response.body == async_response.body
+
+    def test_upload_via_async_viewable_via_sync(self, deployment, jpeg):
+        gateway, front, _ = deployment
+        upload = HttpRequest(
+            method="POST",
+            url=build_url(
+                "https://gw.example", "/photos/upload", {"album": "trip"}
+            ),
+            headers={USER_HEADER: "alice"},
+            body=jpeg,
+        )
+        created = front.handle_sync(upload)
+        assert created.status == 201
+        photo_id = created.body.decode()
+        view = gateway.handle(
+            get_request("alice", f"/photos/{photo_id}", {"album": "trip"})
+        )
+        assert view.status == 200
+
+
+class TestErrorParity:
+    CASES = [
+        ("missing-user", lambda pid: get_request(None, f"/photos/{pid}"), 401),
+        (
+            "unknown-user",
+            lambda pid: get_request("ghost", f"/photos/{pid}"),
+            401,
+        ),
+        (
+            "unknown-photo",
+            lambda pid: get_request("alice", "/photos/nope"),
+            404,
+        ),
+        (
+            "denied-viewer",
+            lambda pid: get_request("mallory", f"/photos/{pid}"),
+            403,
+        ),
+        (
+            "bad-crop",
+            lambda pid: get_request(
+                "alice", f"/photos/{pid}", {"crop": "1,2,3"}
+            ),
+            400,
+        ),
+        (
+            "bad-size",
+            lambda pid: get_request(
+                "alice", f"/photos/{pid}", {"size": "huge"}
+            ),
+            400,
+        ),
+        ("no-route", lambda pid: get_request("alice", "/albums"), 404),
+        ("empty-path", lambda pid: get_request("alice", "/photos/"), 404),
+    ]
+
+    @pytest.mark.parametrize(
+        "case", CASES, ids=[name for name, _, _ in CASES]
+    )
+    def test_status_and_body_identical(self, deployment, case):
+        name, build, expected = case
+        gateway, front, photo_id = deployment
+        if name == "denied-viewer":
+            gateway.add_user("mallory")
+        request = build(photo_id)
+        sync_response, async_response = both(gateway, front, request)
+        assert sync_response.status == expected
+        assert async_response.status == expected
+        assert sync_response.body == async_response.body
+        assert sync_response.headers == async_response.headers
+
+    def test_empty_upload_parity(self, deployment):
+        gateway, front, _ = deployment
+        upload = HttpRequest(
+            method="POST",
+            url=build_url(
+                "https://gw.example", "/photos/upload", {"album": "trip"}
+            ),
+            headers={USER_HEADER: "alice"},
+            body=b"",
+        )
+        sync_response, async_response = both(gateway, front, upload)
+        assert sync_response.status == async_response.status == 400
+        assert sync_response.body == async_response.body
+
+    def test_missing_album_upload_parity(self, deployment, jpeg):
+        gateway, front, _ = deployment
+        upload = HttpRequest(
+            method="POST",
+            url=build_url("https://gw.example", "/photos/upload", {}),
+            headers={USER_HEADER: "alice"},
+            body=jpeg,
+        )
+        sync_response, async_response = both(gateway, front, upload)
+        assert sync_response.status == async_response.status == 400
+        assert sync_response.body == async_response.body
